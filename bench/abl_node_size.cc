@@ -1,0 +1,99 @@
+// Ablation A1 — node size / fanout (§4.2): "Up to a point, this allows
+// larger tree nodes to be fetched in the same amount of time as smaller
+// ones; larger nodes have wider fanout and thus reduce tree height. On our
+// hardware, tree nodes of four cache lines (256 bytes, which allows a fanout
+// of 15) provide the highest total performance."
+//
+// Sweep border/interior width 3 / 7 / 15 with prefetch on and off. (Widths
+// beyond 15 would need >4-bit permuter subfields — the same design limit the
+// published system has.)
+
+#include "bench/common.h"
+#include "core/tree.h"
+#include "util/rand.h"
+#include "workload/keys.h"
+
+namespace masstree {
+namespace {
+
+template <int W, bool P>
+struct WidthConfig : DefaultConfig {
+  static constexpr int kLeafWidth = W;
+  static constexpr int kInteriorWidth = W;
+  static constexpr bool kPrefetch = P;
+};
+
+struct Result {
+  double get_mops;
+  double put_mops;
+};
+
+template <typename Config>
+Result run(const bench::Env& e) {
+  ThreadContext setup;
+  BasicTree<Config> tree(setup);
+  Result r;
+  std::atomic<uint64_t> next{0};
+  r.put_mops =
+      bench::timed_mops(e.threads, e.secs, [&](unsigned, const std::atomic<bool>& stop) {
+        thread_local ThreadContext ti;
+        uint64_t ops = 0, old;
+        while (!stop.load(std::memory_order_relaxed)) {
+          uint64_t chunk = next.fetch_add(256, std::memory_order_relaxed);
+          for (uint64_t i = chunk; i < chunk + 256; ++i) {
+            tree.insert(decimal_key(i % e.keys), i, &old, ti);
+            ++ops;
+          }
+        }
+        return ops;
+      });
+  {
+    uint64_t old;
+    for (uint64_t i = next.load(); i < e.keys; ++i) {
+      tree.insert(decimal_key(i), i, &old, setup);
+    }
+  }
+  r.get_mops =
+      bench::timed_mops(e.threads, e.secs, [&](unsigned t, const std::atomic<bool>& stop) {
+        thread_local ThreadContext ti;
+        Rng rng(61 + t);
+        uint64_t ops = 0, v;
+        while (!stop.load(std::memory_order_relaxed)) {
+          for (int i = 0; i < 256; ++i) {
+            tree.get(decimal_key(rng.next_range(e.keys)), &v, ti);
+            ++ops;
+          }
+        }
+        return ops;
+      });
+  return r;
+}
+
+}  // namespace
+}  // namespace masstree
+
+int main() {
+  using namespace masstree;
+  using namespace masstree::bench;
+  Env e = env(1000000);
+  print_header("Ablation: node width (fanout) x prefetch", e);
+  std::printf("%-24s %-14s %-14s\n", "config", "get Mops", "put Mops");
+
+  struct Row {
+    const char* name;
+    Result r;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"width 3,  no prefetch", run<WidthConfig<3, false>>(e)});
+  rows.push_back({"width 3,  prefetch", run<WidthConfig<3, true>>(e)});
+  rows.push_back({"width 7,  no prefetch", run<WidthConfig<7, false>>(e)});
+  rows.push_back({"width 7,  prefetch", run<WidthConfig<7, true>>(e)});
+  rows.push_back({"width 15, no prefetch", run<WidthConfig<15, false>>(e)});
+  rows.push_back({"width 15, prefetch", run<WidthConfig<15, true>>(e)});
+  for (const auto& row : rows) {
+    std::printf("%-24s %-14.3f %-14.3f\n", row.name, row.r.get_mops, row.r.put_mops);
+  }
+  std::printf("\npaper's design point: widest node (4 cache lines, fanout 15) + prefetch "
+              "is best overall\n");
+  return 0;
+}

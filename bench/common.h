@@ -1,0 +1,131 @@
+// Shared benchmark harness for the paper-reproduction binaries.
+//
+// Scaling: the paper's runs use 80-140M keys on 16 of 48 cores; the defaults
+// here are laptop/container-scale and every bench accepts environment
+// overrides:
+//   MT_BENCH_KEYS     number of keys to load (default 1000000)
+//   MT_BENCH_THREADS  worker threads (default: hardware concurrency)
+//   MT_BENCH_SECS     seconds per timed phase (default 2)
+// Relative shape (who wins, by what factor) is the reproduction target, not
+// the absolute 2012-hardware numbers; see EXPERIMENTS.md.
+
+#ifndef MASSTREE_BENCH_COMMON_H_
+#define MASSTREE_BENCH_COMMON_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/compiler.h"
+#include "util/thread.h"
+#include "util/timing.h"
+
+namespace masstree {
+namespace bench {
+
+struct Env {
+  uint64_t keys;
+  unsigned threads;
+  double secs;
+};
+
+inline uint64_t env_u64(const char* name, uint64_t def) {
+  const char* v = ::getenv(name);
+  return v != nullptr ? ::strtoull(v, nullptr, 10) : def;
+}
+inline double env_f64(const char* name, double def) {
+  const char* v = ::getenv(name);
+  return v != nullptr ? ::strtod(v, nullptr) : def;
+}
+
+inline Env env(uint64_t default_keys = 1000000) {
+  Env e;
+  e.keys = env_u64("MT_BENCH_KEYS", default_keys);
+  e.threads = static_cast<unsigned>(env_u64("MT_BENCH_THREADS", hardware_threads()));
+  e.secs = env_f64("MT_BENCH_SECS", 2.0);
+  return e;
+}
+
+// Runs `body(tid, stop_flag)` on `threads` threads; each returns its op
+// count. A timer thread sets the stop flag after `secs`. Returns total
+// Mops/sec.
+inline double timed_mops(unsigned threads, double secs,
+                         const std::function<uint64_t(unsigned, const std::atomic<bool>&)>& body) {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> total_ops{0};
+  std::atomic<unsigned> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> ts;
+  for (unsigned t = 0; t < threads; ++t) {
+    ts.emplace_back([&, t] {
+      pin_to_cpu(t);
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) {
+        spin_pause();
+      }
+      total_ops.fetch_add(body(t, stop), std::memory_order_relaxed);
+    });
+  }
+  while (ready.load() != threads) {
+    spin_pause();
+  }
+  Stopwatch sw;
+  go.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::duration<double>(secs));
+  stop.store(true, std::memory_order_release);
+  for (auto& t : ts) {
+    t.join();
+  }
+  double elapsed = sw.elapsed_seconds();
+  return static_cast<double>(total_ops.load()) / elapsed / 1e6;
+}
+
+// Runs a fixed amount of work per thread (no timer); returns wall seconds
+// until the LAST thread finishes — the hard-partitioned semantics of §6.6.
+inline double run_until_all_done(unsigned threads,
+                                 const std::function<void(unsigned)>& body) {
+  std::atomic<unsigned> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> ts;
+  for (unsigned t = 0; t < threads; ++t) {
+    ts.emplace_back([&, t] {
+      pin_to_cpu(t);
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) {
+        spin_pause();
+      }
+      body(t);
+    });
+  }
+  while (ready.load() != threads) {
+    spin_pause();
+  }
+  Stopwatch sw;
+  go.store(true, std::memory_order_release);
+  for (auto& t : ts) {
+    t.join();
+  }
+  return sw.elapsed_seconds();
+}
+
+inline void print_header(const char* title, const Env& e) {
+  std::printf("==== %s ====\n", title);
+  std::printf("keys=%llu threads=%u secs=%.1f (hardware threads: %u)\n",
+              static_cast<unsigned long long>(e.keys), e.threads, e.secs, hardware_threads());
+}
+
+inline void print_row(const char* name, double get_mops, double put_mops, double rel_get,
+                      double rel_put) {
+  std::printf("%-14s get %7.3f Mops (%.2fx)   put %7.3f Mops (%.2fx)\n", name, get_mops,
+              rel_get, put_mops, rel_put);
+}
+
+}  // namespace bench
+}  // namespace masstree
+
+#endif  // MASSTREE_BENCH_COMMON_H_

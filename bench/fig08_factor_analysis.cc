@@ -1,0 +1,223 @@
+// Figure 8 — factor analysis (§6.2): "Contributions of design features to
+// Masstree's performance. Design features are cumulative. Measurements use 16
+// cores and each server thread generates its own load (no clients or network
+// traffic). Bar numbers give throughput relative to the binary tree running
+// the get workload."
+//
+// Ladder: Binary -> +Flow -> +Superpage -> +IntCmp -> 4-tree -> B-tree ->
+//         +Prefetch -> +Permuter -> Masstree, on 1-to-10-byte decimal keys.
+// Paper shape (16 cores, 140M keys): get 1.13 / 1.16 / 1.48 / 1.70 / 2.40 /
+// 2.11 / 2.62 / 2.72 / 2.93 Mops; put 1.00 / 0.99 / 1.36 / 1.68 / 2.42 /
+// 2.51 / 3.18 / 3.19 / 3.33 Mops.
+
+#include <functional>
+#include <memory>
+
+#include "baselines/binary_tree.h"
+#include "baselines/fast_btree.h"
+#include "baselines/four_tree.h"
+#include "bench/common.h"
+#include "core/tree.h"
+#include "util/rand.h"
+#include "workload/keys.h"
+
+namespace masstree {
+namespace {
+
+using bench::Env;
+
+struct Result {
+  double get_mops;
+  double put_mops;
+};
+
+// Measures a structure via insert/get closures. Threads prefill `e.keys`
+// (put phase measured on the tail of an empty structure per the paper), then
+// run a timed uniform get phase.
+template <typename InsertFn, typename GetFn>
+Result measure(const Env& e, InsertFn&& do_insert, GetFn&& do_get) {
+  Result r;
+  // Put phase: timed inserts of the deterministic key space from empty.
+  std::atomic<uint64_t> next_index{0};
+  r.put_mops = bench::timed_mops(e.threads, e.secs, [&](unsigned, const std::atomic<bool>& stop) {
+    uint64_t ops = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      uint64_t chunk = next_index.fetch_add(512, std::memory_order_relaxed);
+      for (uint64_t i = chunk; i < chunk + 512; ++i) {
+        do_insert(decimal_key(i % e.keys), i);
+        ++ops;
+      }
+    }
+    return ops;
+  });
+  // Make sure the whole key space is present for the get phase.
+  uint64_t inserted = next_index.load();
+  for (uint64_t i = inserted; i < e.keys; ++i) {
+    do_insert(decimal_key(i), i);
+  }
+  r.get_mops = bench::timed_mops(e.threads, e.secs, [&](unsigned t, const std::atomic<bool>& stop) {
+    Rng rng(17 + t);
+    uint64_t ops = 0, found = 0;
+    uint64_t v;
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (int i = 0; i < 256; ++i) {
+        found += do_get(decimal_key(rng.next_range(e.keys)), &v) ? 1 : 0;
+        ++ops;
+      }
+    }
+    return ops;
+  });
+  return r;
+}
+
+}  // namespace
+}  // namespace masstree
+
+int main() {
+  using namespace masstree;
+  using namespace masstree::bench;
+  Env e = env(1000000);
+  print_header("Figure 8: factor analysis (Binary -> Masstree)", e);
+
+  struct Row {
+    const char* name;
+    Result r;
+  };
+  std::vector<Row> rows;
+
+  {
+    // "Binary": lock-free binary tree, system allocator, memcmp keys.
+    BinaryTree<MallocNodeAlloc, false> tree;
+    rows.push_back({"Binary", measure(
+                                  e,
+                                  [&](const std::string& k, uint64_t v) {
+                                    thread_local ThreadContext ti;
+                                    tree.insert(k, v, &ti.arena());
+                                  },
+                                  [&](const std::string& k, uint64_t* v) {
+                                    return tree.get(k, v);
+                                  })});
+  }
+  {
+    // "+Flow": same tree, Flow allocator without superpages.
+    Flow flow{FlowConfig{.use_superpages = false}};
+    BinaryTree<FlowNodeAlloc, false> tree;
+    rows.push_back({"+Flow", measure(
+                                 e,
+                                 [&](const std::string& k, uint64_t v) {
+                                   thread_local ThreadContext ti(EpochManager::global(), flow);
+                                   tree.insert(k, v, &ti.arena());
+                                 },
+                                 [&](const std::string& k, uint64_t* v) {
+                                   return tree.get(k, v);
+                                 })});
+  }
+  {
+    // "+Superpage": Flow with 2 MB superpage-backed chunks.
+    Flow flow{FlowConfig{.use_superpages = true}};
+    BinaryTree<FlowNodeAlloc, false> tree;
+    rows.push_back({"+Superpage", measure(
+                                      e,
+                                      [&](const std::string& k, uint64_t v) {
+                                        thread_local ThreadContext ti(EpochManager::global(),
+                                                                      flow);
+                                        tree.insert(k, v, &ti.arena());
+                                      },
+                                      [&](const std::string& k, uint64_t* v) {
+                                        return tree.get(k, v);
+                                      })});
+  }
+  {
+    // "+IntCmp": byte-swapped integer key comparison.
+    BinaryTree<FlowNodeAlloc, true> tree;
+    rows.push_back({"+IntCmp", measure(
+                                   e,
+                                   [&](const std::string& k, uint64_t v) {
+                                     thread_local ThreadContext ti;
+                                     tree.insert(k, v, &ti.arena());
+                                   },
+                                   [&](const std::string& k, uint64_t* v) {
+                                     return tree.get(k, v);
+                                   })});
+  }
+  {
+    ThreadContext setup;
+    FourTree tree(setup);
+    rows.push_back({"4-tree", measure(
+                                  e,
+                                  [&](const std::string& k, uint64_t v) {
+                                    thread_local ThreadContext ti;
+                                    tree.insert(k, v, ti);
+                                  },
+                                  [&](const std::string& k, uint64_t* v) {
+                                    return tree.get(k, v);
+                                  })});
+  }
+  {
+    ThreadContext setup;
+    BtreePlain tree(setup);
+    rows.push_back({"B-tree", measure(
+                                  e,
+                                  [&](const std::string& k, uint64_t v) {
+                                    thread_local ThreadContext ti;
+                                    tree.insert(k, v, ti);
+                                  },
+                                  [&](const std::string& k, uint64_t* v) {
+                                    thread_local ThreadContext ti;
+                                    return tree.get(k, v, ti);
+                                  })});
+  }
+  {
+    ThreadContext setup;
+    BtreePrefetch tree(setup);
+    rows.push_back({"+Prefetch", measure(
+                                     e,
+                                     [&](const std::string& k, uint64_t v) {
+                                       thread_local ThreadContext ti;
+                                       tree.insert(k, v, ti);
+                                     },
+                                     [&](const std::string& k, uint64_t* v) {
+                                       thread_local ThreadContext ti;
+                                       return tree.get(k, v, ti);
+                                     })});
+  }
+  {
+    ThreadContext setup;
+    BtreePermuter tree(setup);
+    rows.push_back({"+Permuter", measure(
+                                     e,
+                                     [&](const std::string& k, uint64_t v) {
+                                       thread_local ThreadContext ti;
+                                       tree.insert(k, v, ti);
+                                     },
+                                     [&](const std::string& k, uint64_t* v) {
+                                       thread_local ThreadContext ti;
+                                       return tree.get(k, v, ti);
+                                     })});
+  }
+  {
+    ThreadContext setup;
+    Tree tree(setup);
+    rows.push_back({"Masstree", measure(
+                                    e,
+                                    [&](const std::string& k, uint64_t v) {
+                                      thread_local ThreadContext ti;
+                                      uint64_t old;
+                                      tree.insert(k, v, &old, ti);
+                                    },
+                                    [&](const std::string& k, uint64_t* v) {
+                                      thread_local ThreadContext ti;
+                                      return tree.get(k, v, ti);
+                                    })});
+  }
+
+  double base_get = rows[0].r.get_mops;
+  std::printf("\n%-14s %-28s %-28s\n", "variant", "get", "put");
+  for (const auto& row : rows) {
+    print_row(row.name, row.r.get_mops, row.r.put_mops, row.r.get_mops / base_get,
+              row.r.put_mops / base_get);
+  }
+  std::printf("\npaper (relative to Binary get): get 1.13 1.16 1.48 1.70 2.40 2.11 2.62 "
+              "2.72 2.93 | put 1.00 0.99 1.36 1.68 2.42 2.51 3.18 3.19 3.33\n");
+  return 0;
+}

@@ -1,0 +1,174 @@
+// Google-benchmark micro-benchmarks for the primitive operations whose
+// costs the paper's design arguments rest on: slice encoding (§4.2),
+// permutation updates (§4.6.2), in-node search (§4.8), version protocol
+// (§4.5), row copy-on-write (§4.7), epoch entry (§4.6.1), and the Zipfian
+// generator (§7).
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "core/permuter.h"
+#include "core/tree.h"
+#include "core/version.h"
+#include "key/keyslice.h"
+#include "util/crc32.h"
+#include "util/rand.h"
+#include "value/row.h"
+#include "workload/keys.h"
+
+namespace masstree {
+namespace {
+
+void BM_MakeSlice(benchmark::State& state) {
+  std::string key = "0123456789";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_slice(key));
+  }
+}
+BENCHMARK(BM_MakeSlice);
+
+void BM_SliceCompareVsMemcmp(benchmark::State& state) {
+  // The "+IntCmp" trick: one integer compare replaces memcmp.
+  std::string a = "012345678", b = "012345679";
+  if (state.range(0) == 0) {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(make_slice(a) < make_slice(b));
+    }
+  } else {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(std::memcmp(a.data(), b.data(), 9) < 0);
+    }
+  }
+}
+BENCHMARK(BM_SliceCompareVsMemcmp)->Arg(0)->Arg(1);
+
+void BM_PermuterInsertRemove(benchmark::State& state) {
+  for (auto _ : state) {
+    Permuter p = Permuter::make_empty();
+    for (int i = 0; i < 15; ++i) {
+      p.insert_from_back(i / 2);
+    }
+    for (int i = 14; i >= 0; --i) {
+      p.remove(i / 2);
+    }
+    benchmark::DoNotOptimize(p.value());
+  }
+}
+BENCHMARK(BM_PermuterInsertRemove);
+
+void BM_VersionLockUnlock(benchmark::State& state) {
+  NodeVersion<ConcurrentPolicy> v(VersionValue::kBorder);
+  for (auto _ : state) {
+    v.lock();
+    v.unlock();
+  }
+}
+BENCHMARK(BM_VersionLockUnlock);
+
+void BM_VersionStableRead(benchmark::State& state) {
+  NodeVersion<ConcurrentPolicy> v(VersionValue::kBorder);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.stable().raw());
+  }
+}
+BENCHMARK(BM_VersionStableRead);
+
+void BM_BorderFind(benchmark::State& state) {
+  // In-node search over a full border node; Arg 0 = linear, 1 = binary.
+  ThreadContext ti;
+  Tree tree(ti);
+  uint64_t old;
+  for (int i = 0; i < 15; ++i) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "%02d", i);
+    tree.insert(buf, i, &old, ti);
+  }
+  uint64_t v;
+  int i = 0;
+  for (auto _ : state) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "%02d", i++ % 15);
+    benchmark::DoNotOptimize(tree.get(buf, &v, ti));
+  }
+}
+BENCHMARK(BM_BorderFind);
+
+void BM_TreeGetLoaded(benchmark::State& state) {
+  static ThreadContext ti;
+  static Tree* tree = [] {
+    auto* t = new Tree(ti);
+    uint64_t old;
+    for (uint64_t i = 0; i < 100000; ++i) {
+      t->insert(decimal_key(i), i, &old, ti);
+    }
+    return t;
+  }();
+  Rng rng(1);
+  uint64_t v;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree->get(decimal_key(rng.next_range(100000)), &v, ti));
+  }
+}
+BENCHMARK(BM_TreeGetLoaded);
+
+void BM_RowUpdateCow(benchmark::State& state) {
+  ThreadContext ti;
+  std::vector<ColumnUpdate> init;
+  std::string cols[10];
+  for (unsigned c = 0; c < 10; ++c) {
+    cols[c] = "abcd";
+    init.push_back({c, cols[c]});
+  }
+  Row* row = Row::make(ti, init, 1);
+  uint64_t ver = 2;
+  for (auto _ : state) {
+    Row* next = Row::update(ti, row, {{3, "WXYZ"}}, ver++);
+    Row::deallocate(row);
+    row = next;
+  }
+  Row::deallocate(row);
+}
+BENCHMARK(BM_RowUpdateCow);
+
+void BM_EpochGuard(benchmark::State& state) {
+  EpochManager mgr;
+  EpochSlot* slot = mgr.register_thread();
+  for (auto _ : state) {
+    EpochGuard g(*slot);
+    benchmark::DoNotOptimize(slot);
+  }
+  mgr.unregister_thread(slot);
+}
+BENCHMARK(BM_EpochGuard);
+
+void BM_Crc32(benchmark::State& state) {
+  std::string data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(64)->Arg(4096);
+
+void BM_ZipfianNext(benchmark::State& state) {
+  Zipfian z(1000000, 0.99, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(z.next_scrambled());
+  }
+}
+BENCHMARK(BM_ZipfianNext);
+
+void BM_DecimalKeyGen(benchmark::State& state) {
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decimal_key(i++));
+  }
+}
+BENCHMARK(BM_DecimalKeyGen);
+
+}  // namespace
+}  // namespace masstree
+
+BENCHMARK_MAIN();

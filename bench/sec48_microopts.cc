@@ -1,0 +1,100 @@
+// §4.8 micro-optimizations:
+//
+//  (1) "More than 30% of the cost of a Masstree lookup is in computation ...
+//      Linear search has higher complexity than binary search, but exhibits
+//      better locality. ... On an Intel processor, linear search can be up to
+//      5% faster than binary search. On an AMD processor, both perform the
+//      same." — linear vs binary in-node search, get workload.
+//  (2) PALM-style parallel (batched) lookup: "Our implementation of this
+//      technique did not improve performance on our 48-core AMD machine, but
+//      on a 24-core Intel machine, throughput rose by up to 34%." — batches
+//      of 16 gets whose root-to-border paths are prefetched before any get
+//      executes.
+
+#include "bench/common.h"
+#include "core/tree.h"
+#include "util/rand.h"
+#include "workload/keys.h"
+
+namespace masstree {
+namespace {
+
+struct BinarySearchConfig : DefaultConfig {
+  static constexpr bool kLinearSearch = false;
+};
+
+template <typename TreeT>
+double run_gets(const bench::Env& e, TreeT& tree) {
+  return bench::timed_mops(e.threads, e.secs, [&](unsigned t, const std::atomic<bool>& stop) {
+    thread_local ThreadContext ti;
+    Rng rng(21 + t);
+    uint64_t ops = 0, v;
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (int i = 0; i < 256; ++i) {
+        tree.get(decimal_key(rng.next_range(e.keys)), &v, ti);
+        ++ops;
+      }
+    }
+    return ops;
+  });
+}
+
+}  // namespace
+}  // namespace masstree
+
+int main() {
+  using namespace masstree;
+  using namespace masstree::bench;
+  Env e = env(1000000);
+  print_header("Section 4.8: in-node search + batched lookup", e);
+
+  // ---- (1) linear vs binary in-node search ----
+  double linear, binary;
+  {
+    ThreadContext setup;
+    Tree tree(setup);
+    uint64_t old;
+    for (uint64_t i = 0; i < e.keys; ++i) {
+      tree.insert(decimal_key(i), i, &old, setup);
+    }
+    linear = run_gets(e, tree);
+
+    // ---- (2) batched lookup on the same loaded tree ----
+    double batched =
+        timed_mops(e.threads, e.secs, [&](unsigned t, const std::atomic<bool>& stop) {
+          thread_local ThreadContext ti;
+          Rng rng(22 + t);
+          uint64_t ops = 0, v;
+          std::string keys[16];
+          while (!stop.load(std::memory_order_relaxed)) {
+            for (int i = 0; i < 16; ++i) {
+              keys[i] = decimal_key(rng.next_range(e.keys));
+            }
+            for (int i = 0; i < 16; ++i) {
+              tree.prefetch_for(keys[i]);  // overlap the DRAM fetches
+            }
+            for (int i = 0; i < 16; ++i) {
+              tree.get(keys[i], &v, ti);
+            }
+            ops += 16;
+          }
+          return ops;
+        });
+    std::printf("batched lookup (16-deep):  plain %7.3f Mops, batched %7.3f Mops -> "
+                "%+.1f%% (paper: 0%% AMD, +34%% Intel)\n",
+                linear, batched, 100.0 * (batched - linear) / linear);
+  }
+  {
+    ThreadContext setup;
+    BasicTree<BinarySearchConfig> tree(setup);
+    uint64_t old;
+    for (uint64_t i = 0; i < e.keys; ++i) {
+      tree.insert(decimal_key(i), i, &old, setup);
+    }
+    binary = run_gets(e, tree);
+  }
+  std::printf("in-node search:            linear %7.3f Mops, binary %7.3f Mops -> linear "
+              "%+.1f%% (paper: 0..+5%%)\n",
+              linear, binary, 100.0 * (linear - binary) / binary);
+  return 0;
+}

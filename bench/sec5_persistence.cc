@@ -1,0 +1,151 @@
+// §5 persistence numbers: checkpoint write time, recovery time, and put
+// throughput while a checkpoint runs concurrently.
+//
+// Paper: "It takes Masstree 58 seconds to create a checkpoint of 140 million
+// key-value pairs (9.1 GB of data in total), and 38 seconds to recover from
+// that checkpoint. ... When run concurrently with a checkpoint, a put-only
+// workload achieves 72% of its ordinary throughput due to disk contention."
+// Shape targets: recovery faster than checkpointing; concurrent checkpoint
+// costs a sizable minority of put throughput.
+
+#include <filesystem>
+
+#include "bench/common.h"
+#include "kvstore/store.h"
+#include "util/rand.h"
+#include "workload/keys.h"
+
+int main() {
+  using namespace masstree;
+  using namespace masstree::bench;
+  Env e = env(500000);
+  print_header("Section 5: logging, checkpoint, recovery", e);
+
+  namespace fs = std::filesystem;
+  std::string tmp = fs::temp_directory_path().string();
+  std::string log_dir = tmp + "/sec5-logs";
+  std::string ckpt_dir = tmp + "/sec5-ckpt";
+  fs::remove_all(log_dir);
+  fs::remove_all(ckpt_dir);
+
+  Store::Options opt;
+  opt.log_dir = log_dir;
+  opt.log_partitions = 4;
+
+  // ---- baseline put throughput (logging on) ----
+  double put_mops;
+  {
+    Store store(opt);
+    std::atomic<uint64_t> next{0};
+    put_mops = timed_mops(e.threads, e.secs, [&](unsigned t, const std::atomic<bool>& stop) {
+      Store::Session s(store, t);
+      uint64_t ops = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        uint64_t chunk = next.fetch_add(128, std::memory_order_relaxed);
+        for (uint64_t i = chunk; i < chunk + 128; ++i) {
+          store.put(decimal_key(i), {{0, "12345678"}}, s);
+          ++ops;
+        }
+      }
+      return ops;
+    });
+    std::printf("put throughput, logging on:              %7.3f Mops\n", put_mops);
+  }
+
+  // ---- put throughput without logging (cost of persistence) ----
+  {
+    Store store;
+    std::atomic<uint64_t> next{0};
+    double nolog = timed_mops(e.threads, e.secs, [&](unsigned t, const std::atomic<bool>& stop) {
+      Store::Session s(store, t);
+      uint64_t ops = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        uint64_t chunk = next.fetch_add(128, std::memory_order_relaxed);
+        for (uint64_t i = chunk; i < chunk + 128; ++i) {
+          store.put(decimal_key(i), {{0, "12345678"}}, s);
+          ++ops;
+        }
+      }
+      return ops;
+    });
+    std::printf("put throughput, logging off:             %7.3f Mops (logging costs %.0f%%)\n",
+                nolog, 100.0 * (1.0 - put_mops / nolog));
+  }
+
+  // ---- checkpoint write / recovery times ----
+  fs::remove_all(log_dir);
+  {
+    Store store(opt);
+    {
+      Store::Session s(store, 0);
+      for (uint64_t i = 0; i < e.keys; ++i) {
+        store.put(decimal_key(i), {{0, "valuedata"}}, s);
+      }
+    }
+    Stopwatch sw;
+    bool ok = store.checkpoint(ckpt_dir, e.threads);
+    double ckpt_secs = sw.elapsed_seconds();
+    std::printf("checkpoint of %llu pairs:                 %6.2f s (%s)\n",
+                static_cast<unsigned long long>(store.stats().keys), ckpt_secs,
+                ok ? "ok" : "FAILED");
+
+    // Post-checkpoint traffic so recovery must replay logs too.
+    {
+      Store::Session s(store, 1);
+      for (uint64_t i = 0; i < e.keys / 10; ++i) {
+        store.put(decimal_key(i), {{0, "freshdata"}}, s);
+      }
+    }
+    store.sync_logs();
+
+    Store recovered(opt);
+    Stopwatch rw;
+    auto res = recovered.recover(ckpt_dir, log_dir, e.threads);
+    double rec_secs = rw.elapsed_seconds();
+    std::printf("recovery (checkpoint + log replay):      %6.2f s "
+                "(ckpt records %llu, log entries %llu)\n",
+                rec_secs, static_cast<unsigned long long>(res.checkpoint_records),
+                static_cast<unsigned long long>(res.log_entries_applied));
+    std::printf("recover/checkpoint time ratio:           %6.2f (paper: 38s/58s = 0.66)\n",
+                rec_secs / ckpt_secs);
+  }
+
+  // ---- put throughput during a concurrent checkpoint ----
+  fs::remove_all(log_dir);
+  fs::remove_all(ckpt_dir);
+  {
+    Store store(opt);
+    {
+      Store::Session s(store, 0);
+      for (uint64_t i = 0; i < e.keys; ++i) {
+        store.put(decimal_key(i), {{0, "valuedata"}}, s);
+      }
+    }
+    std::atomic<bool> ckpt_running{true};
+    std::thread ckpt([&] {
+      // Loop checkpoints so the whole measurement overlaps one.
+      while (ckpt_running.load(std::memory_order_acquire)) {
+        store.checkpoint(ckpt_dir, 1);
+      }
+    });
+    std::atomic<uint64_t> next{e.keys};
+    double during = timed_mops(e.threads, e.secs, [&](unsigned t, const std::atomic<bool>& stop) {
+      Store::Session s(store, t);
+      uint64_t ops = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        uint64_t chunk = next.fetch_add(128, std::memory_order_relaxed);
+        for (uint64_t i = chunk; i < chunk + 128; ++i) {
+          store.put(decimal_key(i), {{0, "12345678"}}, s);
+          ++ops;
+        }
+      }
+      return ops;
+    });
+    ckpt_running = false;
+    ckpt.join();
+    std::printf("put throughput during checkpoint:        %7.3f Mops = %.0f%% of ordinary "
+                "(paper: 72%%)\n",
+                during, 100.0 * during / put_mops);
+  }
+  return 0;
+}

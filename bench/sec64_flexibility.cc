@@ -1,0 +1,156 @@
+// §6.4 — the cost of flexibility, three experiments:
+//
+//  (a) Variable-length keys: Masstree vs a fixed-8-byte-key B-tree on an
+//      8-byte-key get workload. Paper: 9.84 vs 9.93 Mops — "just 0.8% more";
+//      variable-length support is essentially free.
+//  (b) Concurrency: single-core Masstree (no locks, versions, or interlocked
+//      instructions) vs concurrent Masstree on ONE core, put workload.
+//      Paper: single-core wins by just 13%.
+//  (c) Range queries: a near-best-case concurrent hash table vs Masstree on
+//      8-byte alphabetical keys. Paper: hash table gets 2.5x the throughput —
+//      "of these features, only range queries appear inherently expensive."
+
+#include "baselines/fast_btree.h"
+#include "baselines/hash_table.h"
+#include "bench/common.h"
+#include "core/tree.h"
+#include "util/rand.h"
+#include "workload/keys.h"
+
+int main() {
+  using namespace masstree;
+  using namespace masstree::bench;
+  Env e = env(500000);
+  print_header("Section 6.4: flexibility costs", e);
+
+  // ---- (a) variable-length keys ----
+  {
+    double mt, fixed;
+    {
+      ThreadContext setup;
+      Tree tree(setup);
+      {
+        uint64_t old;
+        for (uint64_t i = 0; i < e.keys; ++i) {
+          tree.insert(decimal8_key(i), i, &old, setup);
+        }
+      }
+      mt = timed_mops(e.threads, e.secs, [&](unsigned t, const std::atomic<bool>& stop) {
+        thread_local ThreadContext ti;
+        Rng rng(3 + t);
+        uint64_t ops = 0, v;
+        while (!stop.load(std::memory_order_relaxed)) {
+          for (int i = 0; i < 256; ++i) {
+            tree.get(decimal8_key(rng.next_range(e.keys)), &v, ti);
+            ++ops;
+          }
+        }
+        return ops;
+      });
+    }
+    {
+      ThreadContext setup;
+      BtreeFixed8 tree(setup);
+      for (uint64_t i = 0; i < e.keys; ++i) {
+        tree.insert(decimal8_key(i), i, setup);
+      }
+      fixed = timed_mops(e.threads, e.secs, [&](unsigned t, const std::atomic<bool>& stop) {
+        thread_local ThreadContext ti;
+        Rng rng(4 + t);
+        uint64_t ops = 0, v;
+        while (!stop.load(std::memory_order_relaxed)) {
+          for (int i = 0; i < 256; ++i) {
+            tree.get(decimal8_key(rng.next_range(e.keys)), &v, ti);
+            ++ops;
+          }
+        }
+        return ops;
+      });
+    }
+    std::printf("(a) 8-byte-key get:  Masstree %7.3f Mops, fixed-key B-tree %7.3f Mops "
+                "-> fixed is %+.1f%% (paper: +0.8%%)\n",
+                mt, fixed, 100.0 * (fixed - mt) / mt);
+  }
+
+  // ---- (b) concurrency cost on one core ----
+  {
+    auto run_put = [&](auto& tree) {
+      std::atomic<uint64_t> next{0};
+      return timed_mops(1, e.secs, [&](unsigned, const std::atomic<bool>& stop) {
+        thread_local ThreadContext ti;
+        uint64_t ops = 0, old;
+        while (!stop.load(std::memory_order_relaxed)) {
+          uint64_t chunk = next.fetch_add(256, std::memory_order_relaxed);
+          for (uint64_t i = chunk; i < chunk + 256; ++i) {
+            tree.insert(decimal_key(i), i, &old, ti);
+            ++ops;
+          }
+        }
+        return ops;
+      });
+    };
+    double concurrent, sequential;
+    {
+      ThreadContext setup;
+      Tree tree(setup);
+      concurrent = run_put(tree);
+    }
+    {
+      ThreadContext setup;
+      SequentialTree tree(setup);
+      sequential = run_put(tree);
+    }
+    std::printf("(b) 1-core put:      concurrent %7.3f Mops, single-core variant %7.3f "
+                "Mops -> single-core wins by %.0f%% (paper: 13%%)\n",
+                concurrent, sequential, 100.0 * (sequential - concurrent) / concurrent);
+  }
+
+  // ---- (c) range-query support: hash table vs tree ----
+  {
+    double mt, hash;
+    {
+      ThreadContext setup;
+      Tree tree(setup);
+      {
+        uint64_t old;
+        for (uint64_t i = 0; i < e.keys; ++i) {
+          tree.insert(alpha8_key(i), i, &old, setup);
+        }
+      }
+      mt = timed_mops(e.threads, e.secs, [&](unsigned t, const std::atomic<bool>& stop) {
+        thread_local ThreadContext ti;
+        Rng rng(5 + t);
+        uint64_t ops = 0, v;
+        while (!stop.load(std::memory_order_relaxed)) {
+          for (int i = 0; i < 256; ++i) {
+            tree.get(alpha8_key(rng.next_range(e.keys)), &v, ti);
+            ++ops;
+          }
+        }
+        return ops;
+      });
+    }
+    {
+      ThreadContext setup;
+      HashTable8 table(e.keys, setup);
+      for (uint64_t i = 0; i < e.keys; ++i) {
+        table.insert(alpha8_key(i), i);
+      }
+      hash = timed_mops(e.threads, e.secs, [&](unsigned t, const std::atomic<bool>& stop) {
+        Rng rng(6 + t);
+        uint64_t ops = 0, v;
+        while (!stop.load(std::memory_order_relaxed)) {
+          for (int i = 0; i < 256; ++i) {
+            table.get(alpha8_key(rng.next_range(e.keys)), &v);
+            ++ops;
+          }
+        }
+        return ops;
+      });
+      std::printf("(c) 8-byte-key get:  Masstree %7.3f Mops, hash table %7.3f Mops "
+                  "(occupancy %.0f%%) -> hash/tree = %.2fx (paper: 2.5x)\n",
+                  mt, hash, 100.0 * table.occupancy(), hash / mt);
+    }
+  }
+  return 0;
+}

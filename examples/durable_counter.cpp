@@ -1,0 +1,67 @@
+// durable_counter: persistence and crash recovery (§5).
+//
+//   build/examples/durable_counter [state-dir]
+//
+// A set of named counters that survives restarts. Each run increments the
+// counters, "crashes" (destroys the store without any clean shutdown
+// handshake), and recovers from checkpoint + logs on the next run —
+// exercising group-commit logging, checkpointing, and the §5 recovery
+// procedure end to end. Run it a few times and watch the counts climb.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "kvstore/store.h"
+
+int main(int argc, char** argv) {
+  using namespace masstree;
+  namespace fs = std::filesystem;
+
+  std::string dir = argc > 1 ? argv[1] : "/tmp/masstree-durable-counter";
+  std::string log_dir = dir + "/logs";
+  std::string ckpt_dir = dir + "/checkpoint";
+  fs::create_directories(log_dir);
+
+  Store::Options opt;
+  opt.log_dir = log_dir;
+  opt.log_partitions = 2;
+  opt.logger.flush_interval_ms = 50;
+  Store store(opt);
+
+  // ---- recover whatever previous runs left behind ----
+  auto res = store.recover(ckpt_dir, log_dir, /*nthreads=*/2);
+  std::printf("recovered: checkpoint=%s (%llu records), %llu log entries replayed\n",
+              res.used_checkpoint ? "yes" : "no",
+              static_cast<unsigned long long>(res.checkpoint_records),
+              static_cast<unsigned long long>(res.log_entries_applied));
+
+  Store::Session session(store, 0);
+  const char* counters[] = {"counter/starts", "counter/increments", "counter/answer"};
+
+  // ---- read, increment, write back ----
+  for (const char* name : counters) {
+    std::vector<std::string> row;
+    uint64_t value = 0;
+    if (store.get(name, {0}, &row, session) && !row[0].empty()) {
+      value = std::stoull(row[0]);
+    }
+    uint64_t bump = std::string_view(name).ends_with("answer") ? 42 - value % 42 : 1;
+    value += bump;
+    store.put(name, {{0, std::to_string(value)}}, session);
+    std::printf("  %-22s -> %llu\n", name, static_cast<unsigned long long>(value));
+  }
+
+  // ---- checkpoint so logs can be truncated, then force the logs down ----
+  if (!store.checkpoint(ckpt_dir, /*nworkers=*/2)) {
+    std::printf("checkpoint failed!\n");
+    return 1;
+  }
+  store.sync_logs();
+  std::printf("checkpointed to %s; state is durable.\n", ckpt_dir.c_str());
+  std::printf("(no clean shutdown follows — the next run recovers from disk)\n");
+  // Simulated crash: the Store destructor frees memory but performs no
+  // state-saving handshake; recovery does all the work next run.
+  return 0;
+}

@@ -1,0 +1,113 @@
+// url_index: the paper's motivating workload (§1).
+//
+//   build/examples/url_index
+//
+// "consider Bigtable, which stores information about Web pages under
+//  permuted URL keys like 'edu.harvard.seas.www/news-events'. Such keys
+//  group together information about a domain's sites, allowing more
+//  interesting range queries, but many URLs will have long shared prefixes."
+//
+// We index a crawl of permuted URLs, then answer per-domain range queries.
+// The long shared prefixes would unbalance a conventional B-tree's
+// comparisons; Masstree's trie layers absorb them.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "kvstore/store.h"
+#include "util/rand.h"
+
+namespace {
+
+// Reverse the host portion: www.seas.harvard.edu/x -> edu.harvard.seas.www/x
+std::string permute_url(const std::string& host, const std::string& path) {
+  std::string out;
+  size_t end = host.size();
+  for (;;) {
+    size_t dot = host.rfind('.', end - 1);
+    if (dot == std::string::npos) {
+      out.append(host, 0, end);
+      break;
+    }
+    out.append(host, dot + 1, end - dot - 1);
+    out.push_back('.');
+    end = dot;
+  }
+  out.push_back('/');
+  out.append(path);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace masstree;
+  Store store;
+  Store::Session session(store, 0);
+
+  // A synthetic crawl: a handful of domains, many pages each.
+  struct Site {
+    const char* host;
+    int pages;
+  };
+  const Site sites[] = {
+      {"www.seas.harvard.edu", 40}, {"news.harvard.edu", 25},  {"www.eecs.mit.edu", 30},
+      {"web.mit.edu", 20},          {"www.example.com", 10},
+  };
+  Rng rng(2012);
+  uint64_t total = 0;
+  for (const Site& site : sites) {
+    for (int p = 0; p < site.pages; ++p) {
+      std::string path = "page-" + std::to_string(rng.next_range(100000));
+      std::string key = permute_url(site.host, path);
+      store.put(key,
+                {{0, "crawl-ts:" + std::to_string(1650000000 + p)},
+                 {1, "len:" + std::to_string(rng.next_range(100000))}},
+                session);
+      ++total;
+    }
+  }
+  std::printf("indexed %llu pages from %zu hosts\n\n",
+              static_cast<unsigned long long>(total), sizeof(sites) / sizeof(sites[0]));
+
+  // Range query: everything under *.harvard.edu — a prefix scan over the
+  // permuted key space.
+  const std::string domain = "edu.harvard.";
+  std::printf("first 8 pages under %s*:\n", domain.c_str());
+  store.getrange(
+      domain, 8, 0,
+      [&](std::string_view key, std::string_view col0, const Row*) {
+        if (key.substr(0, domain.size()) != domain) {
+          return false;  // left the domain: stop scanning
+        }
+        std::printf("  %-55.*s %.*s\n", static_cast<int>(key.size()), key.data(),
+                    static_cast<int>(col0.size()), col0.data());
+        return true;
+      },
+      session);
+
+  // Count pages per domain with bounded scans.
+  std::printf("\npages per permuted domain prefix:\n");
+  for (const char* prefix : {"edu.harvard.", "edu.mit.", "com.example."}) {
+    size_t count = 0;
+    std::string p(prefix);
+    store.getrange(
+        p, ~size_t{0}, Store::kAllColumns,
+        [&](std::string_view key, std::string_view, const Row*) {
+          if (key.substr(0, p.size()) != p) {
+            return false;
+          }
+          ++count;
+          return true;
+        },
+        session);
+    std::printf("  %-15s %zu\n", prefix, count);
+  }
+
+  TreeStats st = store.stats();
+  std::printf("\nshared prefixes created %llu trie layers (%llu layer links)\n",
+              static_cast<unsigned long long>(st.layers),
+              static_cast<unsigned long long>(st.layer_links));
+  return 0;
+}

@@ -1,0 +1,366 @@
+// "Flow" — a Streamflow-like multicore allocator (§6.2).
+//
+// "Memory allocation often bottlenecks multicore performance. We switch to
+//  Flow, our implementation of the Streamflow [32] allocator ('+Flow'). Flow
+//  supports 2 MB x86 superpages, which, when introduced ('+Superpage'),
+//  improve throughput by 27-37% due to fewer TLB misses and lower kernel
+//  overhead for allocation."
+//
+// Design (following Streamflow's structure):
+//  * Memory arrives in 2 MB chunks mapped with mmap; when superpages are
+//    enabled the chunk is aligned to 2 MB and marked MADV_HUGEPAGE so the
+//    kernel can back it with a transparent huge page. (The paper's testbed
+//    used explicit x86 superpages; THP is the container-friendly equivalent
+//    that exercises the same allocation path — see DESIGN.md §5.)
+//  * Chunks are carved into 64 KB *spans*. A span belongs to one size class
+//    and one owning arena; its header lives at the span base, so free()
+//    recovers it by masking the object address.
+//  * Each thread owns an Arena: per-class bump carving plus a local LIFO free
+//    list. Frees from other threads push onto the span's lock-free remote
+//    list, which the owner drains when its local list runs dry — the
+//    Streamflow local/remote split that avoids allocator lock contention.
+//  * Allocations above the largest class map their own span-aligned region.
+
+#ifndef MASSTREE_ALLOC_FLOW_H_
+#define MASSTREE_ALLOC_FLOW_H_
+
+#include <sys/mman.h>
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <new>
+#include <vector>
+
+#include "util/compiler.h"
+
+namespace masstree {
+
+class Arena;
+class Flow;
+
+namespace internal {
+
+inline constexpr size_t kSpanSize = 1u << 16;  // 64 KB
+inline constexpr size_t kSpanMask = kSpanSize - 1;
+inline constexpr size_t kChunkSize = 2u << 20;  // 2 MB, one superpage
+inline constexpr size_t kObjectStart = kCacheLineSize;  // first object offset in a span
+
+// Size classes. Multiples of 64 from 64 up keep tree nodes cache-line
+// aligned; the small classes serve suffix bags and log records.
+inline constexpr size_t kSizeClasses[] = {16,  32,  48,   64,   128,  192,  256, 320,
+                                          384, 448, 512,  640,  768,  1024, 1536, 2048,
+                                          3072, 4096, 8192, 16384, 32768};
+inline constexpr unsigned kNumClasses = sizeof(kSizeClasses) / sizeof(kSizeClasses[0]);
+inline constexpr size_t kMaxClassSize = kSizeClasses[kNumClasses - 1];
+
+inline unsigned size_class_for(size_t bytes) {
+  for (unsigned i = 0; i < kNumClasses; ++i) {
+    if (bytes <= kSizeClasses[i]) {
+      return i;
+    }
+  }
+  return kNumClasses;  // large
+}
+
+struct FreeNode {
+  FreeNode* next;
+};
+
+struct SpanHeader {
+  Arena* owner;           // nullptr for large (direct-mapped) allocations
+  unsigned size_class;
+  size_t mapped_bytes;    // for large allocations: munmap length
+  std::atomic<FreeNode*> remote_free{nullptr};
+  SpanHeader* next_in_class = nullptr;  // arena-local chain
+  char* bump = nullptr;   // carve cursor (owner thread only)
+  char* end = nullptr;
+};
+
+static_assert(sizeof(SpanHeader) <= kObjectStart + kCacheLineSize,
+              "span header must fit before objects");
+
+}  // namespace internal
+
+// Allocation statistics, per arena. Owner-thread counters; read racily by
+// reporting code.
+struct ArenaStats {
+  uint64_t allocated_objects = 0;
+  uint64_t freed_objects = 0;
+  uint64_t spans = 0;
+  uint64_t large_bytes = 0;
+};
+
+// Per-thread allocator front end. allocate() must only be called by the
+// owning thread; deallocate() is safe from any thread.
+class Arena {
+ public:
+  explicit Arena(Flow* flow) : flow_(flow) {
+    for (unsigned i = 0; i < internal::kNumClasses; ++i) {
+      free_[i] = nullptr;
+      spans_[i] = nullptr;
+      carving_[i] = nullptr;
+    }
+  }
+
+  void* allocate(size_t bytes);
+
+  // Thread-safe free of any pointer returned by any Arena of any Flow.
+  static void deallocate(void* ptr);
+
+  const ArenaStats& stats() const { return stats_; }
+  Flow* flow() const { return flow_; }
+
+ private:
+  friend class Flow;
+
+  void* allocate_class(unsigned ci);
+  bool drain_remote(unsigned ci);
+
+  Flow* flow_;
+  internal::FreeNode* free_[internal::kNumClasses];
+  internal::SpanHeader* spans_[internal::kNumClasses];
+  internal::SpanHeader* carving_[internal::kNumClasses];
+  ArenaStats stats_;
+};
+
+struct FlowConfig {
+  // Request transparent huge pages for chunks ("+Superpage").
+  bool use_superpages = true;
+};
+
+// Chunk source and arena registry. One Flow per process is typical
+// (Flow::global()); benchmarks build private instances to compare
+// configurations.
+class Flow {
+ public:
+  explicit Flow(FlowConfig config = FlowConfig{}) : config_(config) {}
+
+  Flow(const Flow&) = delete;
+  Flow& operator=(const Flow&) = delete;
+
+  ~Flow() {
+    for (auto& m : mappings_) {
+      ::munmap(m.base, m.bytes);
+    }
+    for (Arena* a : arenas_) {
+      delete a;
+    }
+  }
+
+  // Process-wide instance; intentionally never destroyed so that epoch-
+  // deferred frees during static teardown remain valid.
+  static Flow& global() {
+    static Flow* flow = new Flow();
+    return *flow;
+  }
+
+  // Returns an arena for exclusive use by the calling thread. Arenas are
+  // pooled: release_arena() returns one for reuse by future threads.
+  Arena* acquire_arena() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!idle_arenas_.empty()) {
+      Arena* a = idle_arenas_.back();
+      idle_arenas_.pop_back();
+      return a;
+    }
+    auto* a = new Arena(this);
+    arenas_.push_back(a);
+    return a;
+  }
+
+  void release_arena(Arena* arena) {
+    std::lock_guard<std::mutex> lock(mu_);
+    idle_arenas_.push_back(arena);
+  }
+
+  bool superpages_enabled() const { return config_.use_superpages; }
+  uint64_t chunks_mapped() const { return chunks_mapped_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Arena;
+
+  struct Mapping {
+    void* base;
+    size_t bytes;
+  };
+
+  internal::SpanHeader* allocate_span() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_spans_.empty()) {
+      map_chunk();
+    }
+    internal::SpanHeader* s = free_spans_.back();
+    free_spans_.pop_back();
+    return s;
+  }
+
+  void map_chunk() {
+    size_t bytes = internal::kChunkSize + internal::kSpanSize;
+    void* raw = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (raw == MAP_FAILED) {
+      throw std::bad_alloc();
+    }
+    mappings_.push_back(Mapping{raw, bytes});
+    chunks_mapped_.fetch_add(1, std::memory_order_relaxed);
+    uintptr_t base = reinterpret_cast<uintptr_t>(raw);
+    uintptr_t aligned = (base + internal::kSpanMask) & ~uintptr_t(internal::kSpanMask);
+#ifdef MADV_HUGEPAGE
+    if (config_.use_superpages) {
+      ::madvise(reinterpret_cast<void*>(aligned), internal::kChunkSize, MADV_HUGEPAGE);
+    }
+#endif
+    for (size_t off = 0; off + internal::kSpanSize <= internal::kChunkSize;
+         off += internal::kSpanSize) {
+      auto* span = reinterpret_cast<internal::SpanHeader*>(aligned + off);
+      new (span) internal::SpanHeader();
+      free_spans_.push_back(span);
+    }
+  }
+
+  // Large allocations: their own span-aligned mapping so deallocate() can
+  // recover the header by masking.
+  static void* allocate_large(size_t bytes) {
+    size_t need = internal::kObjectStart + bytes;
+    size_t total = (need + internal::kSpanMask) & ~internal::kSpanMask;
+    size_t mapped = total + internal::kSpanSize;
+    void* raw = ::mmap(nullptr, mapped, PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (raw == MAP_FAILED) {
+      throw std::bad_alloc();
+    }
+    uintptr_t base = reinterpret_cast<uintptr_t>(raw);
+    uintptr_t aligned = (base + internal::kSpanMask) & ~uintptr_t(internal::kSpanMask);
+    // Trim the unaligned prefix/suffix so munmap in deallocate() is exact.
+    if (aligned != base) {
+      ::munmap(raw, aligned - base);
+    }
+    size_t tail = (base + mapped) - (aligned + total);
+    if (tail != 0) {
+      ::munmap(reinterpret_cast<void*>(aligned + total), tail);
+    }
+    auto* span = reinterpret_cast<internal::SpanHeader*>(aligned);
+    new (span) internal::SpanHeader();
+    span->owner = nullptr;
+    span->mapped_bytes = total;
+    return reinterpret_cast<char*>(aligned) + internal::kObjectStart;
+  }
+
+  FlowConfig config_;
+  std::mutex mu_;
+  std::vector<Mapping> mappings_;
+  std::vector<internal::SpanHeader*> free_spans_;
+  std::vector<Arena*> arenas_;
+  std::vector<Arena*> idle_arenas_;
+  std::atomic<uint64_t> chunks_mapped_{0};
+};
+
+inline void* Arena::allocate(size_t bytes) {
+  if (bytes == 0) {
+    bytes = 1;
+  }
+  unsigned ci = internal::size_class_for(bytes);
+  if (MT_UNLIKELY(ci == internal::kNumClasses)) {
+    stats_.large_bytes += bytes;
+    ++stats_.allocated_objects;
+    return Flow::allocate_large(bytes);
+  }
+  return allocate_class(ci);
+}
+
+inline void* Arena::allocate_class(unsigned ci) {
+  ++stats_.allocated_objects;
+  // 1. Local free list.
+  if (internal::FreeNode* n = free_[ci]) {
+    free_[ci] = n->next;
+    return n;
+  }
+  // 2. Carve from the current span.
+  internal::SpanHeader* span = carving_[ci];
+  size_t sz = internal::kSizeClasses[ci];
+  if (span != nullptr && span->bump + sz <= span->end) {
+    void* p = span->bump;
+    span->bump += sz;
+    return p;
+  }
+  // 3. Steal back remote frees.
+  if (drain_remote(ci)) {
+    internal::FreeNode* n = free_[ci];
+    free_[ci] = n->next;
+    return n;
+  }
+  // 4. New span: becomes the carving span for this class.
+  span = flow_->allocate_span();
+  span->owner = this;
+  span->size_class = ci;
+  span->remote_free.store(nullptr, std::memory_order_relaxed);
+  span->next_in_class = spans_[ci];
+  spans_[ci] = span;
+  carving_[ci] = span;
+  char* base = reinterpret_cast<char*>(span);
+  span->bump = base + internal::kObjectStart;
+  span->end = base + internal::kSpanSize;
+  ++stats_.spans;
+  void* p = span->bump;
+  span->bump += sz;
+  return p;
+}
+
+inline bool Arena::drain_remote(unsigned ci) {
+  bool got = false;
+  for (internal::SpanHeader* s = spans_[ci]; s != nullptr; s = s->next_in_class) {
+    internal::FreeNode* chain = s->remote_free.exchange(nullptr, std::memory_order_acquire);
+    if (chain == nullptr) {
+      continue;
+    }
+    got = true;
+    while (chain != nullptr) {
+      internal::FreeNode* next = chain->next;
+      chain->next = free_[ci];
+      free_[ci] = chain;
+      chain = next;
+    }
+  }
+  return got;
+}
+
+namespace internal {
+// The arena currently bound to this thread (set by ThreadContext). Used to
+// decide local vs remote free.
+inline thread_local Arena* tl_arena = nullptr;
+}  // namespace internal
+
+inline void Arena::deallocate(void* ptr) {
+  if (ptr == nullptr) {
+    return;
+  }
+  uintptr_t base = reinterpret_cast<uintptr_t>(ptr) & ~uintptr_t(internal::kSpanMask);
+  auto* span = reinterpret_cast<internal::SpanHeader*>(base);
+  if (MT_UNLIKELY(span->owner == nullptr)) {
+    ::munmap(span, span->mapped_bytes);
+    return;
+  }
+  Arena* owner = span->owner;
+  auto* node = static_cast<internal::FreeNode*>(ptr);
+  if (owner == internal::tl_arena) {
+    node->next = owner->free_[span->size_class];
+    owner->free_[span->size_class] = node;
+    ++owner->stats_.freed_objects;
+  } else {
+    internal::FreeNode* head = span->remote_free.load(std::memory_order_relaxed);
+    do {
+      node->next = head;
+    } while (!span->remote_free.compare_exchange_weak(head, node, std::memory_order_release,
+                                                      std::memory_order_relaxed));
+  }
+}
+
+// Binds/unbinds the calling thread's arena for local-free detection.
+inline void bind_thread_arena(Arena* arena) { internal::tl_arena = arena; }
+inline Arena* current_thread_arena() { return internal::tl_arena; }
+
+}  // namespace masstree
+
+#endif  // MASSTREE_ALLOC_FLOW_H_

@@ -1,0 +1,169 @@
+// "Binary" baseline (§6.2): "a fast, concurrent, lock-free binary tree. Each
+// 40-byte tree node here contains a full key, a value pointer, and two child
+// pointers."
+//
+// Layout: left + right + value + (len, 15 inline key bytes) = exactly 40
+// bytes; longer keys spill to a heap block (an extra dependent fetch, part of
+// why trees with inline slices win). Reads are lockless and never retry;
+// inserts are lock-free, linking new leaves with compare-and-swap; updates
+// CAS the value in place. No remove (the factor analysis runs get/put only).
+//
+// Template knobs reproduce the Figure 8 steps:
+//   Alloc    — MallocNodeAlloc ("Binary", jemalloc-class system allocator)
+//              vs FlowNodeAlloc ("+Flow"/"+Superpage").
+//   kIntCmp  — byte-swapped 8-byte integer comparison ("+IntCmp") vs memcmp.
+
+#ifndef MASSTREE_BASELINES_BINARY_TREE_H_
+#define MASSTREE_BASELINES_BINARY_TREE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+#include "alloc/flow.h"
+#include "key/keyslice.h"
+
+namespace masstree {
+
+// Node allocation policies.
+struct MallocNodeAlloc {
+  static void* allocate(size_t n, Arena*) { return ::malloc(n); }
+  static void deallocate_all() {}  // freed at process exit; benches are one-shot
+};
+
+struct FlowNodeAlloc {
+  static void* allocate(size_t n, Arena* arena) { return arena->allocate(n); }
+};
+
+template <typename Alloc, bool kIntCmp>
+class BinaryTree {
+ public:
+  BinaryTree() = default;
+
+  bool get(std::string_view key, uint64_t* value) const {
+    const Node* n = root_.load(std::memory_order_acquire);
+    while (n != nullptr) {
+      int c = compare(key, *n);
+      if (c == 0) {
+        *value = n->value.load(std::memory_order_acquire);
+        return true;
+      }
+      n = n->child[c > 0].load(std::memory_order_acquire);
+    }
+    return false;
+  }
+
+  // Returns true if inserted, false if an existing key's value was replaced.
+  // `arena` must be the calling thread's arena (ignored by MallocNodeAlloc).
+  bool insert(std::string_view key, uint64_t value, Arena* arena) {
+    Node* fresh = nullptr;
+    std::atomic<Node*>* slot = &root_;
+    for (;;) {
+      Node* n = slot->load(std::memory_order_acquire);
+      if (n == nullptr) {
+        if (fresh == nullptr) {
+          fresh = make_node(key, value, arena);
+        }
+        Node* expected = nullptr;
+        if (slot->compare_exchange_strong(expected, fresh, std::memory_order_release,
+                                          std::memory_order_acquire)) {
+          count_.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        }
+        n = expected;  // someone linked here first; keep descending
+      }
+      int c = compare(key, *n);
+      if (c == 0) {
+        n->value.store(value, std::memory_order_release);
+        // fresh (if allocated) leaks into the arena; negligible and lock-free.
+        return false;
+      }
+      slot = &n->child[c > 0];
+    }
+  }
+
+  uint64_t size() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Node {
+    std::atomic<Node*> child[2];
+    std::atomic<uint64_t> value;
+    uint8_t klen_inline;  // inline length, or 0xFF => overflow
+    char key[15];         // inline bytes or {u32 len, char* data} overflow
+  };
+  static_assert(sizeof(Node) == 40, "the paper's 40-byte binary tree node");
+
+  struct Overflow {
+    uint32_t len;
+    char data[];
+  };
+
+  Node* make_node(std::string_view key, uint64_t value, Arena* arena) {
+    Node* n = static_cast<Node*>(Alloc::allocate(sizeof(Node), arena));
+    n->child[0].store(nullptr, std::memory_order_relaxed);
+    n->child[1].store(nullptr, std::memory_order_relaxed);
+    n->value.store(value, std::memory_order_relaxed);
+    if (key.size() <= sizeof(n->key)) {
+      n->klen_inline = static_cast<uint8_t>(key.size());
+      std::memcpy(n->key, key.data(), key.size());
+    } else {
+      n->klen_inline = 0xFF;
+      auto* ov = static_cast<Overflow*>(
+          Alloc::allocate(sizeof(Overflow) + key.size(), arena));
+      ov->len = static_cast<uint32_t>(key.size());
+      std::memcpy(ov->data, key.data(), key.size());
+      std::memcpy(n->key, &ov, sizeof(ov));
+    }
+    return n;
+  }
+
+  static std::string_view node_key(const Node& n) {
+    if (n.klen_inline != 0xFF) {
+      return std::string_view(n.key, n.klen_inline);
+    }
+    const Overflow* ov;
+    std::memcpy(&ov, n.key, sizeof(ov));
+    return std::string_view(ov->data, ov->len);
+  }
+
+  static int compare(std::string_view a, const Node& n) {
+    std::string_view b = node_key(n);
+    if constexpr (kIntCmp) {
+      // "+IntCmp": compare 8 bytes at a time as byte-swapped integers.
+      size_t off = 0;
+      for (;;) {
+        size_t ra = a.size() - off, rb = b.size() - off;
+        if (ra == 0 || rb == 0) {
+          return ra == rb ? 0 : (ra < rb ? -1 : 1);
+        }
+        uint64_t sa = make_slice(a.data() + off, ra);
+        uint64_t sb = make_slice(b.data() + off, rb);
+        if (sa != sb) {
+          return sa < sb ? -1 : 1;
+        }
+        if (ra <= kSliceBytes || rb <= kSliceBytes) {
+          return ra == rb ? 0 : (ra < rb ? -1 : 1);
+        }
+        off += kSliceBytes;
+      }
+    } else {
+      size_t minlen = a.size() < b.size() ? a.size() : b.size();
+      int c = std::memcmp(a.data(), b.data(), minlen);
+      if (c != 0) {
+        return c;
+      }
+      return a.size() == b.size() ? 0 : (a.size() < b.size() ? -1 : 1);
+    }
+  }
+
+  std::atomic<Node*> root_{nullptr};
+  std::atomic<uint64_t> count_{0};
+};
+
+}  // namespace masstree
+
+#endif  // MASSTREE_BASELINES_BINARY_TREE_H_

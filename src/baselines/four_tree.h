@@ -1,0 +1,214 @@
+// "4-tree" baseline (§6.2): "a tree with fanout 4 ... Its wider fanout
+// nearly halves average depth relative to the binary tree. Each 4-tree node
+// comprises two cache lines, but usually only the first must be fetched from
+// DRAM. This line contains all data important for traversal — the node's
+// four child pointers and the first 8 bytes of each of its keys. All internal
+// nodes are full. Reads are lockless and need never retry; ... 4-tree never
+// rearranges keys."
+//
+// A node accumulates up to three keys in arrival order (they are never moved
+// afterwards); the count field publishes each slot with a release store, so
+// readers never retry. Once full, the node's keys partition the key space
+// into four ranges and descent begins; missing children are linked with
+// compare-and-swap. Slot claims are serialized by a per-node spinlock — the
+// published system used CAS, but §4.5 observes the two cost the same on
+// cache-coherent hardware (the coherence traffic dominates).
+//
+// Key order: (first-8-byte slice, tail bytes, total length), which matches
+// lexicographic order of the original strings (equal slices with different
+// lengths <= 8 only occur when the padding bytes are real NULs).
+
+#ifndef MASSTREE_BASELINES_FOUR_TREE_H_
+#define MASSTREE_BASELINES_FOUR_TREE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <string_view>
+
+#include "core/threadinfo.h"
+#include "key/keyslice.h"
+#include "util/prefetch.h"
+
+namespace masstree {
+
+class FourTree {
+ public:
+  explicit FourTree(ThreadContext& ti) {
+    root_.store(make_node(ti), std::memory_order_release);
+  }
+
+  bool get(std::string_view key, uint64_t* value) const {
+    uint64_t slice = make_slice(key);
+    const Node* n = root_.load(std::memory_order_acquire);
+    while (n != nullptr) {
+      prefetch_line(n);
+      int nk = n->nkeys.load(std::memory_order_acquire);
+      for (int i = 0; i < nk; ++i) {
+        if (n->slice[i] == slice && n->cmp_tail(i, key) == 0) {
+          *value = n->value[i].load(std::memory_order_acquire);
+          return true;
+        }
+      }
+      if (nk < kKeys) {
+        // First non-full node on the path: the key would live here. (Nodes
+        // never un-fill, so no deeper node can hold it.)
+        return false;
+      }
+      n = n->child[n->rank(slice, key)].load(std::memory_order_acquire);
+    }
+    return false;
+  }
+
+  // Returns true if inserted, false on update.
+  bool insert(std::string_view key, uint64_t value, ThreadContext& ti) {
+    uint64_t slice = make_slice(key);
+    Node* n = root_.load(std::memory_order_acquire);
+    for (;;) {
+      int nk = n->nkeys.load(std::memory_order_acquire);
+      for (int i = 0; i < nk; ++i) {
+        if (n->slice[i] == slice && n->cmp_tail(i, key) == 0) {
+          n->value[i].store(value, std::memory_order_release);
+          return false;
+        }
+      }
+      if (nk < kKeys) {
+        n->lock();
+        int cur = n->nkeys.load(std::memory_order_relaxed);
+        // Slots committed while we waited might duplicate our key.
+        for (int i = nk; i < cur; ++i) {
+          if (n->slice[i] == slice && n->cmp_tail(i, key) == 0) {
+            n->value[i].store(value, std::memory_order_release);
+            n->unlock();
+            return false;
+          }
+        }
+        if (cur < kKeys) {
+          n->write_key(cur, slice, key, value, ti);
+          release_fence();
+          n->nkeys.store(cur + 1, std::memory_order_release);
+          n->unlock();
+          return true;
+        }
+        n->unlock();
+        continue;  // filled up while we waited: fall through to descend
+      }
+      std::atomic<Node*>& slot = n->child[n->rank(slice, key)];
+      Node* c = slot.load(std::memory_order_acquire);
+      if (c == nullptr) {
+        Node* fresh = make_node(ti);
+        if (slot.compare_exchange_strong(c, fresh, std::memory_order_release,
+                                         std::memory_order_acquire)) {
+          c = fresh;
+        }
+        // On CAS failure the fresh node stays in the arena (reclaimed with
+        // it); c holds the winner.
+      }
+      n = c;
+    }
+  }
+
+ private:
+  static constexpr int kKeys = 3;  // 3 keys -> fanout 4
+  static constexpr size_t kInlineTail = 16;
+
+  struct Node {
+    // ---- cache line 1: everything needed for traversal ----
+    uint64_t slice[kKeys];
+    std::atomic<Node*> child[kKeys + 1];
+    std::atomic<int> nkeys{0};
+    std::atomic<uint32_t> lock_word{0};
+    // ---- cache line 2: key tails + values ----
+    std::atomic<uint64_t> value[kKeys];
+    uint16_t total_len[kKeys];
+    uint8_t tail_heap[kKeys];  // 1 = tail stored in a heap block
+    char tail[kKeys][kInlineTail];
+
+    void lock() {
+      for (;;) {
+        uint32_t x = lock_word.load(std::memory_order_relaxed);
+        if (x == 0 && lock_word.compare_exchange_weak(x, 1, std::memory_order_acquire,
+                                                      std::memory_order_relaxed)) {
+          return;
+        }
+        spin_pause();
+      }
+    }
+    void unlock() { lock_word.store(0, std::memory_order_release); }
+
+    std::string_view stored_tail(int i) const {
+      size_t tlen = total_len[i] > kSliceBytes ? total_len[i] - kSliceBytes : 0;
+      if (tail_heap[i]) {
+        const char* heap;
+        std::memcpy(&heap, tail[i], sizeof(heap));
+        return std::string_view(heap, tlen);
+      }
+      return std::string_view(tail[i], tlen);
+    }
+
+    // Compares key (whose slice already equals slice[i] when used for
+    // equality) against stored key i: tail bytes, then total length.
+    int cmp_tail(int i, std::string_view key) const {
+      std::string_view mine = stored_tail(i);
+      std::string_view theirs =
+          key.size() > kSliceBytes ? key.substr(kSliceBytes) : std::string_view();
+      int c = mine.compare(theirs);
+      if (c != 0) {
+        return c < 0 ? -1 : 1;
+      }
+      size_t a = total_len[i], b = key.size();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+
+    int full_cmp(int i, uint64_t s, std::string_view key) const {
+      if (slice[i] != s) {
+        return slice[i] < s ? -1 : 1;
+      }
+      return cmp_tail(i, key);
+    }
+
+    // Child index for a probe key: the number of stored keys <= it. Only
+    // called on full nodes, where all three keys are committed.
+    int rank(uint64_t s, std::string_view key) const {
+      int r = 0;
+      for (int i = 0; i < kKeys; ++i) {
+        if (full_cmp(i, s, key) <= 0) {
+          ++r;
+        }
+      }
+      return r;
+    }
+
+    void write_key(int i, uint64_t s, std::string_view key, uint64_t v, ThreadContext& ti) {
+      slice[i] = s;
+      total_len[i] = static_cast<uint16_t>(key.size());
+      value[i].store(v, std::memory_order_relaxed);
+      size_t tlen = key.size() > kSliceBytes ? key.size() - kSliceBytes : 0;
+      if (tlen <= kInlineTail) {
+        tail_heap[i] = 0;
+        std::memcpy(tail[i], key.data() + kSliceBytes, tlen);
+      } else {
+        tail_heap[i] = 1;
+        char* heap = static_cast<char*>(ti.allocate(tlen));
+        std::memcpy(heap, key.data() + kSliceBytes, tlen);
+        std::memcpy(tail[i], &heap, sizeof(heap));
+      }
+    }
+  };
+
+  static Node* make_node(ThreadContext& ti) {
+    void* mem = ti.allocate(sizeof(Node));
+    auto* n = new (mem) Node();
+    for (int i = 0; i <= kKeys; ++i) {
+      n->child[i].store(nullptr, std::memory_order_relaxed);
+    }
+    return n;
+  }
+
+  std::atomic<Node*> root_{nullptr};
+};
+
+}  // namespace masstree
+
+#endif  // MASSTREE_BASELINES_FOUR_TREE_H_

@@ -1,0 +1,113 @@
+// The border-node permutation (§4.6.2).
+//
+// "The 64-bit permutation is divided into 16 four-bit subfields. The lowest
+//  4 bits, nkeys, holds the number of keys in the node (0-15). The remaining
+//  bits constitute a fifteen-element array, keyindex[15], containing a
+//  permutation of the numbers 0 through 15. Elements keyindex[0] through
+//  keyindex[nkeys-1] store the indexes of the border node's live keys, in
+//  increasing order by key. The other elements list currently-unused slots."
+//
+// (Only slot numbers 0..14 are used; like the published system we keep a
+// 15-wide node so the count nibble fits.)
+//
+// Because the whole order + count is one aligned 64-bit value, a writer
+// exposes a new sort order and a new key with a single release store, and
+// readers see either the old order without the new key or the new order with
+// it — no intermediate states, no version bump for plain inserts.
+
+#ifndef MASSTREE_CORE_PERMUTER_H_
+#define MASSTREE_CORE_PERMUTER_H_
+
+#include <cassert>
+#include <cstdint>
+
+namespace masstree {
+
+class Permuter {
+ public:
+  static constexpr int kMaxWidth = 15;
+
+  Permuter() : x_(kEmpty) {}
+  explicit Permuter(uint64_t x) : x_(x) {}
+
+  // Empty permutation: zero keys, free list = 0,1,2,...,14 in order.
+  static Permuter make_empty() { return Permuter(kEmpty); }
+
+  // Identity over the first n slots: keys 0..n-1 live in slots 0..n-1 in
+  // order; used when (re)building nodes during splits.
+  static Permuter make_sorted(int n) {
+    Permuter p(kEmpty);
+    p.x_ = (p.x_ & ~uint64_t(0xF)) | static_cast<uint64_t>(n);
+    return p;
+  }
+
+  uint64_t value() const { return x_; }
+
+  int size() const { return static_cast<int>(x_ & 0xF); }
+
+  // Slot holding the i-th smallest key (0 <= i < size()), or, for
+  // size() <= i < 15, the (i - size())-th unused slot.
+  int get(int i) const {
+    assert(i >= 0 && i < kMaxWidth);
+    return static_cast<int>((x_ >> (4 * (i + 1))) & 0xF);
+  }
+
+  // The next free slot (position size()). Requires size() < 15.
+  int back() const {
+    assert(size() < kMaxWidth);
+    return get(size());
+  }
+
+  // Insert the free slot `back()` at sorted position i, shifting positions
+  // [i, size()) up. Returns the slot that became live.
+  int insert_from_back(int i) {
+    int n = size();
+    assert(n < kMaxWidth && i >= 0 && i <= n);
+    int slot = get(n);
+    // Bits below position i (count nibble + positions < i) stay put.
+    uint64_t low_mask = (uint64_t(1) << (4 * (i + 1))) - 1;
+    // Segment of positions [i, n) moves up one nibble.
+    uint64_t seg_mask = ((uint64_t(1) << (4 * (n + 1))) - 1) & ~low_mask;
+    uint64_t high_mask = ~(((n + 2) >= 16) ? ~uint64_t(0) : ((uint64_t(1) << (4 * (n + 2))) - 1));
+    uint64_t x = (x_ & high_mask) | ((x_ & seg_mask) << 4) |
+                 (static_cast<uint64_t>(slot) << (4 * (i + 1))) | (x_ & low_mask);
+    x_ = (x & ~uint64_t(0xF)) | static_cast<uint64_t>(n + 1);
+    return slot;
+  }
+
+  // Remove the key at sorted position i; its slot moves to the head of the
+  // free list (position size()-1 after the removal). Positions (i, size())
+  // shift down one.
+  void remove(int i) {
+    int n = size();
+    assert(n > 0 && i >= 0 && i < n);
+    int slot = get(i);
+    // New layout: positions <i unchanged; positions i..n-2 = old i+1..n-1;
+    // position n-1 = removed slot; positions >=n unchanged; count = n-1.
+    uint64_t low_mask = (uint64_t(1) << (4 * (i + 1))) - 1;  // count + positions < i
+    uint64_t seg_mask = 0;                                   // old positions i+1..n-1
+    if (i + 1 < n) {
+      uint64_t seg_lo = (uint64_t(1) << (4 * (i + 2))) - 1;
+      uint64_t seg_hi = ((n + 1) >= 16) ? ~uint64_t(0) : ((uint64_t(1) << (4 * (n + 1))) - 1);
+      seg_mask = seg_hi & ~seg_lo;
+    }
+    uint64_t high_mask =
+        ((n + 1) >= 16) ? 0 : ~((uint64_t(1) << (4 * (n + 1))) - 1);  // positions >= n
+    uint64_t x = (x_ & low_mask) | ((x_ & seg_mask) >> 4) |
+                 (static_cast<uint64_t>(slot) << (4 * n)) | (x_ & high_mask);
+    x_ = (x & ~uint64_t(0xF)) | static_cast<uint64_t>(n - 1);
+  }
+
+  bool operator==(const Permuter& o) const { return x_ == o.x_; }
+  bool operator!=(const Permuter& o) const { return x_ != o.x_; }
+
+ private:
+  // nibbles, high to low: E D C B A 9 8 7 6 5 4 3 2 1 0 | count=0
+  static constexpr uint64_t kEmpty = 0xEDCBA98765432100ull;
+
+  uint64_t x_;
+};
+
+}  // namespace masstree
+
+#endif  // MASSTREE_CORE_PERMUTER_H_

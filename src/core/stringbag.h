@@ -1,0 +1,121 @@
+// StringBag — per-border-node key-suffix storage (§4.2).
+//
+// "Border nodes store the suffixes of their keys in keysuffixes data
+//  structures. These are located either inline or in separate memory blocks;
+//  Masstree adaptively decides how much per-node memory to allocate for
+//  suffixes ... this approach reduces memory usage by up to 16% for workloads
+//  with short keys and improves performance by 3%."
+//
+// Our bag is a single allocation: a header with one packed (pos,len) word per
+// slot followed by append-only string data. Adaptivity: nodes start with no
+// bag at all (most nodes hold no suffixes); the first suffix allocates a
+// small bag sized to fit, and later overflow doubles it. Bags are append-only
+// — replacing a slot's suffix writes fresh bytes and republishes the packed
+// ref — so concurrent readers either see the old suffix or the new one, and
+// the insert's version/permutation validation sorts out which was current.
+// Old bags are epoch-reclaimed.
+
+#ifndef MASSTREE_CORE_STRINGBAG_H_
+#define MASSTREE_CORE_STRINGBAG_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+#include "core/threadinfo.h"
+
+namespace masstree {
+
+class StringBag {
+ public:
+  // Builds an empty bag with room for `data_capacity` suffix bytes across
+  // `width` slots.
+  static StringBag* make(ThreadContext& ti, int width, size_t data_capacity) {
+    size_t bytes = header_bytes(width) + data_capacity;
+    auto* bag = static_cast<StringBag*>(ti.allocate(bytes));
+    bag->capacity_ = static_cast<uint32_t>(bytes);
+    bag->used_ = static_cast<uint32_t>(header_bytes(width));
+    bag->width_ = static_cast<uint16_t>(width);
+    for (int i = 0; i < width; ++i) {
+      bag->refs()[i].store(0, std::memory_order_relaxed);
+    }
+    return bag;
+  }
+
+  // Copy constructor over a new allocation, keeping only the slots whose bit
+  // is set in live_mask (used by splits and bag growth).
+  static StringBag* make_copy(ThreadContext& ti, const StringBag& src, uint32_t live_mask,
+                              size_t extra_capacity) {
+    size_t need = header_bytes(src.width_);
+    for (int i = 0; i < src.width_; ++i) {
+      if (live_mask & (1u << i)) {
+        need += src.get(i).size();
+      }
+    }
+    StringBag* bag = make(ti, src.width_, need - header_bytes(src.width_) + extra_capacity);
+    for (int i = 0; i < src.width_; ++i) {
+      if (live_mask & (1u << i)) {
+        bool ok = bag->assign(i, src.get(i));
+        (void)ok;
+        assert(ok);
+      }
+    }
+    return bag;
+  }
+
+  // Total allocation size (for memory accounting).
+  size_t capacity() const { return capacity_; }
+  size_t used_bytes() const { return used_; }
+
+  // Store `suffix` for `slot`. Returns false if the bag is out of room (the
+  // caller grows the bag and retries). Never overwrites previously written
+  // bytes, so concurrent readers of other slots are undisturbed.
+  bool assign(int slot, std::string_view suffix) {
+    assert(slot >= 0 && slot < width_);
+    if (used_ + suffix.size() > capacity_) {
+      return false;
+    }
+    uint32_t pos = used_;
+    std::memcpy(base() + pos, suffix.data(), suffix.size());
+    used_ += static_cast<uint32_t>(suffix.size());
+    // Publish pos|len with one release store; readers can't see a torn ref.
+    refs()[slot].store((static_cast<uint64_t>(pos) << 32) | static_cast<uint64_t>(suffix.size()),
+                       std::memory_order_release);
+    return true;
+  }
+
+  std::string_view get(int slot) const {
+    assert(slot >= 0 && slot < width_);
+    uint64_t r = refs()[slot].load(std::memory_order_acquire);
+    return std::string_view(base() + (r >> 32), r & 0xFFFFFFFFu);
+  }
+
+  bool equals(int slot, std::string_view suffix) const { return get(slot) == suffix; }
+
+  int width() const { return width_; }
+
+ private:
+  static size_t header_bytes(int width) {
+    return sizeof(StringBag) + static_cast<size_t>(width) * sizeof(std::atomic<uint64_t>);
+  }
+
+  std::atomic<uint64_t>* refs() {
+    return reinterpret_cast<std::atomic<uint64_t>*>(this + 1);
+  }
+  const std::atomic<uint64_t>* refs() const {
+    return reinterpret_cast<const std::atomic<uint64_t>*>(this + 1);
+  }
+  char* base() { return reinterpret_cast<char*>(this); }
+  const char* base() const { return reinterpret_cast<const char*>(this); }
+
+  uint32_t capacity_;  // total bytes including header
+  uint32_t used_;      // append cursor (bytes from base)
+  uint16_t width_;
+  uint16_t pad_ = 0;
+};
+
+}  // namespace masstree
+
+#endif  // MASSTREE_CORE_STRINGBAG_H_

@@ -1,0 +1,73 @@
+// ThreadContext: the per-thread handle every tree/store operation takes
+// (mirrors masstree's "threadinfo"). It bundles
+//   * an epoch-reclamation slot (readers never write shared memory; freed
+//     objects wait in the per-thread limbo list, §4.6.1),
+//   * a Flow arena (allocation never takes a global lock, §6.2), and
+//   * padded event counters (retry-rate analysis, §6.2).
+//
+// A ThreadContext must be created and used by a single thread.
+
+#ifndef MASSTREE_CORE_THREADINFO_H_
+#define MASSTREE_CORE_THREADINFO_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "alloc/flow.h"
+#include "epoch/epoch.h"
+#include "util/counters.h"
+
+namespace masstree {
+
+class ThreadContext {
+ public:
+  explicit ThreadContext(EpochManager& epochs = EpochManager::global(),
+                         Flow& flow = Flow::global())
+      : epochs_(&epochs), flow_(&flow) {
+    slot_ = epochs_->register_thread();
+    arena_ = flow_->acquire_arena();
+    bind_thread_arena(arena_);
+  }
+
+  ~ThreadContext() {
+    if (current_thread_arena() == arena_) {
+      bind_thread_arena(nullptr);
+    }
+    flow_->release_arena(arena_);
+    epochs_->unregister_thread(slot_);
+  }
+
+  ThreadContext(const ThreadContext&) = delete;
+  ThreadContext& operator=(const ThreadContext&) = delete;
+
+  EpochManager& epochs() { return *epochs_; }
+  EpochSlot& slot() { return *slot_; }
+  Arena& arena() { return *arena_; }
+  ThreadCounters& counters() { return counters_; }
+
+  void* allocate(size_t bytes) { return arena_->allocate(bytes); }
+
+  // Retire an object no longer reachable from the tree; freed after all
+  // concurrent readers leave their epochs.
+  void retire(void* ptr, void (*deleter)(void*)) { epochs_->retire(*slot_, ptr, deleter); }
+
+  // Retire with the default (Flow) deleter.
+  void retire(void* ptr) { epochs_->retire(*slot_, ptr, &Arena::deallocate); }
+
+  // Force-run reclamation (tests and quiescent periods).
+  size_t reclaim() {
+    epochs_->advance();
+    return epochs_->reclaim(*slot_);
+  }
+
+ private:
+  EpochManager* epochs_;
+  Flow* flow_;
+  EpochSlot* slot_;
+  Arena* arena_;
+  ThreadCounters counters_;
+};
+
+}  // namespace masstree
+
+#endif  // MASSTREE_CORE_THREADINFO_H_

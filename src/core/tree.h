@@ -1,0 +1,1383 @@
+// Masstree: a trie with fanout 2^64 whose nodes are width-15 B+-trees (§4).
+//
+// Get/scan never write shared memory; they validate per-node version words
+// (Figure 6's hand-over-hand descent, Figure 7's B-link forwarding). Writers
+// lock only the nodes they change; inserts publish through the permutation
+// (§4.6.2), splits move keys strictly to the right under `splitting` marks
+// (§4.6.4, Figure 5), and layer creation uses the UNSTABLE→LAYER two-phase
+// publish (§4.6.3). Removed slots bump vinsert when reused (§4.6.5), empty
+// nodes are frozen, unlinked, and epoch-reclaimed, and empty sub-layers are
+// cleaned by deferred maintenance tasks.
+//
+// The tree stores opaque 64-bit values; ownership of what they point at stays
+// with the caller (the kvstore layer stores Row pointers and epoch-retires
+// replaced rows).
+
+#ifndef MASSTREE_CORE_TREE_H_
+#define MASSTREE_CORE_TREE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/node.h"
+#include "util/counters.h"
+
+namespace masstree {
+
+// Aggregate shape/memory statistics; gathered by a quiescent walk.
+struct TreeStats {
+  uint64_t border_nodes = 0;
+  uint64_t interior_nodes = 0;
+  uint64_t keys = 0;
+  uint64_t layers = 1;           // distinct trie layers observed
+  uint64_t max_depth = 0;        // B+-tree depth of layer 0
+  uint64_t layer_links = 0;      // number of next_layer pointers
+  uint64_t node_bytes = 0;
+  uint64_t suffix_bytes = 0;     // capacity allocated to suffix bags
+  uint64_t suffix_used_bytes = 0;
+
+  double avg_border_fill(int width) const {
+    return border_nodes == 0
+               ? 0.0
+               : static_cast<double>(keys) / (static_cast<double>(border_nodes) * width);
+  }
+};
+
+template <typename C = DefaultConfig>
+class BasicTree {
+ public:
+  using Config = C;
+  using Node = NodeBase<C>;
+  using Border = BorderNode<C>;
+  using Interior = InteriorNode<C>;
+
+  explicit BasicTree(ThreadContext& ti) {
+    root_.store(Border::make(ti, /*is_root=*/true), std::memory_order_release);
+  }
+
+  BasicTree(const BasicTree&) = delete;
+  BasicTree& operator=(const BasicTree&) = delete;
+
+  // Frees every node. Requires quiescence (no concurrent operations).
+  ~BasicTree() { destroy_subtree(root_.load(std::memory_order_acquire)); }
+
+  // --------------------------------------------------------------------
+  // get(k) — Figure 7.
+  bool get(std::string_view k, uint64_t* value, ThreadContext& ti) const {
+    EpochGuard guard(ti.slot());
+    Key key(k);
+    Node* root = root_.load(std::memory_order_acquire);
+    for (;;) {
+      uint64_t slice = key.slice();
+      int ord = search_ord(key);
+      Border* n;
+      VersionValue v;
+      if (!reach_border(root, slice, &n, &v)) {
+        ti.counters().inc(Counter::kGetRetryFromRoot);
+        key.unshift_all();
+        root = root_.load(std::memory_order_acquire);
+        continue;
+      }
+      bool restart_layer = false;
+      Node* deeper = nullptr;
+      bool found = false;
+      uint64_t out = 0;
+      for (;;) {  // forward loop
+        if (v.deleted()) {
+          root = n;  // reach_border follows the forwarding pointer
+          restart_layer = true;
+          break;
+        }
+        Permuter perm = n->permutation();
+        int pos;
+        int slot = n->find(perm, slice, ord, &pos);
+        uint8_t kx = 0;
+        uint64_t lv = 0;
+        bool suffix_eq = false;
+        if (slot >= 0) {
+          kx = n->keylenx(slot);
+          lv = n->lv(slot);
+          if (keylenx_has_suffix(kx)) {
+            StringBag* bag = n->suffixes();
+            suffix_eq = bag != nullptr && bag->get(slot) == key.suffix();
+          }
+        }
+        if (n->version().changed_since(v)) {
+          // Stabilize, then chase the B-link chain right if the key's range
+          // moved (Figure 7's while loop).
+          v = n->version().stable();
+          ti.counters().inc(Counter::kGetRetryLocal);
+          Border* nx = n->next();
+          while (!v.deleted() && nx != nullptr && slice >= nx->lowkey()) {
+            n = nx;
+            v = n->version().stable();
+            nx = n->next();
+            ti.counters().inc(Counter::kGetForward);
+          }
+          continue;
+        }
+        if (slot < 0) {
+          break;  // NOTFOUND
+        }
+        if (kx <= 8) {
+          out = lv;
+          found = true;
+          break;
+        }
+        if (keylenx_has_suffix(kx)) {
+          found = suffix_eq;
+          out = lv;
+          break;
+        }
+        if (keylenx_is_layer(kx)) {
+          deeper = reinterpret_cast<Node*>(lv);
+          break;
+        }
+        // UNSTABLE: a layer is being created under this slot; spin (§4.6.3).
+        spin_pause();
+      }
+      if (restart_layer) {
+        continue;
+      }
+      if (deeper != nullptr) {
+        root = deeper;
+        key.shift();
+        continue;
+      }
+      if (found) {
+        *value = out;
+      }
+      return found;
+    }
+  }
+
+  // --------------------------------------------------------------------
+  // put(k, v). Returns true if a new key was inserted, false if an existing
+  // key's value was replaced; the previous value (for the caller to retire)
+  // lands in *old_value when updating.
+  bool insert(std::string_view k, uint64_t value, uint64_t* old_value, ThreadContext& ti) {
+    EpochGuard guard(ti.slot());
+    Key key(k);
+    Node* root = root_.load(std::memory_order_acquire);
+    for (;;) {
+      Border* n = locate_locked(root, key.slice(), ti);
+      if (n == nullptr) {
+        ti.counters().inc(Counter::kPutRetryFromRoot);
+        key.unshift_all();
+        root = root_.load(std::memory_order_acquire);
+        continue;
+      }
+      uint64_t slice = key.slice();
+      int ord = search_ord(key);
+      Permuter perm(n->raw_permutation().load(std::memory_order_relaxed));
+      int pos;
+      int slot = n->find(perm, slice, ord, &pos);
+      if (slot >= 0) {
+        uint8_t kx = n->keylenx(slot);
+        assert(!keylenx_is_unstable(kx));
+        if (keylenx_is_layer(kx)) {
+          root = descend_layer_locked(n, slot);
+          n->version().unlock();
+          key.shift();
+          continue;
+        }
+        if (keylenx_has_suffix(kx) && !n->suffixes()->equals(slot, key.suffix())) {
+          // Two long keys share this slice: push the existing one down a
+          // layer, then continue inserting there (§4.6.3).
+          root = make_layer(n, slot, ti);
+          n->version().unlock();
+          key.shift();
+          continue;
+        }
+        // Exact match: in-place value update with a single aligned write
+        // (§4.6.1); no version bump, readers never retry.
+        if (old_value != nullptr) {
+          *old_value = n->lv(slot);
+        }
+        n->set_lv(slot, value);
+        n->version().unlock();
+        return false;
+      }
+      if (perm.size() < Border::kWidth) {
+        insert_into_border(n, pos, key, value, ti);
+        n->version().unlock();
+        return true;
+      }
+      split_insert(n, key, value, ti);  // consumes the lock
+      return true;
+    }
+  }
+
+  // --------------------------------------------------------------------
+  // Atomic read-modify-write put: fn(found, old_value) -> new_value runs
+  // under the border-node lock, so no concurrent put to the same key can
+  // interleave between the read and the write. Used by the kvstore layer to
+  // build copy-on-write rows (§4.7's atomic multi-column puts). Returns true
+  // if the key was newly inserted; on update the replaced value is stored in
+  // *old_value for the caller to epoch-retire.
+  template <typename Fn>
+  bool insert_transform(std::string_view k, Fn&& fn, uint64_t* old_value, ThreadContext& ti) {
+    EpochGuard guard(ti.slot());
+    Key key(k);
+    Node* root = root_.load(std::memory_order_acquire);
+    for (;;) {
+      Border* n = locate_locked(root, key.slice(), ti);
+      if (n == nullptr) {
+        ti.counters().inc(Counter::kPutRetryFromRoot);
+        key.unshift_all();
+        root = root_.load(std::memory_order_acquire);
+        continue;
+      }
+      uint64_t slice = key.slice();
+      int ord = search_ord(key);
+      Permuter perm(n->raw_permutation().load(std::memory_order_relaxed));
+      int pos;
+      int slot = n->find(perm, slice, ord, &pos);
+      if (slot >= 0) {
+        uint8_t kx = n->keylenx(slot);
+        assert(!keylenx_is_unstable(kx));
+        if (keylenx_is_layer(kx)) {
+          root = descend_layer_locked(n, slot);
+          n->version().unlock();
+          key.shift();
+          continue;
+        }
+        if (keylenx_has_suffix(kx) && !n->suffixes()->equals(slot, key.suffix())) {
+          root = make_layer(n, slot, ti);
+          n->version().unlock();
+          key.shift();
+          continue;
+        }
+        uint64_t old = n->lv(slot);
+        if (old_value != nullptr) {
+          *old_value = old;
+        }
+        n->set_lv(slot, fn(true, old));
+        n->version().unlock();
+        return false;
+      }
+      uint64_t value = fn(false, 0);
+      if (perm.size() < Border::kWidth) {
+        insert_into_border(n, pos, key, value, ti);
+        n->version().unlock();
+        return true;
+      }
+      split_insert(n, key, value, ti);
+      return true;
+    }
+  }
+
+  // --------------------------------------------------------------------
+  // remove(k). Returns true and the removed value if the key was present.
+  bool remove(std::string_view k, uint64_t* old_value, ThreadContext& ti) {
+    return remove_with(
+        k,
+        [old_value](uint64_t old) {
+          if (old_value != nullptr) {
+            *old_value = old;
+          }
+        },
+        ti);
+  }
+
+  // remove with a hook that runs under the border-node lock just before the
+  // key is unpublished. The kvstore layer uses it to assign the §5 value
+  // version while same-key operations are still serialized.
+  template <typename Fn>
+  bool remove_with(std::string_view k, Fn&& on_remove, ThreadContext& ti) {
+    EpochGuard guard(ti.slot());
+    Key key(k);
+    Node* root = root_.load(std::memory_order_acquire);
+    for (;;) {
+      Border* n = locate_locked(root, key.slice(), ti);
+      if (n == nullptr) {
+        key.unshift_all();
+        root = root_.load(std::memory_order_acquire);
+        continue;
+      }
+      uint64_t slice = key.slice();
+      int ord = search_ord(key);
+      Permuter perm(n->raw_permutation().load(std::memory_order_relaxed));
+      int pos;
+      int slot = n->find(perm, slice, ord, &pos);
+      if (slot < 0) {
+        n->version().unlock();
+        return false;
+      }
+      uint8_t kx = n->keylenx(slot);
+      if (keylenx_is_layer(kx)) {
+        root = descend_layer_locked(n, slot);
+        n->version().unlock();
+        key.shift();
+        continue;
+      }
+      if (keylenx_has_suffix(kx) && !n->suffixes()->equals(slot, key.suffix())) {
+        n->version().unlock();
+        return false;
+      }
+      on_remove(n->lv(slot));
+      // Removal just unpublishes the slot; the key/value bytes stay for
+      // concurrent readers, and vinsert is bumped if the slot is reused
+      // (§4.6.5).
+      perm.remove(pos);
+      n->set_permutation(perm);
+      if (n->nremoved_ < 255) {
+        ++n->nremoved_;
+      }
+      if (perm.size() == 0) {
+        handle_empty_border(n, key, ti);  // consumes the lock
+      } else {
+        n->version().unlock();
+      }
+      return true;
+    }
+  }
+
+  // --------------------------------------------------------------------
+  // getrange / scan (§3): calls emit(key, value) for up to `limit` pairs with
+  // key >= first, in lexicographic order, until emit returns false. Not
+  // atomic with respect to concurrent inserts/removes.
+  template <typename F>
+  size_t scan(std::string_view first, size_t limit, F&& emit, ThreadContext& ti) const {
+    if (limit == 0) {
+      return 0;
+    }
+    EpochGuard guard(ti.slot());
+
+    struct Frame {
+      Node* root;
+      std::string prefix;  // key bytes consumed by enclosing layers
+      uint64_t cslice;     // cursor: next key must be >= (cslice, cord, csuf)
+      int cord;            // 0..9, or 10 = "past every key with cslice"
+      std::string csuf;
+      bool skip_equal;
+    };
+    auto make_frame = [](Node* root, std::string prefix, std::string_view start,
+                         bool skip_equal) {
+      Frame f;
+      f.root = root;
+      f.prefix = std::move(prefix);
+      f.cslice = make_slice(start);
+      f.cord = start.size() > kSliceBytes ? 9 : static_cast<int>(start.size());
+      if (start.size() > kSliceBytes) {
+        f.csuf.assign(start.substr(kSliceBytes));
+      }
+      f.skip_equal = skip_equal;
+      return f;
+    };
+
+    std::vector<Frame> stack;
+    stack.push_back(
+        make_frame(root_.load(std::memory_order_acquire), std::string(), first, false));
+    size_t emitted = 0;
+    std::string keybuf;
+
+    while (!stack.empty()) {
+      // Note: frames are re-entered after sub-layer scans; every visit
+      // re-locates the border node for the frame's cursor.
+      Border* n;
+      VersionValue v;
+      {
+        Frame& f = stack.back();
+        Node* root = f.root;
+        if (!reach_border(root, f.cslice, &n, &v)) {
+          if (stack.size() == 1) {
+            f.root = root_.load(std::memory_order_acquire);
+            continue;
+          }
+          stack.pop_back();  // the whole layer vanished: nothing left in it
+          continue;
+        }
+        f.root = root;
+      }
+
+      bool descended = false;
+      while (!descended) {
+        // Snapshot one border node.
+        struct Entry {
+          uint64_t slice;
+          uint8_t kx;
+          uint64_t lv;
+          std::string suf;
+        };
+        Entry ents[Border::kWidth];
+        int cnt = 0;
+        bool unstable = false;
+        Permuter perm = n->permutation();
+        Border* nx = n->next();
+        for (int i = 0; i < perm.size(); ++i) {
+          int s = perm.get(i);
+          Entry& e = ents[cnt++];
+          e.slice = n->slice(s);
+          e.kx = n->keylenx(s);
+          e.lv = n->lv(s);
+          if (keylenx_has_suffix(e.kx)) {
+            StringBag* bag = n->suffixes();
+            if (bag != nullptr) {
+              e.suf.assign(bag->get(s));
+            }
+          } else if (keylenx_is_unstable(e.kx)) {
+            unstable = true;
+          }
+        }
+        if (n->version().changed_since(v) || v.deleted()) {
+          Frame& f = stack.back();
+          Node* root = f.root;
+          if (!reach_border(root, f.cslice, &n, &v)) {
+            if (stack.size() > 1) {
+              stack.pop_back();
+              descended = true;  // leave node loop; outer loop re-dispatches
+              break;
+            }
+            f.root = root_.load(std::memory_order_acquire);
+            continue;
+          }
+          f.root = root;
+          continue;
+        }
+        if (unstable) {
+          spin_pause();
+          v = n->version().stable();
+          continue;
+        }
+
+        // Emit the validated snapshot.
+        for (int i = 0; i < cnt && !descended; ++i) {
+          Entry& e = ents[i];
+          Frame& f = stack.back();
+          int eo = keylenx_ord(e.kx);
+          if (e.slice < f.cslice || (e.slice == f.cslice && eo < f.cord)) {
+            continue;
+          }
+          if (e.slice == f.cslice && eo == f.cord) {
+            if (eo < 9) {
+              if (f.skip_equal) {
+                continue;
+              }
+            } else if (keylenx_has_suffix(e.kx)) {
+              int c = e.suf.compare(f.csuf);
+              if (c < 0 || (c == 0 && f.skip_equal)) {
+                continue;
+              }
+            }
+          }
+          if (keylenx_is_layer(e.kx)) {
+            // Recurse into the sub-layer; on return, resume past this slice.
+            std::string substart;
+            bool subskip = false;
+            if (e.slice == f.cslice && f.cord == 9) {
+              substart = f.csuf;
+              subskip = f.skip_equal;
+            }
+            std::string subprefix = f.prefix + slice_to_string(e.slice, kSliceBytes);
+            f.cslice = e.slice;
+            f.cord = 10;
+            f.csuf.clear();
+            Node* subroot = reinterpret_cast<Node*>(e.lv);
+            stack.push_back(make_frame(subroot, std::move(subprefix), substart, subskip));
+            descended = true;
+            break;
+          }
+          keybuf.assign(f.prefix);
+          keybuf.append(slice_to_string(e.slice, eo < 9 ? eo : kSliceBytes));
+          if (keylenx_has_suffix(e.kx)) {
+            keybuf.append(e.suf);
+          }
+          bool keep_going = emit(std::string_view(keybuf), e.lv);
+          ++emitted;
+          f.cslice = e.slice;
+          f.cord = eo;
+          f.csuf = keylenx_has_suffix(e.kx) ? e.suf : std::string();
+          f.skip_equal = true;
+          if (!keep_going || emitted >= limit) {
+            return emitted;
+          }
+        }
+        if (descended) {
+          break;
+        }
+        if (nx == nullptr) {
+          stack.pop_back();
+          break;
+        }
+        n = nx;
+        v = n->version().stable();
+      }
+    }
+    return emitted;
+  }
+
+  // --------------------------------------------------------------------
+  // Deferred cleanup of empty sub-layer trees (§4.6.5: "Epoch-based
+  // reclamation tasks are scheduled as needed to clean up empty ...
+  // layer-h trees"). Returns the number of tasks processed.
+  size_t run_maintenance(ThreadContext& ti) {
+    std::vector<std::string> tasks;
+    {
+      std::lock_guard<std::mutex> lock(gc_mu_);
+      tasks.swap(gc_tasks_);
+    }
+    for (const std::string& prefix : tasks) {
+      remove_empty_layer(prefix, ti);
+      ti.counters().inc(Counter::kMaintenanceTasks);
+    }
+    return tasks.size();
+  }
+
+  size_t pending_maintenance() const {
+    std::lock_guard<std::mutex> lock(gc_mu_);
+    return gc_tasks_.size();
+  }
+
+  // Quiescent value walk (teardown helper for owners of boxed values).
+  template <typename F>
+  void for_each_value(F&& f) const {
+    walk_values(root_.load(std::memory_order_acquire), f);
+  }
+
+  // Quiescent shape statistics.
+  TreeStats collect_stats() const {
+    TreeStats st;
+    collect_subtree(root_.load(std::memory_order_acquire), 1, 1, &st);
+    return st;
+  }
+
+  Node* root_for_testing() const { return root_.load(std::memory_order_acquire); }
+
+  // Software-pipelined batched-lookup support (§4.8 / PALM): issue the
+  // prefetches along one key's root-to-border path without version
+  // validation, so a batch of gets overlaps its DRAM fetches. Harmless if
+  // racy — it only prefetches.
+  void prefetch_for(std::string_view k) const {
+    if constexpr (!C::kPrefetch) {
+      return;
+    }
+    Key key(k);
+    Node* n = root_.load(std::memory_order_acquire);
+    int hops = 0;
+    while (n != nullptr && ++hops < 16) {
+      prefetch_node(n);
+      VersionValue v = n->version().load();
+      if (v.is_border() || v.deleted()) {
+        return;
+      }
+      const Interior* in = n->as_interior();
+      n = in->child(in->child_index(key.slice()));
+    }
+  }
+
+ private:
+  static int search_ord(const Key& key) {
+    return key.has_suffix() ? 9 : static_cast<int>(key.length_in_slice());
+  }
+
+  // Follow parent pointers from a (possibly stale) layer root to the current
+  // root of that layer's B+-tree. Quiescent walks need this because stored
+  // next_layer pointers are only fixed lazily (§4.6.4).
+  static Node* true_layer_root(Node* n) {
+    while (n != nullptr && !n->version().load().is_root()) {
+      Node* p = n->parent();
+      if (p == nullptr) {
+        break;
+      }
+      n = p;
+    }
+    return n;
+  }
+
+  static void prefetch_node(const Node* n) {
+    if constexpr (C::kPrefetch) {
+      prefetch_object(n, sizeof(Border));
+    }
+  }
+
+  // ---------------- descent (Figure 6) ----------------
+  //
+  // Finds the border node responsible for `slice` in the layer whose root is
+  // reachable from `root` (in-out: updated to the true root so retries skip
+  // forwarding chains). Returns false if the walk dead-ends on a retired
+  // layer, in which case the caller restarts from layer 0.
+  static bool reach_border(Node*& root, uint64_t slice, Border** out, VersionValue* vout) {
+  retry:
+    Node* n = root;
+    if (n == nullptr) {
+      return false;
+    }
+    prefetch_node(n);
+    VersionValue v = n->version().stable();
+    // Ascend stale/retired entry points: deleted nodes forward through
+    // parent(); live non-roots climb until the true root (§4.6.4's lazily
+    // updated layer roots).
+    while (v.deleted() || !v.is_root()) {
+      Node* p = n->parent();
+      if (p == nullptr) {
+        if (v.deleted()) {
+          return false;  // this layer was removed entirely
+        }
+        // Root flag observed clear before the new parent store; reload.
+        spin_pause();
+        v = n->version().stable();
+        continue;
+      }
+      n = p;
+      v = n->version().stable();
+    }
+    root = n;
+    // Descend with hand-over-hand validation.
+    while (!v.is_border()) {
+      if (v.deleted()) {
+        root = n;
+        goto retry;
+      }
+      Interior* in = n->as_interior();
+      int ci = in->child_index(slice);
+      Node* child = in->child(ci);
+      if (child == nullptr) {
+        // Torn read during a concurrent reshape; re-stabilize and retry.
+        v = n->version().stable();
+        continue;
+      }
+      prefetch_node(child);
+      VersionValue cv = child->version().stable();
+      if (!in->version().changed_since(v)) {
+        n = child;
+        v = cv;
+        continue;
+      }
+      VersionValue v2 = n->version().stable();
+      if (v2.vsplit() != v.vsplit() || v2.deleted()) {
+        goto retry;  // split: retry from the root
+      }
+      v = v2;  // plain insert: retry from this node
+    }
+    *out = n->as_border();
+    *vout = v;
+    return true;
+  }
+
+  // Writer-side locate: returns the locked border node responsible for
+  // `slice`, following splits right under lock. Returns null if the layer is
+  // dead (caller restarts from the top); `root` is updated like reach_border.
+  Border* locate_locked(Node*& root, uint64_t slice, ThreadContext& ti) const {
+    for (;;) {
+      Border* n;
+      VersionValue v;
+      if (!reach_border(root, slice, &n, &v)) {
+        return nullptr;
+      }
+      n->version().lock();
+      if (n->version().load().deleted()) {
+        n->version().unlock();
+        root = n;  // follow forwarding on the next reach_border
+        continue;
+      }
+      for (;;) {
+        Border* nx = n->next();
+        if (nx == nullptr || slice < nx->lowkey()) {
+          return n;
+        }
+        ti.counters().inc(Counter::kGetForward);
+        nx->version().lock();
+        n->version().unlock();
+        n = nx;
+        if (n->version().load().deleted()) {
+          n->version().unlock();
+          n = nullptr;
+          break;
+        }
+      }
+      if (n == nullptr) {
+        continue;
+      }
+    }
+  }
+
+  // Figure 4 lockedparent: lock n's parent, revalidating that it is still
+  // the parent afterwards.
+  static Interior* locked_parent(Node* n) {
+    for (;;) {
+      Node* p = n->parent();
+      if (p == nullptr) {
+        return nullptr;
+      }
+      p->version().lock();
+      if (n->parent() == p) {
+        assert(!p->is_border());
+        return p->as_interior();
+      }
+      p->version().unlock();
+    }
+  }
+
+  // ---------------- border insert helpers ----------------
+
+  void insert_into_border(Border* n, int pos, const Key& key, uint64_t value,
+                          ThreadContext& ti) {
+    Permuter perm(n->raw_permutation().load(std::memory_order_relaxed));
+    if (n->nremoved_ > 0) {
+      // The slot may have held a removed key some reader still remembers;
+      // force those readers to retry (§4.6.5).
+      n->version().mark_inserting();
+      ti.counters().inc(Counter::kSlotReuse);
+    }
+    int slot = perm.back();
+    n->set_slice(slot, key.slice());
+    if (key.has_suffix()) {
+      assign_suffix(n, slot, key.suffix(), ti);
+      n->set_keylenx(slot, kKeylenxSuffix);
+    } else {
+      n->set_keylenx(slot, static_cast<uint8_t>(key.length_in_slice()));
+    }
+    n->set_lv(slot, value);
+    release_fence();  // slot contents before permutation publish (§4.6.2)
+    perm.insert_from_back(pos);
+    n->set_permutation(perm);
+  }
+
+  void assign_suffix(Border* n, int slot, std::string_view suf, ThreadContext& ti) {
+    StringBag* bag = n->raw_suffixes().load(std::memory_order_relaxed);
+    if (bag == nullptr) {
+      // Adaptive start: size to the first suffix plus a little slack rather
+      // than reserving worst-case space for 15 suffixes (§4.2). The fixed
+      // alternative (kFixedSuffixBytes) reserves worst-case space up front.
+      size_t cap = C::kFixedSuffixBytes != 0 ? C::kFixedSuffixBytes
+                                             : suf.size() + 3 * kSliceBytes;
+      if (cap < suf.size()) {
+        cap = suf.size();
+      }
+      bag = StringBag::make(ti, Border::kWidth, cap);
+      bool ok = bag->assign(slot, suf);
+      (void)ok;
+      assert(ok);
+      n->raw_suffixes().store(bag, std::memory_order_release);
+      return;
+    }
+    if (bag->assign(slot, suf)) {
+      return;
+    }
+    // Grow: copy live suffixes into a bigger bag, publish, retire the old.
+    uint32_t live = 0;
+    Permuter perm(n->raw_permutation().load(std::memory_order_relaxed));
+    for (int i = 0; i < perm.size(); ++i) {
+      int s = perm.get(i);
+      if (s != slot && keylenx_has_suffix(n->keylenx(s))) {
+        live |= 1u << s;
+      }
+    }
+    StringBag* nb = StringBag::make_copy(ti, *bag, live, suf.size() + bag->capacity());
+    bool ok = nb->assign(slot, suf);
+    (void)ok;
+    assert(ok);
+    n->raw_suffixes().store(nb, std::memory_order_release);
+    ti.retire(bag);
+  }
+
+  // Read a layer link under the parent border's lock, repairing a stale root
+  // pointer in passing (§4.6.4: roots stored in border nodes "are updated
+  // lazily during later operations"). The store is a single aligned write;
+  // concurrent readers see either pointer, and both lead to the true root.
+  static Node* descend_layer_locked(Border* n, int slot) {
+    Node* sub = n->layer(slot);
+    Node* root = true_layer_root(sub);
+    if (root != sub && root != nullptr) {
+      n->set_lv(slot, reinterpret_cast<uint64_t>(root));
+      return root;
+    }
+    return sub;
+  }
+
+  // §4.6.3: the slot holds a suffixed key that conflicts with a new key on
+  // this slice. Push the existing key into a fresh layer and publish the
+  // link. Returns the new layer root; n stays locked.
+  Node* make_layer(Border* n, int slot, ThreadContext& ti) {
+    ti.counters().inc(Counter::kLayerCreated);
+    std::string_view rest = n->suffixes()->get(slot);
+    uint64_t val = n->lv(slot);
+    Border* nl = Border::make(ti, /*is_root=*/true);
+    Key k2(rest);
+    nl->set_slice(0, k2.slice());
+    if (k2.has_suffix()) {
+      StringBag* bag = StringBag::make(ti, Border::kWidth, k2.suffix().size() + kSliceBytes);
+      bool ok = bag->assign(0, k2.suffix());
+      (void)ok;
+      assert(ok);
+      nl->raw_suffixes().store(bag, std::memory_order_relaxed);
+      nl->set_keylenx(0, kKeylenxSuffix);
+    } else {
+      nl->set_keylenx(0, static_cast<uint8_t>(k2.length_in_slice()));
+    }
+    nl->set_lv(0, val);
+    nl->set_permutation(Permuter::make_sorted(1));
+    // Three ordered writes make the transition safe for lock-free readers:
+    // UNSTABLE (readers retry) -> pointer -> LAYER (§4.6.3).
+    n->set_keylenx(slot, kKeylenxUnstableLayer);
+    release_fence();
+    n->set_lv(slot, reinterpret_cast<uint64_t>(static_cast<Node*>(nl)));
+    release_fence();
+    n->set_keylenx(slot, kKeylenxLayer);
+    return nl;
+  }
+
+  // ---------------- split (Figure 5) ----------------
+
+  struct VirtualEntry {
+    uint64_t slice;
+    int ord;
+    int slot;  // -1 for the key being inserted
+  };
+
+  void split_insert(Border* n, const Key& key, uint64_t value, ThreadContext& ti) {
+    ti.counters().inc(Counter::kPutSplit);
+    constexpr int W = Border::kWidth;
+    Permuter perm(n->raw_permutation().load(std::memory_order_relaxed));
+    assert(perm.size() == W);
+    uint64_t slice = key.slice();
+    int ord = search_ord(key);
+
+    // Virtual sorted array of the W existing keys plus the new one.
+    VirtualEntry ents[W + 1];
+    int pos;
+    int match = n->find(perm, slice, ord, &pos);
+    (void)match;
+    assert(match < 0);
+    for (int i = 0, j = 0; i <= W; ++i) {
+      if (i == pos) {
+        ents[i] = VirtualEntry{slice, ord, -1};
+      } else {
+        int s = perm.get(j++);
+        ents[i] = VirtualEntry{n->slice(s), keylenx_ord(n->keylenx(s)), s};
+      }
+    }
+
+    // Split point: the right sibling receives ents[m..W]. Prefer the middle,
+    // but never separate keys sharing a slice (at most 10 keys share one, so
+    // a boundary always exists); if the insert is a rightmost append with no
+    // next sibling, move only the new key (§4.3's sequential optimization).
+    int m = -1;
+    if (pos == W && n->next() == nullptr) {
+      m = W;
+    } else {
+      int mid = (W + 1) / 2;
+      for (int delta = 0; delta <= W && m < 0; ++delta) {
+        int hi = mid + delta, lo = mid - delta;
+        if (hi >= 1 && hi <= W && ents[hi - 1].slice != ents[hi].slice) {
+          m = hi;
+        } else if (lo >= 1 && lo <= W && ents[lo - 1].slice != ents[lo].slice) {
+          m = lo;
+        }
+      }
+      assert(m >= 1);
+    }
+
+    n->version().mark_splitting();
+    Border* n2 = Border::make(ti, false);
+    n2->version().assign_locked_from(n->version().load());
+    n2->version().set_root(false);
+    n2->set_lowkey(ents[m].slice);
+
+    // Pre-size n2's suffix bag for every suffix that will move: growth during
+    // the copy would consult n2's (not yet initialized) permutation for the
+    // live-slot mask and discard earlier copies.
+    {
+      size_t suffix_bytes = 0;
+      for (int i = m; i <= W; ++i) {
+        if (ents[i].slot < 0) {
+          if (key.has_suffix()) {
+            suffix_bytes += key.suffix().size();
+          }
+        } else if (keylenx_has_suffix(n->keylenx(ents[i].slot))) {
+          suffix_bytes += n->suffix(ents[i].slot).size();
+        }
+      }
+      if (suffix_bytes > 0) {
+        size_t cap = C::kFixedSuffixBytes > suffix_bytes ? C::kFixedSuffixBytes
+                                                         : suffix_bytes;
+        n2->raw_suffixes().store(StringBag::make(ti, Border::kWidth, cap),
+                                 std::memory_order_relaxed);
+      }
+    }
+
+    // Copy the moved entries (and possibly the new key) into n2.
+    for (int i = m; i <= W; ++i) {
+      write_entry(n2, i - m, ents[i], n, key, value, ti);
+    }
+    n2->set_permutation(Permuter::make_sorted(W + 1 - m));
+
+    // Rebuild n's permutation over the kept slots; slots vacated by the move
+    // become free (and count as reusable).
+    {
+      bool kept_slot[W] = {};
+      int order[W];
+      int kc = 0;
+      bool new_left = false;
+      int new_pos_in_left = -1;
+      for (int i = 0; i < m; ++i) {
+        if (ents[i].slot >= 0) {
+          order[kc++] = ents[i].slot;
+          kept_slot[ents[i].slot] = true;
+        } else {
+          new_left = true;
+          new_pos_in_left = kc;
+          order[kc++] = -1;  // patched below
+        }
+      }
+      if (new_left) {
+        int fs = -1;
+        for (int s = 0; s < W; ++s) {
+          if (!kept_slot[s]) {
+            fs = s;
+            break;
+          }
+        }
+        assert(fs >= 0);
+        kept_slot[fs] = true;
+        order[new_pos_in_left] = fs;
+        n->set_slice(fs, slice);
+        if (key.has_suffix()) {
+          assign_suffix(n, fs, key.suffix(), ti);
+          n->set_keylenx(fs, kKeylenxSuffix);
+        } else {
+          n->set_keylenx(fs, static_cast<uint8_t>(key.length_in_slice()));
+        }
+        n->set_lv(fs, value);
+      }
+      uint64_t px = static_cast<uint64_t>(kc);
+      int nib = 1;
+      for (int i = 0; i < kc; ++i) {
+        px |= static_cast<uint64_t>(order[i]) << (4 * nib++);
+      }
+      for (int s = 0; s < W; ++s) {
+        if (!kept_slot[s]) {
+          px |= static_cast<uint64_t>(s) << (4 * nib++);
+        }
+      }
+      release_fence();
+      n->set_permutation(Permuter(px));
+      int vacated = W - (kc - (new_left ? 1 : 0));
+      n->nremoved_ = static_cast<uint8_t>(
+          n->nremoved_ + vacated > 255 ? 255 : n->nremoved_ + vacated);
+    }
+
+    // Link n2 into the border list. n and n2 are locked; the old next's prev
+    // pointer is protected by its left sibling's lock, which we hold (§4.5).
+    Border* old_next = n->next();
+    n2->set_next(old_next);
+    n2->set_prev(n);
+    release_fence();
+    n->set_next(n2);
+    if (old_next != nullptr) {
+      old_next->set_prev(n2);
+    }
+
+    ascend_after_split(n, n2, ents[m].slice, ti);
+  }
+
+  void write_entry(Border* dst, int idx, const VirtualEntry& e, Border* src, const Key& key,
+                   uint64_t value, ThreadContext& ti) {
+    if (e.slot < 0) {
+      dst->set_slice(idx, key.slice());
+      if (key.has_suffix()) {
+        assign_suffix(dst, idx, key.suffix(), ti);
+        dst->set_keylenx(idx, kKeylenxSuffix);
+      } else {
+        dst->set_keylenx(idx, static_cast<uint8_t>(key.length_in_slice()));
+      }
+      dst->set_lv(idx, value);
+      return;
+    }
+    dst->set_slice(idx, src->slice(e.slot));
+    uint8_t kx = src->keylenx(e.slot);
+    assert(!keylenx_is_unstable(kx));
+    if (keylenx_has_suffix(kx)) {
+      assign_suffix(dst, idx, src->suffix(e.slot), ti);
+    }
+    dst->set_keylenx(idx, kx);
+    dst->set_lv(idx, src->lv(e.slot));
+  }
+
+  // Figure 5's ascend loop: insert (sep, right) above left, splitting
+  // interior nodes as needed, hand-over-hand locked.
+  void ascend_after_split(Node* left, Node* right, uint64_t sep, ThreadContext& ti) {
+    for (;;) {
+      Interior* p = locked_parent(left);
+      if (p == nullptr) {
+        // left was this layer's root: grow a new interior root.
+        Interior* r = Interior::make(ti, /*is_root=*/true);
+        r->set_nkeys(1);
+        r->set_key(0, sep);
+        r->set_child(0, left);
+        r->set_child(1, right);
+        left->set_parent(r);
+        right->set_parent(r);
+        left->version().set_root(false);
+        // Layer-0 roots are updated immediately; sub-layer links are fixed
+        // lazily by later descents (§4.6.4).
+        Node* expected = left;
+        root_.compare_exchange_strong(expected, r, std::memory_order_acq_rel);
+        left->version().unlock();
+        right->version().unlock();
+        return;
+      }
+      if (p->nkeys() < Interior::kWidth) {
+        p->version().mark_inserting();
+        int ci = p->find_child(left);
+        assert(ci >= 0);
+        int nk = p->nkeys();
+        for (int i = nk; i > ci; --i) {
+          p->set_key(i, p->key(i - 1));
+        }
+        for (int i = nk + 1; i > ci + 1; --i) {
+          p->set_child(i, p->child(i - 1));
+        }
+        p->set_key(ci, sep);
+        p->set_child(ci + 1, right);
+        right->set_parent(p);
+        p->set_nkeys(nk + 1);
+        left->version().unlock();
+        right->version().unlock();
+        p->version().unlock();
+        return;
+      }
+      // Parent full: split it and keep climbing.
+      constexpr int IW = Interior::kWidth;
+      p->version().mark_splitting();
+      left->version().unlock();
+      Interior* p2 = Interior::make(ti, false);
+      p2->version().assign_locked_from(p->version().load());
+      p2->version().set_root(false);
+
+      uint64_t keys[IW + 1];
+      Node* children[IW + 2];
+      int ci = p->find_child(left);
+      assert(ci >= 0);
+      {
+        int cpos = 0;
+        for (int i = 0; i <= IW; ++i) {
+          children[cpos++] = p->child(i);
+          if (i == ci) {
+            children[cpos++] = right;
+          }
+        }
+        int kpos = 0;
+        for (int i = 0; i < IW; ++i) {
+          if (i == ci) {
+            keys[kpos++] = sep;
+          }
+          keys[kpos++] = p->key(i);
+        }
+        if (ci == IW) {
+          keys[kpos++] = sep;
+        }
+      }
+      int mm = (IW + 1) / 2;
+      uint64_t upkey = keys[mm];
+      int rn = IW - mm;
+      p2->set_nkeys(rn);
+      for (int i = 0; i < rn; ++i) {
+        p2->set_key(i, keys[mm + 1 + i]);
+      }
+      for (int i = 0; i <= rn; ++i) {
+        Node* c = children[mm + 1 + i];
+        p2->set_child(i, c);
+        c->set_parent(p2);  // no child lock needed (§4.5)
+      }
+      p->set_nkeys(mm);
+      for (int i = 0; i < mm; ++i) {
+        p->set_key(i, keys[i]);
+      }
+      for (int i = 0; i <= mm; ++i) {
+        Node* c = children[i];
+        p->set_child(i, c);
+        c->set_parent(p);
+      }
+      right->version().unlock();  // right is linked into p or p2 now
+      left = p;
+      right = p2;
+      sep = upkey;
+    }
+  }
+
+  // ---------------- remove machinery (§4.6.5) ----------------
+
+  // Called with n locked and empty. Consumes the lock.
+  void handle_empty_border(Border* n, const Key& key, ThreadContext& ti) {
+    VersionValue v = n->version().load();
+    if (v.is_root()) {
+      // The initial node of a tree is never deleted while the tree exists;
+      // empty sub-layer trees are cleaned up by scheduled tasks.
+      if (key.layer() > 0) {
+        schedule_layer_gc(std::string(key.full().substr(0, key.offset())));
+      }
+      n->version().unlock();
+      return;
+    }
+    if (n->prev() == nullptr) {
+      // Leftmost border of its tree: keep (it anchors lowkey = -inf).
+      n->version().unlock();
+      return;
+    }
+    ti.counters().inc(Counter::kNodeDeleted);
+    n->version().mark_deleted();
+    n->version().unlock();  // frozen: no writer will touch it again
+    unlink_border(n);
+    std::vector<Node*> retired;
+    remove_from_parent(n, ti, &retired);
+    StringBag* bag = n->raw_suffixes().load(std::memory_order_relaxed);
+    if (bag != nullptr) {
+      ti.retire(bag);
+    }
+    ti.retire(n);
+    for (Node* dead : retired) {
+      ti.retire(dead);
+    }
+  }
+
+  // Unlink a frozen border node from the doubly linked list by locking its
+  // predecessor (whose lock protects both p->next and, transitively, the
+  // successor's prev) and revalidating.
+  static void unlink_border(Border* m) {
+    for (;;) {
+      Border* p = m->prev();
+      assert(p != nullptr);  // the leftmost node is never deleted
+      p->version().lock();
+      if (p->version().load().deleted() || p->next() != m) {
+        // p is being removed itself, or split/removal rewired the list;
+        // m->prev will be updated by whoever is responsible. Retry.
+        p->version().unlock();
+        spin_pause();
+        continue;
+      }
+      Border* nx = m->next();  // stable: m is frozen
+      p->set_next(nx);
+      if (nx != nullptr) {
+        nx->set_prev(p);
+      }
+      p->version().unlock();
+      return;
+    }
+  }
+
+  // Remove a frozen child from its parent, cascading when interiors empty
+  // out. Emptied interiors are appended to *retired; the caller epoch-retires
+  // them only after they are unreachable.
+  void remove_from_parent(Node* child, ThreadContext& ti, std::vector<Node*>* retired) {
+    Node* node = child;
+    for (;;) {
+      Interior* p = locked_parent(node);
+      assert(p != nullptr);  // roots are never deleted this way
+      int ci = p->find_child(node);
+      assert(ci >= 0);
+      int nk = p->nkeys();
+      if (nk == 0) {
+        // node was p's only child: p empties out; cascade upward.
+        ti.counters().inc(Counter::kNodeDeleted);
+        p->version().mark_deleted();
+        p->version().unlock();
+        retired->push_back(p);
+        node = p;
+        continue;
+      }
+      p->version().mark_inserting();
+      if (ci == 0) {
+        for (int i = 0; i < nk - 1; ++i) {
+          p->set_key(i, p->key(i + 1));
+        }
+        for (int i = 0; i <= nk - 1; ++i) {
+          p->set_child(i, p->child(i + 1));
+        }
+      } else {
+        for (int i = ci - 1; i < nk - 1; ++i) {
+          p->set_key(i, p->key(i + 1));
+        }
+        for (int i = ci; i <= nk - 1; ++i) {
+          p->set_child(i, p->child(i + 1));
+        }
+      }
+      p->set_nkeys(nk - 1);
+      p->version().unlock();
+      return;
+    }
+  }
+
+  void schedule_layer_gc(std::string prefix) {
+    std::lock_guard<std::mutex> lock(gc_mu_);
+    gc_tasks_.push_back(std::move(prefix));
+  }
+
+  // Execute one deferred empty-layer removal: descend to the border slot
+  // holding the layer link, verify the sub-layer is still an empty root
+  // border, and unpublish it. Locks parent-then-child across the two layers,
+  // an ordering used only here (normal operations lock one layer at a time).
+  void remove_empty_layer(const std::string& prefix, ThreadContext& ti) {
+    assert(prefix.size() % kSliceBytes == 0 && !prefix.empty());
+    EpochGuard guard(ti.slot());
+    size_t target_off = prefix.size() - kSliceBytes;
+    Key key(prefix);
+    Node* root = root_.load(std::memory_order_acquire);
+    int attempts = 0;
+    for (;;) {
+      if (++attempts > 64) {
+        return;  // contended; the empty layer is harmless, try again later
+      }
+      Border* n = locate_locked(root, key.slice(), ti);
+      if (n == nullptr) {
+        key.unshift_all();
+        root = root_.load(std::memory_order_acquire);
+        continue;
+      }
+      Permuter perm(n->raw_permutation().load(std::memory_order_relaxed));
+      int pos;
+      int slot = n->find(perm, key.slice(), 9, &pos);
+      if (slot < 0 || !keylenx_is_layer(n->keylenx(slot))) {
+        n->version().unlock();
+        return;  // link gone or in flux; nothing to do
+      }
+      Node* sub = n->layer(slot);
+      if (key.offset() < target_off) {
+        n->version().unlock();
+        root = sub;
+        key.shift();
+        continue;
+      }
+      sub->version().lock();
+      bool empty = false;
+      if (sub->is_border() && !sub->version().load().deleted()) {
+        Permuter sp(sub->as_border()->raw_permutation().load(std::memory_order_relaxed));
+        empty = sp.size() == 0;
+      }
+      if (!empty) {
+        sub->version().unlock();
+        n->version().unlock();
+        return;  // revived by a concurrent insert
+      }
+      ti.counters().inc(Counter::kNodeDeleted);
+      sub->version().mark_deleted();
+      sub->version().unlock();
+      perm.remove(pos);
+      n->set_permutation(perm);
+      if (n->nremoved_ < 255) {
+        ++n->nremoved_;
+      }
+      if (perm.size() == 0) {
+        handle_empty_border(n, key, ti);
+      } else {
+        n->version().unlock();
+      }
+      StringBag* bag = sub->as_border()->raw_suffixes().load(std::memory_order_relaxed);
+      if (bag != nullptr) {
+        ti.retire(bag);
+      }
+      ti.retire(sub);
+      return;
+    }
+  }
+
+  // ---------------- teardown & statistics ----------------
+
+  static void destroy_subtree(Node* n) {
+    if (n == nullptr) {
+      return;
+    }
+    if (n->is_border()) {
+      Border* b = n->as_border();
+      Permuter perm(b->raw_permutation().load(std::memory_order_relaxed));
+      for (int i = 0; i < perm.size(); ++i) {
+        int s = perm.get(i);
+        if (keylenx_is_layer(b->keylenx(s))) {
+          destroy_subtree(true_layer_root(b->layer(s)));
+        }
+      }
+      StringBag* bag = b->raw_suffixes().load(std::memory_order_relaxed);
+      if (bag != nullptr) {
+        Arena::deallocate(bag);
+      }
+      Arena::deallocate(b);
+      return;
+    }
+    Interior* in = n->as_interior();
+    for (int i = 0; i <= in->nkeys(); ++i) {
+      destroy_subtree(in->child(i));
+    }
+    Arena::deallocate(in);
+  }
+
+  template <typename F>
+  static void walk_values(Node* n, F& f) {
+    if (n == nullptr) {
+      return;
+    }
+    if (n->is_border()) {
+      Border* b = n->as_border();
+      Permuter perm(b->raw_permutation().load(std::memory_order_relaxed));
+      for (int i = 0; i < perm.size(); ++i) {
+        int s = perm.get(i);
+        if (keylenx_is_layer(b->keylenx(s))) {
+          walk_values(true_layer_root(b->layer(s)), f);
+        } else if (!keylenx_is_unstable(b->keylenx(s))) {
+          f(b->lv(s));
+        }
+      }
+      return;
+    }
+    Interior* in = n->as_interior();
+    for (int i = 0; i <= in->nkeys(); ++i) {
+      walk_values(in->child(i), f);
+    }
+  }
+
+  static void collect_subtree(Node* n, uint64_t depth, uint64_t layer, TreeStats* st) {
+    if (n == nullptr) {
+      return;
+    }
+    if (st->max_depth < depth && layer == 1) {
+      st->max_depth = depth;
+    }
+    if (st->layers < layer) {
+      st->layers = layer;
+    }
+    if (n->is_border()) {
+      Border* b = n->as_border();
+      ++st->border_nodes;
+      st->node_bytes += sizeof(Border);
+      Permuter perm(b->raw_permutation().load(std::memory_order_relaxed));
+      for (int i = 0; i < perm.size(); ++i) {
+        int s = perm.get(i);
+        if (keylenx_is_layer(b->keylenx(s))) {
+          ++st->layer_links;
+          collect_subtree(true_layer_root(b->layer(s)), 1, layer + 1, st);
+        } else {
+          ++st->keys;
+        }
+      }
+      StringBag* bag = b->raw_suffixes().load(std::memory_order_relaxed);
+      if (bag != nullptr) {
+        st->suffix_bytes += bag->capacity();
+        st->suffix_used_bytes += bag->used_bytes();
+      }
+      return;
+    }
+    Interior* in = n->as_interior();
+    ++st->interior_nodes;
+    st->node_bytes += sizeof(Interior);
+    for (int i = 0; i <= in->nkeys(); ++i) {
+      collect_subtree(in->child(i), depth + 1, layer, st);
+    }
+  }
+
+  std::atomic<Node*> root_;
+  mutable std::mutex gc_mu_;
+  std::vector<std::string> gc_tasks_;
+};
+
+// The concurrent tree the paper names Masstree.
+using Tree = BasicTree<DefaultConfig>;
+// The single-core variant (§6.4, §6.6).
+using SequentialTree = BasicTree<SequentialConfig>;
+
+}  // namespace masstree
+
+#endif  // MASSTREE_CORE_TREE_H_

@@ -1,0 +1,218 @@
+// The per-node version word (§4.5, Figure 3) and its protocol helpers
+// (Figure 4: stableversion, lock, unlock).
+//
+// Layout (32 bits):
+//
+//   bit  0        locked      — claimed by update/insert/split
+//   bit  1        inserting   — dirty: keys being added / slots reused
+//   bit  2        splitting   — dirty: keys moving between nodes
+//   bits 3..10    vinsert     — counter, incremented on unlock after insert
+//   bits 11..27   vsplit      — counter, incremented on unlock after split
+//   bit  28       (unused)    — "allows more efficient operations"
+//   bit  29       deleted     — node removed; any op that sees it retries
+//   bit  30       isroot      — node is the root of some B+-tree (layer)
+//   bit  31       isborder    — border vs interior
+//
+// vsplit is wider than vinsert because split detection drives retry-from-root
+// correctness: a reader paused across 2^17 splits of one node is implausible,
+// while vinsert wrap only risks an extra local retry. (The paper's Figure 3
+// makes the same asymmetry; its footnote 3 discusses wrap.)
+
+#ifndef MASSTREE_CORE_VERSION_H_
+#define MASSTREE_CORE_VERSION_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+#include "core/policy.h"
+#include "util/compiler.h"
+
+namespace masstree {
+
+// A snapshot of a version word; cheap value type used by readers.
+class VersionValue {
+ public:
+  static constexpr uint32_t kLocked = 1u << 0;
+  static constexpr uint32_t kInserting = 1u << 1;
+  static constexpr uint32_t kSplitting = 1u << 2;
+  static constexpr uint32_t kDirty = kInserting | kSplitting;
+  static constexpr uint32_t kVinsertLow = 1u << 3;
+  static constexpr uint32_t kVinsertMask = 0xFFu << 3;
+  static constexpr uint32_t kVsplitLow = 1u << 11;
+  static constexpr uint32_t kVsplitMask = 0x1FFFFu << 11;
+  static constexpr uint32_t kDeleted = 1u << 29;
+  static constexpr uint32_t kRoot = 1u << 30;
+  static constexpr uint32_t kBorder = 1u << 31;
+
+  VersionValue() : v_(0) {}
+  explicit VersionValue(uint32_t v) : v_(v) {}
+
+  uint32_t raw() const { return v_; }
+  bool locked() const { return v_ & kLocked; }
+  bool inserting() const { return v_ & kInserting; }
+  bool splitting() const { return v_ & kSplitting; }
+  bool dirty() const { return v_ & kDirty; }
+  bool deleted() const { return v_ & kDeleted; }
+  bool is_root() const { return v_ & kRoot; }
+  bool is_border() const { return v_ & kBorder; }
+  uint32_t vinsert() const { return (v_ & kVinsertMask) >> 3; }
+  uint32_t vsplit() const { return (v_ & kVsplitMask) >> 11; }
+
+ private:
+  uint32_t v_;
+};
+
+// The version word itself, embedded in every node.
+template <typename P>
+class NodeVersion {
+ public:
+  using V = VersionValue;
+
+  explicit NodeVersion(uint32_t init) : v_(init) {}
+
+  // Plain snapshot (acquire): orders subsequent field reads after it.
+  V load() const {
+    if constexpr (P::kConcurrent) {
+      return V(v_.load(std::memory_order_acquire));
+    } else {
+      return V(v_.load(std::memory_order_relaxed));
+    }
+  }
+
+  // Figure 4 stableversion: spin until not dirty.
+  V stable() const {
+    if constexpr (P::kConcurrent) {
+      uint32_t x = v_.load(std::memory_order_acquire);
+      while (MT_UNLIKELY(x & V::kDirty)) {
+        spin_pause();
+        x = v_.load(std::memory_order_acquire);
+      }
+      return V(x);
+    } else {
+      return load();
+    }
+  }
+
+  // True iff the node changed since `since` in any way a reader must care
+  // about (anything but the lock bit: dirty marks or counter bumps).
+  bool changed_since(V since) const {
+    if constexpr (P::kConcurrent) {
+      uint32_t cur = v_.load(std::memory_order_acquire);
+      return ((cur ^ since.raw()) & ~V::kLocked) != 0;
+    } else {
+      (void)since;
+      return false;
+    }
+  }
+
+  // True iff a *split* (or delete) happened since `since`; insert-only
+  // changes return false. Figure 6 uses this to retry locally vs from root.
+  bool split_since(V since) const {
+    if constexpr (P::kConcurrent) {
+      uint32_t cur = v_.load(std::memory_order_acquire);
+      return ((cur ^ since.raw()) & (V::kVsplitMask | V::kDeleted)) != 0;
+    } else {
+      (void)since;
+      return false;
+    }
+  }
+
+  // Figure 4 lock: spin on the lock bit.
+  void lock() {
+    if constexpr (P::kConcurrent) {
+      for (;;) {
+        uint32_t x = v_.load(std::memory_order_relaxed);
+        if (!(x & V::kLocked) &&
+            v_.compare_exchange_weak(x, x | V::kLocked, std::memory_order_acquire,
+                                     std::memory_order_relaxed)) {
+          return;
+        }
+        spin_pause();
+      }
+    } else {
+      assert(!(v_.load(std::memory_order_relaxed) & V::kLocked));
+      v_.store(v_.load(std::memory_order_relaxed) | V::kLocked, std::memory_order_relaxed);
+    }
+  }
+
+  bool try_lock() {
+    if constexpr (P::kConcurrent) {
+      uint32_t x = v_.load(std::memory_order_relaxed);
+      return !(x & V::kLocked) &&
+             v_.compare_exchange_strong(x, x | V::kLocked, std::memory_order_acquire,
+                                        std::memory_order_relaxed);
+    } else {
+      lock();
+      return true;
+    }
+  }
+
+  // Figure 4 unlock: one memory write that clears locked/inserting/splitting
+  // and bumps the matching counter.
+  void unlock() {
+    uint32_t x = v_.load(std::memory_order_relaxed);
+    assert(x & V::kLocked);
+    if (x & V::kInserting) {
+      x = (x & ~V::kVinsertMask) | ((x + V::kVinsertLow) & V::kVinsertMask);
+    } else if (x & V::kSplitting) {
+      x = (x & ~V::kVsplitMask) | ((x + V::kVsplitLow) & V::kVsplitMask);
+    }
+    x &= ~(V::kLocked | V::kInserting | V::kSplitting);
+    if constexpr (P::kConcurrent) {
+      v_.store(x, std::memory_order_release);
+    } else {
+      v_.store(x, std::memory_order_relaxed);
+    }
+  }
+
+  // Dirty marks. Must hold the lock. RMW so the mark is ordered before the
+  // field writes that follow it (§4.6's "mark as dirty before creating
+  // intermediate states").
+  void mark_inserting() { set_bits(V::kInserting); }
+  void mark_splitting() { set_bits(V::kSplitting); }
+  // Deletion counts as a split: readers must retry from the root (§4.6.5).
+  void mark_deleted() { set_bits(V::kDeleted | V::kSplitting); }
+
+  void set_root(bool on) {
+    if (on) {
+      set_bits(V::kRoot);
+    } else {
+      clear_bits(V::kRoot);
+    }
+  }
+
+  bool is_border_relaxed() const {
+    return v_.load(std::memory_order_relaxed) & V::kBorder;
+  }
+
+  // Copy dirty/counter state from a splitting node into its fresh sibling,
+  // locked (Figure 5: "n'.version <- n.version // n' is initially locked").
+  void assign_locked_from(V src) {
+    v_.store(src.raw() | V::kLocked, std::memory_order_relaxed);
+  }
+
+ private:
+  void set_bits(uint32_t bits) {
+    assert(v_.load(std::memory_order_relaxed) & V::kLocked);
+    if constexpr (P::kConcurrent) {
+      v_.fetch_or(bits, std::memory_order_acq_rel);
+    } else {
+      v_.store(v_.load(std::memory_order_relaxed) | bits, std::memory_order_relaxed);
+    }
+  }
+  void clear_bits(uint32_t bits) {
+    assert(v_.load(std::memory_order_relaxed) & V::kLocked);
+    if constexpr (P::kConcurrent) {
+      v_.fetch_and(~bits, std::memory_order_acq_rel);
+    } else {
+      v_.store(v_.load(std::memory_order_relaxed) & ~bits, std::memory_order_relaxed);
+    }
+  }
+
+  std::atomic<uint32_t> v_;
+};
+
+}  // namespace masstree
+
+#endif  // MASSTREE_CORE_VERSION_H_

@@ -1,0 +1,219 @@
+// Epoch-based memory reclamation (§4.6.1).
+//
+// "writers must not delete old values until all concurrent readers are done
+//  examining them. We solve this garbage collection problem with read-copy
+//  update techniques, namely a form of epoch-based reclamation [19]. All data
+//  accessible to readers is freed using similar techniques."
+//
+// Scheme (Fraser-style, three logical phases):
+//  * A global epoch counter advances monotonically.
+//  * Each thread owns a registered slot. While executing an operation that may
+//    touch reader-visible shared memory it "enters" the epoch by publishing
+//    the current epoch in its slot (EpochGuard).
+//  * Unlinked objects are retired with the epoch at unlink time. An object
+//    retired at epoch e may be freed once every in-critical-section thread has
+//    entered at an epoch strictly greater than e. Quiescent threads don't
+//    block reclamation.
+//
+// The registry is a fixed array of cache-line-padded slots, so entering an
+// epoch is two uncontended writes — readers never dirty shared lines.
+
+#ifndef MASSTREE_EPOCH_EPOCH_H_
+#define MASSTREE_EPOCH_EPOCH_H_
+
+#include <atomic>
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "util/compiler.h"
+
+namespace masstree {
+
+// A retired object awaiting reclamation.
+struct LimboEntry {
+  uint64_t epoch;
+  void* ptr;
+  void (*deleter)(void*);
+};
+
+class EpochManager;
+
+// Per-thread reclamation state. Obtained from EpochManager::register_thread();
+// all members except `active` are accessed only by the owning thread.
+struct alignas(kCacheLineSize) EpochSlot {
+  // Epoch published while inside a critical section; 0 when quiescent.
+  std::atomic<uint64_t> active{0};
+  std::atomic<bool> in_use{false};
+
+  // Owner-only state.
+  unsigned depth = 0;               // EpochGuard nesting
+  uint64_t ops_since_advance = 0;   // drives epoch advancement
+  size_t reclaim_threshold = 0;     // next limbo size that triggers a reclaim
+  std::vector<LimboEntry> limbo;    // retired, not yet freed
+  EpochManager* manager = nullptr;
+
+  char pad[kCacheLineSize];
+};
+
+class EpochManager {
+ public:
+  static constexpr unsigned kMaxThreads = 256;
+  // Advance the global epoch after this many guarded operations per thread.
+  static constexpr uint64_t kOpsPerAdvance = 4096;
+  // Attempt reclamation when a thread's limbo list reaches this size.
+  static constexpr size_t kLimboHighWater = 256;
+
+  EpochManager() = default;
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  ~EpochManager() {
+    // Process teardown: no concurrent threads remain, free everything.
+    for (auto& slot : slots_) {
+      drain(slot);
+    }
+  }
+
+  // Process-wide instance. Trees default to this; tests may build their own.
+  static EpochManager& global() {
+    static EpochManager mgr;
+    return mgr;
+  }
+
+  uint64_t current_epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  void advance() { epoch_.fetch_add(1, std::memory_order_acq_rel); }
+
+  // Claims a free slot. Thread-safe; aborts if more than kMaxThreads threads
+  // register simultaneously.
+  EpochSlot* register_thread() {
+    for (auto& slot : slots_) {
+      bool expected = false;
+      if (!slot.in_use.load(std::memory_order_relaxed) &&
+          slot.in_use.compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+        slot.manager = this;
+        slot.depth = 0;
+        slot.ops_since_advance = 0;
+        return &slot;
+      }
+    }
+    assert(!"EpochManager: out of thread slots");
+    return nullptr;
+  }
+
+  // Releases a slot. Remaining limbo objects are freed once safe; to keep
+  // unregister simple we block until they are.
+  void unregister_thread(EpochSlot* slot) {
+    assert(slot->depth == 0);
+    while (!slot->limbo.empty()) {
+      advance();
+      reclaim(*slot);
+      if (!slot->limbo.empty()) {
+        spin_pause();
+      }
+    }
+    slot->in_use.store(false, std::memory_order_release);
+  }
+
+  // Smallest epoch any in-critical-section thread has published, or
+  // current_epoch() if all threads are quiescent.
+  uint64_t min_active_epoch() const {
+    uint64_t min = current_epoch();
+    for (const auto& slot : slots_) {
+      if (!slot.in_use.load(std::memory_order_acquire)) {
+        continue;
+      }
+      uint64_t a = slot.active.load(std::memory_order_acquire);
+      if (a != 0 && a < min) {
+        min = a;
+      }
+    }
+    return min;
+  }
+
+  // Retire an object unlinked from reader-visible structures. Called with the
+  // guard held (so the retire epoch is well defined).
+  void retire(EpochSlot& slot, void* ptr, void (*deleter)(void*)) {
+    slot.limbo.push_back(LimboEntry{current_epoch(), ptr, deleter});
+    if (slot.limbo.size() >= std::max(slot.reclaim_threshold, size_t{kLimboHighWater})) {
+      advance();
+      reclaim(slot);
+      // Back off if a long-lived reader pins the epoch: retrying a full
+      // limbo scan on every retire would go quadratic during long scans.
+      slot.reclaim_threshold = slot.limbo.size() + kLimboHighWater;
+    }
+  }
+
+  // Free limbo entries whose epoch is strictly below every active thread's
+  // published epoch. Returns the number reclaimed.
+  size_t reclaim(EpochSlot& slot) {
+    if (slot.limbo.empty()) {
+      return 0;
+    }
+    uint64_t safe_below = min_active_epoch();
+    size_t kept = 0, freed = 0;
+    for (size_t i = 0; i < slot.limbo.size(); ++i) {
+      LimboEntry& e = slot.limbo[i];
+      if (e.epoch < safe_below) {
+        e.deleter(e.ptr);
+        ++freed;
+      } else {
+        slot.limbo[kept++] = e;
+      }
+    }
+    slot.limbo.resize(kept);
+    if (kept < slot.reclaim_threshold) {
+      slot.reclaim_threshold = kept + kLimboHighWater;
+    }
+    return freed;
+  }
+
+  size_t limbo_size(const EpochSlot& slot) const { return slot.limbo.size(); }
+
+ private:
+  void drain(EpochSlot& slot) {
+    for (auto& e : slot.limbo) {
+      e.deleter(e.ptr);
+    }
+    slot.limbo.clear();
+  }
+
+  std::atomic<uint64_t> epoch_{1};
+  EpochSlot slots_[kMaxThreads];
+};
+
+// RAII critical-section marker. Re-entrant: nested guards only bump a depth
+// counter. Entering publishes the epoch with a full fence so the announcement
+// is visible before any protected loads.
+class EpochGuard {
+ public:
+  explicit EpochGuard(EpochSlot& slot) : slot_(slot) {
+    if (slot_.depth++ == 0) {
+      EpochManager& mgr = *slot_.manager;
+      if (++slot_.ops_since_advance >= EpochManager::kOpsPerAdvance) {
+        slot_.ops_since_advance = 0;
+        mgr.advance();
+      }
+      slot_.active.store(mgr.current_epoch(), std::memory_order_relaxed);
+      full_fence();
+    }
+  }
+
+  ~EpochGuard() {
+    if (--slot_.depth == 0) {
+      slot_.active.store(0, std::memory_order_release);
+    }
+  }
+
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+ private:
+  EpochSlot& slot_;
+};
+
+}  // namespace masstree
+
+#endif  // MASSTREE_EPOCH_EPOCH_H_

@@ -1,0 +1,66 @@
+// Key: a cursor over the 8-byte slices of a variable-length, possibly binary
+// key (§4.1). Layer h of the trie is indexed by bytes [8h, 8h+8); shift()
+// advances the cursor one layer deeper.
+
+#ifndef MASSTREE_KEY_KEY_H_
+#define MASSTREE_KEY_KEY_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string_view>
+
+#include "key/keyslice.h"
+
+namespace masstree {
+
+class Key {
+ public:
+  Key() = default;
+  explicit Key(std::string_view full) : full_(full) {}
+
+  // The whole key, independent of the cursor.
+  std::string_view full() const { return full_; }
+
+  // Bytes at and after the cursor (the part relevant to this and deeper
+  // layers).
+  std::string_view remainder() const { return full_.substr(offset_); }
+
+  // Current layer index (0-based).
+  size_t layer() const { return offset_ / kSliceBytes; }
+
+  // The slice indexing the current layer.
+  uint64_t slice() const { return make_slice(remainder()); }
+
+  // Number of key bytes that fall inside the current slice (0..8).
+  size_t length_in_slice() const {
+    size_t rem = full_.size() - offset_;
+    return rem < kSliceBytes ? rem : kSliceBytes;
+  }
+
+  // True iff the key continues past the current slice, i.e. a border node
+  // needs either a suffix or a next-layer link for it.
+  bool has_suffix() const { return full_.size() - offset_ > kSliceBytes; }
+
+  // Bytes after the current slice (the stored suffix for suffixed keys).
+  std::string_view suffix() const { return full_.substr(offset_ + kSliceBytes); }
+
+  // Advance one layer (§4.6.3: "advance k to next slice").
+  void shift() {
+    assert(has_suffix());
+    offset_ += kSliceBytes;
+  }
+
+  // Rewind to layer 0. Used when an operation retries from the very top.
+  void unshift_all() { offset_ = 0; }
+
+  // Cursor byte offset (multiple of 8).
+  size_t offset() const { return offset_; }
+
+ private:
+  std::string_view full_;
+  size_t offset_ = 0;
+};
+
+}  // namespace masstree
+
+#endif  // MASSTREE_KEY_KEY_H_

@@ -1,0 +1,432 @@
+// Store — the complete Masstree storage system (§3, §4.7, §5): the
+// concurrent tree over multi-column rows, per-worker logging with group
+// commit, checkpointing, and crash recovery.
+//
+// Interface per §3: getc(k), putc(k,v), remove(k), getrangec(k,n), where the
+// optional column list selects subsets of a key's value.
+
+#ifndef MASSTREE_KVSTORE_STORE_H_
+#define MASSTREE_KVSTORE_STORE_H_
+
+#include <sys/stat.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "checkpoint/checkpoint.h"
+#include "core/tree.h"
+#include "log/logger.h"
+#include "log/recovery.h"
+#include "util/timing.h"
+#include "value/row.h"
+
+namespace masstree {
+
+class Store {
+ public:
+  struct Options {
+    // Directory for per-worker logs; empty disables persistence.
+    std::string log_dir;
+    // Number of log files ("Different logs may be on different disks or SSDs
+    // for higher total log throughput").
+    unsigned log_partitions = 4;
+    Logger::Options logger;
+  };
+
+  // A per-worker-thread handle: thread context + assigned log partition.
+  class Session {
+   public:
+    Session(Store& store, unsigned worker_id)
+        : store_(store),
+          worker_id_(worker_id),
+          logger_(store.loggers_.empty()
+                      ? nullptr
+                      : store.loggers_[worker_id % store.loggers_.size()].get()) {}
+
+    ThreadContext& ti() { return ti_; }
+    unsigned worker_id() const { return worker_id_; }
+    Store& store() { return store_; }
+
+   private:
+    friend class Store;
+    Store& store_;
+    unsigned worker_id_;
+    Logger* logger_;
+    ThreadContext ti_;
+  };
+
+  Store() : Store(Options()) {}
+
+  explicit Store(Options opt) : opt_(std::move(opt)) {
+    if (!opt_.log_dir.empty()) {
+      ::mkdir(opt_.log_dir.c_str(), 0755);
+      for (unsigned i = 0; i < opt_.log_partitions; ++i) {
+        loggers_.push_back(std::make_unique<Logger>(log_path(opt_.log_dir, i), opt_.logger));
+      }
+    }
+    ThreadContext setup_ti;
+    tree_ = std::make_unique<Tree>(setup_ti);
+  }
+
+  ~Store() {
+    // Quiescent teardown: free every live row, then the tree itself.
+    tree_->for_each_value([](uint64_t lv) { Row::deallocate(Row::from_slot(lv)); });
+  }
+
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+
+  static std::string log_path(const std::string& dir, unsigned i) {
+    return dir + "/log-" + std::to_string(i) + ".bin";
+  }
+
+  // ------------------------------------------------------------------
+  // getc(k): fetch selected columns (empty `cols` = all columns). Returns
+  // false if the key is absent.
+  bool get(std::string_view key, const std::vector<unsigned>& cols,
+           std::vector<std::string>* out, Session& s) const {
+    EpochGuard guard(s.ti_.slot());  // keeps the row alive while we copy
+    uint64_t lv;
+    if (!tree_->get(key, &lv, s.ti_)) {
+      return false;
+    }
+    const Row* row = Row::from_slot(lv);
+    out->clear();
+    if (cols.empty()) {
+      for (unsigned i = 0; i < row->ncols(); ++i) {
+        out->emplace_back(row->col(i));
+      }
+    } else {
+      for (unsigned c : cols) {
+        out->emplace_back(row->col(c));
+      }
+    }
+    return true;
+  }
+
+  // putc(k, v): atomic multi-column put (§4.7). Returns true if the key was
+  // newly inserted.
+  bool put(std::string_view key, const std::vector<ColumnUpdate>& updates, Session& s) {
+    uint64_t version = 0;
+    uint64_t old_lv = 0;
+    bool inserted = tree_->insert_transform(
+        key,
+        [&](bool found, uint64_t old) {
+          // Version assignment happens under the border lock, so versions of
+          // one value are strictly increasing in application order (§5).
+          version = next_version();
+          const Row* old_row = found ? Row::from_slot(old) : nullptr;
+          return Row::to_slot(Row::update(s.ti_, old_row, updates, version));
+        },
+        &old_lv, s.ti_);
+    if (!inserted) {
+      s.ti_.retire(Row::from_slot(old_lv), Row::deallocate);
+    }
+    if (s.logger_ != nullptr) {
+      s.logger_->append_put(key, updates, version, wall_us());
+    }
+    maybe_maintain(s);
+    return inserted;
+  }
+
+  bool remove(std::string_view key, Session& s) {
+    uint64_t version = 0;
+    Row* old_row = nullptr;
+    bool removed = tree_->remove_with(
+        key,
+        [&](uint64_t old) {
+          version = next_version();
+          old_row = Row::from_slot(old);
+        },
+        s.ti_);
+    if (removed) {
+      s.ti_.retire(old_row, Row::deallocate);
+      if (s.logger_ != nullptr) {
+        s.logger_->append_remove(key, version, wall_us());
+      }
+    }
+    maybe_maintain(s);
+    return removed;
+  }
+
+  // getrangec(k, n): up to n pairs starting at or after `key`, one selected
+  // column each (or the whole row when col == kAllColumns). Not atomic with
+  // respect to concurrent puts (§3).
+  static constexpr unsigned kAllColumns = ~0u;
+
+  template <typename F>
+  size_t getrange(std::string_view key, size_t n, unsigned col, F&& emit, Session& s) const {
+    EpochGuard guard(s.ti_.slot());
+    return tree_->scan(
+        key, n,
+        [&](std::string_view k, uint64_t lv) {
+          const Row* row = Row::from_slot(lv);
+          return emit(k, col == kAllColumns ? std::string_view() : row->col(col), row);
+        },
+        s.ti_);
+  }
+
+  // ------------------------------------------------------------------
+  // Checkpoint (§5): walks the tree in nworkers parallel key ranges while
+  // normal operations continue. The MANIFEST is written only after every
+  // part completes.
+  bool checkpoint(const std::string& dir, unsigned nworkers) {
+    ::mkdir(dir.c_str(), 0755);
+    CheckpointManifest m;
+    m.start_ts_us = wall_us();
+    m.version_floor = version_counter_.load(std::memory_order_acquire);
+    m.parts = nworkers;
+    std::atomic<bool> ok{true};
+    std::vector<std::thread> workers;
+    for (unsigned w = 0; w < nworkers; ++w) {
+      workers.emplace_back([&, w] {
+        ThreadContext ti;
+        CheckpointPartWriter out(checkpoint_part_path(dir, w));
+        if (!out.ok()) {
+          ok = false;
+          return;
+        }
+        // Range partition by leading byte: worker w covers
+        // [w*256/n, (w+1)*256/n) as first-byte values; worker 0 also covers
+        // the empty key. Scans run in bounded chunks so the checkpointer
+        // never pins an epoch for the whole walk — concurrent writers keep
+        // reclaiming memory (§5: checkpoints run in parallel with request
+        // processing).
+        unsigned lo = w * 256 / nworkers, hi = (w + 1) * 256 / nworkers;
+        std::string cursor =
+            w == 0 ? std::string() : std::string(1, static_cast<char>(lo));
+        std::vector<std::string_view> cols;
+        constexpr size_t kChunk = 4096;
+        bool done = false;
+        while (!done) {
+          size_t emitted = 0;
+          std::string last_key;
+          {
+            EpochGuard guard(ti.slot());
+            emitted = tree_->scan(
+                cursor, kChunk,
+                [&](std::string_view k, uint64_t lv) {
+                  if (hi < 256 && !k.empty() &&
+                      static_cast<unsigned char>(k[0]) >= hi) {
+                    done = true;
+                    return false;  // next worker's range
+                  }
+                  const Row* row = Row::from_slot(lv);
+                  cols.clear();
+                  for (unsigned i = 0; i < row->ncols(); ++i) {
+                    cols.push_back(row->col(i));
+                  }
+                  out.add(k, row->version(), cols);
+                  last_key.assign(k);
+                  return true;
+                },
+                ti);
+          }
+          if (emitted < kChunk) {
+            done = true;
+          }
+          if (!done) {
+            // Resume just past the last emitted key.
+            cursor = last_key;
+            cursor.push_back('\0');
+          }
+          ti.reclaim();
+        }
+        out.finish();
+      });
+    }
+    for (auto& t : workers) {
+      t.join();
+    }
+    if (!ok) {
+      return false;
+    }
+    return write_manifest(dir, m);
+  }
+
+  struct RecoveryResult {
+    bool used_checkpoint = false;
+    uint64_t checkpoint_records = 0;
+    uint64_t log_entries_applied = 0;
+    uint64_t cutoff_us = 0;
+  };
+
+  // Full §5 recovery into this (empty) store: load the checkpoint if one
+  // completed, then replay logs from the checkpoint's start time up to the
+  // cutoff t = min over logs of last timestamp.
+  RecoveryResult recover(const std::string& checkpoint_dir, const std::string& log_dir,
+                         unsigned nthreads) {
+    RecoveryResult res;
+    uint64_t since = 0;
+    CheckpointManifest m =
+        checkpoint_dir.empty() ? CheckpointManifest{} : read_manifest(checkpoint_dir);
+    if (m.valid) {
+      res.used_checkpoint = true;
+      since = m.start_ts_us;
+      std::atomic<uint64_t> loaded{0};
+      std::vector<std::thread> workers;
+      for (unsigned w = 0; w < m.parts; ++w) {
+        workers.emplace_back([&, w] {
+          Session s(*this, w);
+          auto records = read_checkpoint_part(checkpoint_part_path(checkpoint_dir, w));
+          for (auto& r : records) {
+            apply_row(r.key, r.cols, r.row_version, s);
+          }
+          loaded.fetch_add(records.size(), std::memory_order_relaxed);
+        });
+      }
+      for (auto& t : workers) {
+        t.join();
+      }
+      res.checkpoint_records = loaded.load();
+    }
+
+    std::vector<std::string> paths;
+    for (unsigned i = 0; i < opt_.log_partitions; ++i) {
+      paths.push_back(log_path(log_dir, i));
+    }
+    RecoverySet rs = load_logs(paths);
+    res.cutoff_us = rs.cutoff_us;
+    std::vector<LogEntry> plan = replay_plan(std::move(rs), since);
+
+    // Parallel replay partitioned by key hash; within a partition entries
+    // stay version-sorted, so each key's updates apply in version order.
+    std::vector<std::vector<const LogEntry*>> parts(nthreads);
+    for (const auto& e : plan) {
+      parts[std::hash<std::string>{}(e.key) % nthreads].push_back(&e);
+    }
+    std::atomic<uint64_t> applied{0};
+    std::vector<std::thread> workers;
+    for (unsigned w = 0; w < nthreads; ++w) {
+      workers.emplace_back([&, w] {
+        Session s(*this, w);
+        for (const LogEntry* e : parts[w]) {
+          if (e->type == LogType::kPut) {
+            std::vector<ColumnUpdate> updates;
+            updates.reserve(e->columns.size());
+            for (const auto& [c, d] : e->columns) {
+              updates.push_back(ColumnUpdate{c, d});
+            }
+            apply_update(e->key, updates, e->version, s);
+          } else {
+            apply_remove(e->key, e->version, s);
+          }
+          applied.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (auto& t : workers) {
+      t.join();
+    }
+    res.log_entries_applied = applied.load();
+    bump_version_floor(std::max(m.version_floor, max_version_seen_.load()));
+    return res;
+  }
+
+  // ------------------------------------------------------------------
+  void run_maintenance(Session& s) { tree_->run_maintenance(s.ti_); }
+
+  void sync_logs() {
+    for (auto& l : loggers_) {
+      l->sync();
+    }
+  }
+
+  // Reclaim log space made redundant by a completed checkpoint (§5). Call
+  // only after checkpoint() returned true; recovery then needs that
+  // checkpoint plus the post-truncation logs.
+  void truncate_logs() {
+    for (auto& l : loggers_) {
+      l->truncate();
+    }
+  }
+
+  TreeStats stats() const { return tree_->collect_stats(); }
+  Tree& tree() { return *tree_; }
+  uint64_t current_version() const { return version_counter_.load(std::memory_order_relaxed); }
+
+ private:
+  uint64_t next_version() {
+    return version_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  void bump_version_floor(uint64_t floor) {
+    uint64_t cur = version_counter_.load(std::memory_order_relaxed);
+    while (cur < floor &&
+           !version_counter_.compare_exchange_weak(cur, floor, std::memory_order_relaxed)) {
+    }
+  }
+
+  void maybe_maintain(Session& s) {
+    // Deferred empty-layer cleanups piggyback on write traffic (§4.6.5).
+    if ((maintenance_tick_.fetch_add(1, std::memory_order_relaxed) & 0xFFF) == 0) {
+      tree_->run_maintenance(s.ti_);
+    }
+  }
+
+  // Recovery appliers: last-writer-wins by version (rows carry versions, so
+  // checkpoint state and log replay compose regardless of arrival order).
+  void apply_row(std::string_view key, const std::vector<std::string>& cols, uint64_t version,
+                 Session& s) {
+    std::vector<ColumnUpdate> updates;
+    updates.reserve(cols.size());
+    for (unsigned i = 0; i < cols.size(); ++i) {
+      updates.push_back(ColumnUpdate{i, cols[i]});
+    }
+    apply_update(key, updates, version, s);
+  }
+
+  void apply_update(std::string_view key, const std::vector<ColumnUpdate>& updates,
+                    uint64_t version, Session& s) {
+    uint64_t old_lv = 0;
+    bool replaced_newer = false;
+    bool inserted = tree_->insert_transform(
+        key,
+        [&](bool found, uint64_t old) -> uint64_t {
+          const Row* old_row = found ? Row::from_slot(old) : nullptr;
+          if (old_row != nullptr && old_row->version() >= version) {
+            replaced_newer = true;
+            return old;  // keep the newer row
+          }
+          return Row::to_slot(Row::update(s.ti_, old_row, updates, version));
+        },
+        &old_lv, s.ti_);
+    if (!inserted && !replaced_newer) {
+      s.ti_.retire(Row::from_slot(old_lv), Row::deallocate);
+    }
+    track_version(version);
+  }
+
+  void apply_remove(std::string_view key, uint64_t version, Session& s) {
+    Row* old_row = nullptr;
+    bool removed = tree_->remove_with(
+        key, [&](uint64_t old) { old_row = Row::from_slot(old); }, s.ti_);
+    if (removed) {
+      s.ti_.retire(old_row, Row::deallocate);
+    }
+    track_version(version);
+  }
+
+  void track_version(uint64_t v) {
+    uint64_t cur = max_version_seen_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !max_version_seen_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  Options opt_;
+  std::vector<std::unique_ptr<Logger>> loggers_;
+  std::unique_ptr<Tree> tree_;
+  std::atomic<uint64_t> version_counter_{0};
+  std::atomic<uint64_t> max_version_seen_{0};
+  std::atomic<uint64_t> maintenance_tick_{0};
+};
+
+}  // namespace masstree
+
+#endif  // MASSTREE_KVSTORE_STORE_H_

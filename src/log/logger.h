@@ -1,0 +1,174 @@
+// Per-worker value logging with group commit (§5).
+//
+// "Each server query thread (core) maintains its own log file and in-memory
+//  log buffer. A corresponding logging thread ... writes out the log buffer
+//  in the background. ... A put operation appends to the query thread's log
+//  buffer and responds to the client without forcing that buffer to storage.
+//  Logging threads batch updates to take advantage of higher bulk sequential
+//  throughput, but force logs to storage at least every 200 ms for safety."
+
+#ifndef MASSTREE_LOG_LOGGER_H_
+#define MASSTREE_LOG_LOGGER_H_
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "log/logrecord.h"
+#include "util/timing.h"
+
+namespace masstree {
+
+class Logger {
+ public:
+  struct Options {
+    uint64_t flush_interval_ms = 200;   // the paper's safety deadline
+    size_t flush_high_water = 256 << 10;  // flush early once this much queued
+    bool fsync_on_flush = true;
+  };
+
+  explicit Logger(const std::string& path) : Logger(path, Options()) {}
+
+  Logger(const std::string& path, Options opt) : opt_(opt), path_(path) {
+    fd_ = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+    if (fd_ < 0) {
+      throw std::runtime_error("Logger: cannot open " + path);
+    }
+    flusher_ = std::thread([this] { flush_loop(); });
+  }
+
+  ~Logger() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      stop_ = true;
+      cv_.notify_all();
+    }
+    flusher_.join();
+    {
+      // Final heartbeat: this log's last timestamp must cover every record
+      // it holds, or the recovery cutoff would drop other logs' tails (§5).
+      std::unique_lock<std::mutex> lock(mu_);
+      logwire::encode_marker(&buf_, wall_us());
+    }
+    flush_now();
+    ::close(fd_);
+  }
+
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  // Appends return as soon as the record is buffered; durability arrives
+  // with the next group commit.
+  void append_put(std::string_view key, const std::vector<ColumnUpdate>& updates,
+                  uint64_t version, uint64_t timestamp_us) {
+    std::unique_lock<std::mutex> lock(mu_);
+    logwire::encode_put(&buf_, key, updates, version, timestamp_us);
+    maybe_kick(lock);
+  }
+
+  void append_remove(std::string_view key, uint64_t version, uint64_t timestamp_us) {
+    std::unique_lock<std::mutex> lock(mu_);
+    logwire::encode_remove(&buf_, key, version, timestamp_us);
+    maybe_kick(lock);
+  }
+
+  // Force everything buffered so far to storage (shutdown, checkpoints,
+  // tests). Appends a timestamp marker first so this log's last timestamp
+  // covers every record just synced — recovery's cutoff then keeps them.
+  void sync() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      logwire::encode_marker(&buf_, wall_us());
+    }
+    flush_now();
+  }
+
+  // Discard everything written so far (after a checkpoint has made old
+  // records redundant: §5 "allows log space to be reclaimed"). Buffered
+  // records are dropped too — callers sync() first if they want them.
+  void truncate() {
+    std::unique_lock<std::mutex> lock(mu_);
+    buf_.clear();
+    ::ftruncate(fd_, 0);
+    ::lseek(fd_, 0, SEEK_SET);
+  }
+
+  const std::string& path() const { return path_; }
+  uint64_t bytes_written() const { return bytes_written_.load(std::memory_order_relaxed); }
+  uint64_t flushes() const { return flushes_.load(std::memory_order_relaxed); }
+
+ private:
+  void maybe_kick(std::unique_lock<std::mutex>& lock) {
+    if (buf_.size() >= opt_.flush_high_water) {
+      cv_.notify_all();
+    }
+    (void)lock;
+  }
+
+  void flush_loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      cv_.wait_for(lock, std::chrono::milliseconds(opt_.flush_interval_ms), [this] {
+        return stop_ || buf_.size() >= opt_.flush_high_water;
+      });
+      if (buf_.empty() && !stop_) {
+        // Heartbeat so this log's last timestamp keeps advancing and the §5
+        // recovery cutoff is not pinned by an idle worker.
+        logwire::encode_marker(&buf_, wall_us());
+      }
+      flush_locked(lock);
+    }
+  }
+
+  void flush_now() {
+    std::unique_lock<std::mutex> lock(mu_);
+    flush_locked(lock);
+  }
+
+  void flush_locked(std::unique_lock<std::mutex>& lock) {
+    if (buf_.empty()) {
+      return;
+    }
+    std::string out;
+    out.swap(buf_);
+    lock.unlock();  // writers keep appending while we hit the disk
+    size_t off = 0;
+    while (off < out.size()) {
+      ssize_t n = ::write(fd_, out.data() + off, out.size() - off);
+      if (n <= 0) {
+        break;  // disk error: records stay lost; recovery's cutoff handles it
+      }
+      off += static_cast<size_t>(n);
+    }
+    if (opt_.fsync_on_flush) {
+      ::fdatasync(fd_);
+    }
+    bytes_written_.fetch_add(off, std::memory_order_relaxed);
+    flushes_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+
+  Options opt_;
+  std::string path_;
+  int fd_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::string buf_;
+  bool stop_ = false;
+  std::thread flusher_;
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> flushes_{0};
+};
+
+}  // namespace masstree
+
+#endif  // MASSTREE_LOG_LOGGER_H_

@@ -1,0 +1,185 @@
+// Log record encoding (§5).
+//
+// "A put operation appends to the query thread's log buffer ... Update
+//  version numbers are written into the log along with the operation, and
+//  each log record is timestamped."
+//
+// Wire format (little-endian, as written):
+//   u32 payload_len        (bytes between this field and the trailing crc)
+//   payload:
+//     u8  type             (1 = put, 2 = remove)
+//     u64 timestamp_us
+//     u64 version
+//     u32 key_len, key bytes
+//     u16 ncols, then per column: u16 col, u32 len, bytes   (puts only)
+//   u32 crc32(payload)
+//
+// Readers stop at a short or corrupt record: everything after a torn tail is
+// discarded, which is exactly the semantics group commit needs.
+
+#ifndef MASSTREE_LOG_LOGRECORD_H_
+#define MASSTREE_LOG_LOGRECORD_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/crc32.h"
+#include "value/row.h"
+
+namespace masstree {
+
+enum class LogType : uint8_t {
+  kPut = 1,
+  kRemove = 2,
+  // Timestamp heartbeat: written by idle loggers so a quiet log does not
+  // hold back the recovery cutoff t = min over logs of last timestamp (§5).
+  kMarker = 3,
+};
+
+// A decoded log record (owning copy, used during recovery).
+struct LogEntry {
+  LogType type;
+  uint64_t timestamp_us;
+  uint64_t version;
+  std::string key;
+  std::vector<std::pair<uint16_t, std::string>> columns;
+};
+
+namespace logwire {
+
+template <typename T>
+inline void put_raw(std::string* out, T v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+inline void encode_put(std::string* out, std::string_view key,
+                       const std::vector<ColumnUpdate>& updates, uint64_t version,
+                       uint64_t timestamp_us) {
+  size_t payload_start = out->size() + sizeof(uint32_t);
+  put_raw<uint32_t>(out, 0);  // patched below
+  put_raw<uint8_t>(out, static_cast<uint8_t>(LogType::kPut));
+  put_raw<uint64_t>(out, timestamp_us);
+  put_raw<uint64_t>(out, version);
+  put_raw<uint32_t>(out, static_cast<uint32_t>(key.size()));
+  out->append(key);
+  put_raw<uint16_t>(out, static_cast<uint16_t>(updates.size()));
+  for (const auto& u : updates) {
+    put_raw<uint16_t>(out, static_cast<uint16_t>(u.col));
+    put_raw<uint32_t>(out, static_cast<uint32_t>(u.data.size()));
+    out->append(u.data);
+  }
+  uint32_t len = static_cast<uint32_t>(out->size() - payload_start);
+  std::memcpy(out->data() + payload_start - sizeof(uint32_t), &len, sizeof(uint32_t));
+  uint32_t crc = crc32(out->data() + payload_start, static_cast<size_t>(len));
+  put_raw<uint32_t>(out, crc);
+}
+
+inline void encode_marker(std::string* out, uint64_t timestamp_us) {
+  size_t payload_start = out->size() + sizeof(uint32_t);
+  put_raw<uint32_t>(out, 0);
+  put_raw<uint8_t>(out, static_cast<uint8_t>(LogType::kMarker));
+  put_raw<uint64_t>(out, timestamp_us);
+  put_raw<uint64_t>(out, 0);   // version
+  put_raw<uint32_t>(out, 0);   // key length
+  uint32_t len = static_cast<uint32_t>(out->size() - payload_start);
+  std::memcpy(out->data() + payload_start - sizeof(uint32_t), &len, sizeof(uint32_t));
+  uint32_t crc = crc32(out->data() + payload_start, static_cast<size_t>(len));
+  put_raw<uint32_t>(out, crc);
+}
+
+inline void encode_remove(std::string* out, std::string_view key, uint64_t version,
+                          uint64_t timestamp_us) {
+  size_t payload_start = out->size() + sizeof(uint32_t);
+  put_raw<uint32_t>(out, 0);
+  put_raw<uint8_t>(out, static_cast<uint8_t>(LogType::kRemove));
+  put_raw<uint64_t>(out, timestamp_us);
+  put_raw<uint64_t>(out, version);
+  put_raw<uint32_t>(out, static_cast<uint32_t>(key.size()));
+  out->append(key);
+  uint32_t len = static_cast<uint32_t>(out->size() - payload_start);
+  std::memcpy(out->data() + payload_start - sizeof(uint32_t), &len, sizeof(uint32_t));
+  uint32_t crc = crc32(out->data() + payload_start, static_cast<size_t>(len));
+  put_raw<uint32_t>(out, crc);
+}
+
+// Decode every complete, checksum-valid record from buf. Stops (without
+// error) at a torn or corrupt tail. Returns the number of bytes consumed.
+inline size_t decode_all(std::string_view buf, std::vector<LogEntry>* out) {
+  size_t pos = 0;
+  auto read_raw = [&buf](size_t at, auto* v) {
+    std::memcpy(v, buf.data() + at, sizeof(*v));
+  };
+  for (;;) {
+    if (buf.size() - pos < sizeof(uint32_t)) {
+      return pos;
+    }
+    uint32_t len;
+    read_raw(pos, &len);
+    size_t payload = pos + sizeof(uint32_t);
+    if (len < 21 || buf.size() - payload < len + sizeof(uint32_t)) {
+      return pos;  // torn tail
+    }
+    uint32_t want_crc;
+    read_raw(payload + len, &want_crc);
+    if (crc32(buf.data() + payload, static_cast<size_t>(len)) != want_crc) {
+      return pos;  // corrupt record: discard it and everything after
+    }
+    size_t p = payload;
+    LogEntry e;
+    uint8_t type;
+    read_raw(p, &type);
+    p += 1;
+    if (type != static_cast<uint8_t>(LogType::kPut) &&
+        type != static_cast<uint8_t>(LogType::kRemove) &&
+        type != static_cast<uint8_t>(LogType::kMarker)) {
+      return pos;
+    }
+    e.type = static_cast<LogType>(type);
+    read_raw(p, &e.timestamp_us);
+    p += 8;
+    read_raw(p, &e.version);
+    p += 8;
+    uint32_t klen;
+    read_raw(p, &klen);
+    p += 4;
+    if (p + klen > payload + len) {
+      return pos;
+    }
+    e.key.assign(buf.data() + p, klen);
+    p += klen;
+    if (e.type == LogType::kPut) {
+      if (p + 2 > payload + len) {
+        return pos;
+      }
+      uint16_t ncols;
+      read_raw(p, &ncols);
+      p += 2;
+      for (uint16_t i = 0; i < ncols; ++i) {
+        if (p + 6 > payload + len) {
+          return pos;
+        }
+        uint16_t col;
+        uint32_t clen;
+        read_raw(p, &col);
+        p += 2;
+        read_raw(p, &clen);
+        p += 4;
+        if (p + clen > payload + len) {
+          return pos;
+        }
+        e.columns.emplace_back(col, std::string(buf.data() + p, clen));
+        p += clen;
+      }
+    }
+    out->push_back(std::move(e));
+    pos = payload + len + sizeof(uint32_t);
+  }
+}
+
+}  // namespace logwire
+}  // namespace masstree
+
+#endif  // MASSTREE_LOG_LOGRECORD_H_

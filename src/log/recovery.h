@@ -1,0 +1,87 @@
+// Log recovery (§5).
+//
+// "When restoring a database from logs, Masstree sorts logs by timestamp. It
+//  first calculates the recovery cutoff point, which is the minimum of the
+//  logs' last timestamps, t = min over logs of max update timestamp ...
+//  Masstree plays back the logged updates in parallel, taking care to apply a
+//  value's updates in increasing order by version, except that updates with
+//  u.timestamp > t are dropped."
+
+#ifndef MASSTREE_LOG_RECOVERY_H_
+#define MASSTREE_LOG_RECOVERY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "log/logrecord.h"
+
+namespace masstree {
+
+// Reads one log file, returning all intact records (stops at a torn or
+// corrupt tail). Missing files read as empty.
+inline std::vector<LogEntry> read_log_file(const std::string& path) {
+  std::vector<LogEntry> out;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return out;
+  }
+  std::string data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  logwire::decode_all(data, &out);
+  return out;
+}
+
+struct RecoverySet {
+  std::vector<std::vector<LogEntry>> logs;  // one vector per log file
+  uint64_t cutoff_us = std::numeric_limits<uint64_t>::max();
+};
+
+// Load every per-worker log and compute the §5 cutoff: the minimum over
+// non-empty logs of their last (max) timestamp. A log that recorded nothing
+// does not constrain the cutoff.
+inline RecoverySet load_logs(const std::vector<std::string>& paths) {
+  RecoverySet rs;
+  bool any = false;
+  for (const auto& p : paths) {
+    rs.logs.push_back(read_log_file(p));
+    const auto& log = rs.logs.back();
+    if (!log.empty()) {
+      uint64_t last = 0;
+      for (const auto& e : log) {
+        last = std::max(last, e.timestamp_us);
+      }
+      rs.cutoff_us = std::min(rs.cutoff_us, last);
+      any = true;
+    }
+  }
+  if (!any) {
+    rs.cutoff_us = 0;
+  }
+  return rs;
+}
+
+// Flatten + filter + sort for replay: drops entries with timestamp > cutoff
+// or < since (already covered by a checkpoint), and orders by value version
+// so per-key application order is correct. Partitioning by key hash for
+// parallel replay preserves this order within each key.
+inline std::vector<LogEntry> replay_plan(RecoverySet&& rs, uint64_t since_us = 0) {
+  std::vector<LogEntry> plan;
+  for (auto& log : rs.logs) {
+    for (auto& e : log) {
+      if (e.type != LogType::kMarker && e.timestamp_us <= rs.cutoff_us &&
+          e.timestamp_us >= since_us) {
+        plan.push_back(std::move(e));
+      }
+    }
+  }
+  std::sort(plan.begin(), plan.end(),
+            [](const LogEntry& a, const LogEntry& b) { return a.version < b.version; });
+  return plan;
+}
+
+}  // namespace masstree
+
+#endif  // MASSTREE_LOG_RECOVERY_H_

@@ -1,0 +1,197 @@
+// Batching client library for the Masstree server.
+//
+// §7 (Figure 12) highlights that batched/pipelined query support is vital on
+// these benchmarks. This client accumulates operations into one frame and
+// flush() sends the batch and decodes all responses at once.
+
+#ifndef MASSTREE_NET_CLIENT_H_
+#define MASSTREE_NET_CLIENT_H_
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/proto.h"
+
+namespace masstree {
+
+class Client {
+ public:
+  struct Result {
+    NetStatus status = NetStatus::kNotFound;
+    NetOp op = NetOp::kPing;
+    bool inserted = false;                          // puts
+    std::vector<std::string> columns;               // gets
+    std::vector<std::pair<std::string, std::string>> scan_items;  // scans
+  };
+
+  explicit Client(uint16_t port, const char* host = "127.0.0.1") {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      throw std::runtime_error("Client: socket() failed");
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host, &addr.sin_addr) != 1 ||
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd_);
+      throw std::runtime_error("Client: connect failed");
+    }
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+
+  ~Client() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // ---- batch builders ----
+  void get(std::string_view key, const std::vector<uint16_t>& cols = {}) {
+    netwire::encode_get(&batch_, key, cols);
+    ops_.push_back(NetOp::kGet);
+  }
+  void put(std::string_view key,
+           const std::vector<std::pair<uint16_t, std::string_view>>& cols) {
+    netwire::encode_put(&batch_, key, cols);
+    ops_.push_back(NetOp::kPut);
+  }
+  void remove(std::string_view key) {
+    netwire::encode_remove(&batch_, key);
+    ops_.push_back(NetOp::kRemove);
+  }
+  void scan(std::string_view key, uint32_t limit, uint16_t col) {
+    netwire::encode_scan(&batch_, key, limit, col);
+    ops_.push_back(NetOp::kScan);
+  }
+  void ping() {
+    netwire::encode_ping(&batch_);
+    ops_.push_back(NetOp::kPing);
+  }
+
+  size_t pending() const { return ops_.size(); }
+
+  // Sends the batch and decodes one Result per queued op.
+  std::vector<Result> flush() {
+    std::vector<Result> results;
+    if (ops_.empty()) {
+      return results;
+    }
+    netwire::frame(&batch_);
+    write_all(batch_);
+    batch_.clear();
+
+    std::string body = read_frame();
+    netwire::Reader r(body);
+    results.reserve(ops_.size());
+    for (NetOp op : ops_) {
+      Result res;
+      res.op = op;
+      uint8_t status;
+      if (!r.read(&status)) {
+        throw std::runtime_error("Client: short response");
+      }
+      res.status = static_cast<NetStatus>(status);
+      switch (op) {
+        case NetOp::kGet:
+          if (res.status == NetStatus::kOk) {
+            uint16_t ncols;
+            if (!r.read(&ncols)) {
+              throw std::runtime_error("Client: bad get response");
+            }
+            for (uint16_t i = 0; i < ncols; ++i) {
+              uint32_t len;
+              std::string_view data;
+              if (!r.read(&len) || !r.read_bytes(len, &data)) {
+                throw std::runtime_error("Client: bad get response");
+              }
+              res.columns.emplace_back(data);
+            }
+          }
+          break;
+        case NetOp::kPut: {
+          uint8_t inserted;
+          if (!r.read(&inserted)) {
+            throw std::runtime_error("Client: bad put response");
+          }
+          res.inserted = inserted != 0;
+          break;
+        }
+        case NetOp::kScan: {
+          uint32_t count;
+          if (!r.read(&count)) {
+            throw std::runtime_error("Client: bad scan response");
+          }
+          for (uint32_t i = 0; i < count; ++i) {
+            uint32_t klen, vlen;
+            std::string_view k, v;
+            if (!r.read(&klen) || !r.read_bytes(klen, &k) || !r.read(&vlen) ||
+                !r.read_bytes(vlen, &v)) {
+              throw std::runtime_error("Client: bad scan response");
+            }
+            res.scan_items.emplace_back(std::string(k), std::string(v));
+          }
+          break;
+        }
+        case NetOp::kRemove:
+        case NetOp::kPing:
+          break;
+      }
+      results.push_back(std::move(res));
+    }
+    ops_.clear();
+    return results;
+  }
+
+ private:
+  void write_all(std::string_view data) {
+    size_t off = 0;
+    while (off < data.size()) {
+      ssize_t n = ::write(fd_, data.data() + off, data.size() - off);
+      if (n <= 0) {
+        throw std::runtime_error("Client: write failed");
+      }
+      off += static_cast<size_t>(n);
+    }
+  }
+
+  std::string read_frame() {
+    for (;;) {
+      size_t consumed = 0;
+      auto body = netwire::try_frame(inbuf_, &consumed);
+      if (body) {
+        std::string out(*body);
+        inbuf_.erase(0, consumed);
+        return out;
+      }
+      char buf[64 << 10];
+      ssize_t n = ::read(fd_, buf, sizeof(buf));
+      if (n <= 0) {
+        throw std::runtime_error("Client: connection closed");
+      }
+      inbuf_.append(buf, static_cast<size_t>(n));
+    }
+  }
+
+  int fd_ = -1;
+  std::string batch_;
+  std::vector<NetOp> ops_;
+  std::string inbuf_;
+};
+
+}  // namespace masstree
+
+#endif  // MASSTREE_NET_CLIENT_H_

@@ -1,0 +1,152 @@
+// Wire protocol for the Masstree network server (§3, §5).
+//
+// "A single client message can include many queries." — requests and
+// responses are length-prefixed frames containing a batch of operations;
+// batching amortizes per-message network overhead, which §7 shows is vital
+// (memcached's unbatched puts collapse).
+//
+// Frame: u32 body_len | body. Request body: ops back to back.
+//   op:  u8 opcode
+//     kGet:    u32 klen key | u16 ncols (u16 col)*      (ncols=0 -> all)
+//     kPut:    u32 klen key | u16 ncols (u16 col u32 len bytes)*
+//     kRemove: u32 klen key
+//     kScan:   u32 klen key | u32 limit | u16 col       (col 0xFFFF -> col 0)
+//     kPing:   (empty)
+// Response body: one result per op.
+//   u8 status (0 = ok, 1 = not found)
+//     kGet ok:  u16 ncols (u32 len bytes)*
+//     kPut:     u8 inserted
+//     kRemove:  -
+//     kScan:    u32 count (u32 klen key u32 vlen value)*
+//     kPing:    -
+
+#ifndef MASSTREE_NET_PROTO_H_
+#define MASSTREE_NET_PROTO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace masstree {
+
+enum class NetOp : uint8_t {
+  kGet = 1,
+  kPut = 2,
+  kRemove = 3,
+  kScan = 4,
+  kPing = 5,
+};
+
+enum class NetStatus : uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+};
+
+namespace netwire {
+
+template <typename T>
+inline void put_raw(std::string* out, T v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+// Bounds-checked cursor over a received body.
+class Reader {
+ public:
+  explicit Reader(std::string_view buf) : buf_(buf) {}
+
+  template <typename T>
+  bool read(T* v) {
+    if (buf_.size() - pos_ < sizeof(T)) {
+      return false;
+    }
+    std::memcpy(v, buf_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool read_bytes(size_t n, std::string_view* out) {
+    if (buf_.size() - pos_ < n) {
+      return false;
+    }
+    *out = buf_.substr(pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool done() const { return pos_ == buf_.size(); }
+  size_t position() const { return pos_; }
+
+ private:
+  std::string_view buf_;
+  size_t pos_ = 0;
+};
+
+inline void encode_get(std::string* out, std::string_view key,
+                       const std::vector<uint16_t>& cols) {
+  put_raw<uint8_t>(out, static_cast<uint8_t>(NetOp::kGet));
+  put_raw<uint32_t>(out, static_cast<uint32_t>(key.size()));
+  out->append(key);
+  put_raw<uint16_t>(out, static_cast<uint16_t>(cols.size()));
+  for (uint16_t c : cols) {
+    put_raw<uint16_t>(out, c);
+  }
+}
+
+inline void encode_put(std::string* out, std::string_view key,
+                       const std::vector<std::pair<uint16_t, std::string_view>>& cols) {
+  put_raw<uint8_t>(out, static_cast<uint8_t>(NetOp::kPut));
+  put_raw<uint32_t>(out, static_cast<uint32_t>(key.size()));
+  out->append(key);
+  put_raw<uint16_t>(out, static_cast<uint16_t>(cols.size()));
+  for (const auto& [c, data] : cols) {
+    put_raw<uint16_t>(out, c);
+    put_raw<uint32_t>(out, static_cast<uint32_t>(data.size()));
+    out->append(data);
+  }
+}
+
+inline void encode_remove(std::string* out, std::string_view key) {
+  put_raw<uint8_t>(out, static_cast<uint8_t>(NetOp::kRemove));
+  put_raw<uint32_t>(out, static_cast<uint32_t>(key.size()));
+  out->append(key);
+}
+
+inline void encode_scan(std::string* out, std::string_view key, uint32_t limit, uint16_t col) {
+  put_raw<uint8_t>(out, static_cast<uint8_t>(NetOp::kScan));
+  put_raw<uint32_t>(out, static_cast<uint32_t>(key.size()));
+  out->append(key);
+  put_raw<uint32_t>(out, limit);
+  put_raw<uint16_t>(out, col);
+}
+
+inline void encode_ping(std::string* out) {
+  put_raw<uint8_t>(out, static_cast<uint8_t>(NetOp::kPing));
+}
+
+// Frame helpers: prepend the length prefix.
+inline void frame(std::string* body_into_frame) {
+  uint32_t len = static_cast<uint32_t>(body_into_frame->size());
+  body_into_frame->insert(0, reinterpret_cast<const char*>(&len), sizeof(len));
+}
+
+// If buf holds a complete frame, returns its body and sets *consumed.
+inline std::optional<std::string_view> try_frame(std::string_view buf, size_t* consumed) {
+  if (buf.size() < sizeof(uint32_t)) {
+    return std::nullopt;
+  }
+  uint32_t len;
+  std::memcpy(&len, buf.data(), sizeof(len));
+  if (buf.size() < sizeof(uint32_t) + len) {
+    return std::nullopt;
+  }
+  *consumed = sizeof(uint32_t) + len;
+  return buf.substr(sizeof(uint32_t), len);
+}
+
+}  // namespace netwire
+}  // namespace masstree
+
+#endif  // MASSTREE_NET_PROTO_H_

@@ -1,0 +1,50 @@
+// Calibrated busy-work, used by the §7 comparison models to charge
+// per-message and per-operation overheads (dispatch, parsing, document
+// encode/decode) without depending on wall-clock sleep granularity.
+
+#ifndef MASSTREE_UTIL_BUSYWORK_H_
+#define MASSTREE_UTIL_BUSYWORK_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/timing.h"
+
+namespace masstree {
+
+namespace internal {
+inline std::atomic<uint64_t> busy_sink{0};
+
+// Iterations per microsecond, measured once.
+inline uint64_t busy_iters_per_us() {
+  static const uint64_t rate = [] {
+    uint64_t iters = 1 << 20;
+    uint64_t x = 1;
+    uint64_t start = now_ns();
+    for (uint64_t i = 0; i < iters; ++i) {
+      x = x * 6364136223846793005ull + 1442695040888963407ull;
+    }
+    busy_sink.store(x, std::memory_order_relaxed);
+    uint64_t ns = now_ns() - start;
+    if (ns == 0) {
+      ns = 1;
+    }
+    return iters * 1000 / ns + 1;
+  }();
+  return rate;
+}
+}  // namespace internal
+
+// Burn roughly `ns` nanoseconds of CPU.
+inline void busy_ns(uint64_t ns) {
+  uint64_t iters = internal::busy_iters_per_us() * ns / 1000;
+  uint64_t x = internal::busy_sink.load(std::memory_order_relaxed);
+  for (uint64_t i = 0; i < iters; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+  }
+  internal::busy_sink.store(x, std::memory_order_relaxed);
+}
+
+}  // namespace masstree
+
+#endif  // MASSTREE_UTIL_BUSYWORK_H_

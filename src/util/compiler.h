@@ -1,0 +1,62 @@
+// Low-level compiler and memory-model helpers shared by every module.
+//
+// Masstree's read path never writes shared memory (§4.4 of the paper); its
+// correctness rests on carefully placed fences and relaxed atomic accesses.
+// The helpers here name those idioms so call sites read like the paper's
+// pseudocode.
+
+#ifndef MASSTREE_UTIL_COMPILER_H_
+#define MASSTREE_UTIL_COMPILER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace masstree {
+
+#define MT_LIKELY(x) __builtin_expect(!!(x), 1)
+#define MT_UNLIKELY(x) __builtin_expect(!!(x), 0)
+
+// Hardware cache line size on every platform we target (§6.1: 64-byte lines).
+inline constexpr size_t kCacheLineSize = 64;
+
+// Acquire fence: order a preceding relaxed load before subsequent accesses.
+// Used after snapshotting a node version (Fig 4's stableversion).
+inline void acquire_fence() { std::atomic_thread_fence(std::memory_order_acquire); }
+
+// Release fence: order preceding writes before a subsequent publishing store.
+// Used before permutation/version stores that make writer changes visible
+// (§4.6.2: "A compiler fence, and on some architectures a machine fence
+// instruction, is required between the writes of the key and value and the
+// write of the permutation").
+inline void release_fence() { std::atomic_thread_fence(std::memory_order_release); }
+
+// Full barrier, used only on slow paths (e.g. epoch advancement).
+inline void full_fence() { std::atomic_thread_fence(std::memory_order_seq_cst); }
+
+// Pause instruction for spin loops; keeps the sibling hyperthread productive
+// and reduces memory-order violation flushes on x86.
+inline void spin_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+}
+
+// Relaxed load of a value that concurrent writers may change underneath us.
+// Every use is paired with a version or permutation validation that detects
+// the race, per §4.6.
+template <typename T>
+inline T relaxed_load(const std::atomic<T>& v) {
+  return v.load(std::memory_order_relaxed);
+}
+
+template <typename T>
+inline void relaxed_store(std::atomic<T>& v, T x) {
+  v.store(x, std::memory_order_relaxed);
+}
+
+}  // namespace masstree
+
+#endif  // MASSTREE_UTIL_COMPILER_H_

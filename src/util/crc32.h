@@ -1,0 +1,47 @@
+// CRC-32 (IEEE 802.3 polynomial), table-driven. Used to detect torn or
+// corrupt tails when scanning logs and checkpoints during recovery (§5).
+
+#ifndef MASSTREE_UTIL_CRC32_H_
+#define MASSTREE_UTIL_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace masstree {
+
+namespace internal {
+inline const std::array<uint32_t, 256>& crc32_table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace internal
+
+inline uint32_t crc32(const void* data, size_t len, uint32_t seed = 0) {
+  const auto& table = internal::crc32_table();
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+inline uint32_t crc32(std::string_view s, uint32_t seed = 0) {
+  return crc32(s.data(), s.size(), seed);
+}
+
+}  // namespace masstree
+
+#endif  // MASSTREE_UTIL_CRC32_H_

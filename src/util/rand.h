@@ -1,0 +1,133 @@
+// Deterministic fast PRNGs and the skewed distributions the paper's
+// evaluation uses: uniform keys (§6.1), Zipfian key popularity for the
+// MYCSB workloads (§7), and the single-parameter partition skew of
+// Hua et al. used by Figure 11 (§6.6).
+
+#ifndef MASSTREE_UTIL_RAND_H_
+#define MASSTREE_UTIL_RAND_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace masstree {
+
+// xoshiro256** — fast, high-quality, and reproducible across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 seeding, the reference initialization for xoshiro.
+    uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9E3779B97F4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t next() {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, n). n must be > 0.
+  uint64_t next_range(uint64_t n) { return next() % n; }
+
+  // Uniform double in [0, 1).
+  double next_double() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+// Zipfian generator over [0, n) with parameter theta (YCSB uses 0.99),
+// following Gray et al., "Quickly generating billion-record synthetic
+// databases" — the same construction YCSB's ZipfianGenerator uses.
+class Zipfian {
+ public:
+  Zipfian(uint64_t n, double theta = 0.99, uint64_t seed = 1)
+      : rng_(seed), n_(n), theta_(theta) {
+    zetan_ = zeta(n_, theta_);
+    zeta2_ = zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) / (1.0 - zeta2_ / zetan_);
+  }
+
+  uint64_t next() {
+    double u = rng_.next_double();
+    double uz = u * zetan_;
+    if (uz < 1.0) {
+      return 0;
+    }
+    if (uz < 1.0 + std::pow(0.5, theta_)) {
+      return 1;
+    }
+    double v = static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_);
+    uint64_t r = static_cast<uint64_t>(v);
+    return r >= n_ ? n_ - 1 : r;
+  }
+
+  // Scrambled variant: spreads popular items across the key space, as YCSB
+  // does, so hot keys are not lexicographic neighbours.
+  uint64_t next_scrambled() { return fnv1a(next()) % n_; }
+
+  static uint64_t fnv1a(uint64_t x) {
+    uint64_t h = 14695981039346656037ull;
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (i * 8)) & 0xff;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+
+ private:
+  static double zeta(uint64_t n, double theta) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  Rng rng_;
+  uint64_t n_;
+  double theta_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+// Figure 11's partition skew (after Hua et al. [22]): with P partitions and
+// skew delta, partition 0 receives (delta + 1) times the request share of each
+// of the other P-1 partitions.
+class PartitionSkew {
+ public:
+  PartitionSkew(unsigned partitions, double delta, uint64_t seed = 1)
+      : rng_(seed), partitions_(partitions), hot_share_((delta + 1.0) / (delta + partitions)) {}
+
+  // Returns the partition for the next request.
+  unsigned next_partition() {
+    if (rng_.next_double() < hot_share_) {
+      return 0;
+    }
+    return 1 + static_cast<unsigned>(rng_.next_range(partitions_ - 1));
+  }
+
+  double hot_share() const { return hot_share_; }
+
+ private:
+  Rng rng_;
+  unsigned partitions_;
+  double hot_share_;
+};
+
+}  // namespace masstree
+
+#endif  // MASSTREE_UTIL_RAND_H_

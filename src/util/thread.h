@@ -1,0 +1,33 @@
+// Thread-affinity helpers. The paper pins one server thread per core
+// (§5, §6.1); on this container we pin modulo the available CPU count.
+
+#ifndef MASSTREE_UTIL_THREAD_H_
+#define MASSTREE_UTIL_THREAD_H_
+
+#include <pthread.h>
+#include <sched.h>
+
+#include <thread>
+
+namespace masstree {
+
+// Best-effort pinning of the calling thread to a CPU. Returns true on success.
+inline bool pin_to_cpu(unsigned cpu_index) {
+  unsigned n = std::thread::hardware_concurrency();
+  if (n == 0) {
+    return false;
+  }
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu_index % n, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+
+inline unsigned hardware_threads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+}  // namespace masstree
+
+#endif  // MASSTREE_UTIL_THREAD_H_

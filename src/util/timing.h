@@ -1,0 +1,43 @@
+// Wall-clock timing helpers for benchmarks and the 200 ms log group-commit
+// deadline (§5).
+
+#ifndef MASSTREE_UTIL_TIMING_H_
+#define MASSTREE_UTIL_TIMING_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace masstree {
+
+// Monotonic nanoseconds since an arbitrary origin.
+inline uint64_t now_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Microseconds since the Unix epoch; used as log record timestamps (§5's
+// recovery cutoff compares timestamps across per-core logs).
+inline uint64_t wall_us() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+// Simple stopwatch for throughput reporting.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(now_ns()) {}
+  void reset() { start_ = now_ns(); }
+  double elapsed_seconds() const { return static_cast<double>(now_ns() - start_) * 1e-9; }
+  uint64_t elapsed_ns() const { return now_ns() - start_; }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace masstree
+
+#endif  // MASSTREE_UTIL_TIMING_H_

@@ -1,0 +1,67 @@
+// Key generators for the paper's workloads (§6.1, §6.4, §7).
+
+#ifndef MASSTREE_WORKLOAD_KEYS_H_
+#define MASSTREE_WORKLOAD_KEYS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace masstree {
+
+// SplitMix64: deterministic index -> pseudo-random value, so workloads can
+// refer to "key #i" without storing the key set.
+inline uint64_t splitmix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// "1-to-10-byte decimal": decimal string representations of random numbers
+// between 0 and 2^31 (§6.1). 80% of keys are 9 or 10 bytes long, which makes
+// Masstree create layer-1 trees.
+inline std::string decimal_key(uint64_t index) {
+  return std::to_string(splitmix64(index) % (uint64_t{1} << 31));
+}
+
+// Fixed-size 8-byte decimal keys (§6.4's variable-length-key experiment).
+inline std::string decimal8_key(uint64_t index) {
+  char buf[16];
+  snprintf(buf, sizeof(buf), "%08llu",
+           static_cast<unsigned long long>(splitmix64(index) % 100000000ull));
+  return std::string(buf, 8);
+}
+
+// 8-byte random alphabetical keys (§6.4's hash-table comparison; "digit-only
+// keys caused collisions and we wanted the test to favor the hash table").
+inline std::string alpha8_key(uint64_t index) {
+  uint64_t x = splitmix64(index);
+  std::string s(8, 'a');
+  for (int i = 0; i < 8; ++i) {
+    s[i] = static_cast<char>('a' + (x % 26));
+    x /= 26;
+  }
+  return s;
+}
+
+// Figure 9 keys: total length `len` (8..48+); every key shares the same
+// (len-8)-byte prefix and only the final 8 bytes vary, drawn from 80M-scale
+// decimal values.
+inline std::string prefix_key(uint64_t index, size_t len) {
+  std::string key(len >= 8 ? len - 8 : 0, 'P');
+  char buf[16];
+  snprintf(buf, sizeof(buf), "%08llu",
+           static_cast<unsigned long long>(splitmix64(index) % 100000000ull));
+  key.append(buf, 8);
+  return key;
+}
+
+// MYCSB keys (§7): 5-to-24-byte keys; "user" + up-to-20-digit decimal.
+inline std::string mycsb_key(uint64_t index) {
+  return "user" + std::to_string(splitmix64(index));
+}
+
+}  // namespace masstree
+
+#endif  // MASSTREE_WORKLOAD_KEYS_H_

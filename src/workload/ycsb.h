@@ -1,0 +1,106 @@
+// MYCSB — the paper's modified YCSB (§7).
+//
+// "The second set uses workloads based on the YCSB cloud serving benchmark.
+//  We use a Zipfian distribution for key popularity and set the number of
+//  columns to 10 and size of each column to 4 bytes. ... We modify [YCSB-E]
+//  to return one column per key ... we modified YCSB to identify columns by
+//  number rather than name. We call the result MYCSB."
+//
+// Mixes: A = 50% get / 50% put, B = 95% get / 5% put, C = all get,
+// E = 95% getrange / 5% put. Gets read all ten columns; puts update one
+// 4-byte column; getrange returns one column for 1..100 adjacent keys.
+
+#ifndef MASSTREE_WORKLOAD_YCSB_H_
+#define MASSTREE_WORKLOAD_YCSB_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+#include "util/rand.h"
+#include "workload/keys.h"
+
+namespace masstree {
+
+enum class MycsbOpType { kGet, kPut, kScan };
+
+struct MycsbOp {
+  MycsbOpType type;
+  uint64_t key_index;   // into the loaded key space
+  unsigned col;         // column touched by puts / returned by scans
+  unsigned scan_len;    // 1..100 for scans
+};
+
+struct MycsbConfig {
+  char workload = 'C';        // 'A', 'B', 'C', or 'E'
+  uint64_t nkeys = 1000000;   // loaded key count (paper: 20M)
+  unsigned ncols = 10;
+  unsigned colsize = 4;
+  double zipf_theta = 0.99;
+};
+
+class MycsbGenerator {
+ public:
+  MycsbGenerator(const MycsbConfig& cfg, uint64_t seed)
+      : cfg_(cfg), rng_(seed), zipf_(cfg.nkeys, cfg.zipf_theta, seed + 1) {
+    switch (cfg.workload) {
+      case 'A':
+        get_pct_ = 50;
+        scan_pct_ = 0;
+        break;
+      case 'B':
+        get_pct_ = 95;
+        scan_pct_ = 0;
+        break;
+      case 'C':
+        get_pct_ = 100;
+        scan_pct_ = 0;
+        break;
+      case 'E':
+        get_pct_ = 0;
+        scan_pct_ = 95;
+        break;
+      default:
+        assert(!"unknown MYCSB workload");
+    }
+  }
+
+  MycsbOp next() {
+    MycsbOp op;
+    op.key_index = zipf_.next_scrambled();
+    op.col = static_cast<unsigned>(rng_.next_range(cfg_.ncols));
+    op.scan_len = 1 + static_cast<unsigned>(rng_.next_range(100));
+    unsigned dice = static_cast<unsigned>(rng_.next_range(100));
+    if (dice < get_pct_) {
+      op.type = MycsbOpType::kGet;
+    } else if (dice < get_pct_ + scan_pct_) {
+      op.type = MycsbOpType::kScan;
+    } else {
+      op.type = MycsbOpType::kPut;
+    }
+    return op;
+  }
+
+  // A deterministic 4-byte column payload.
+  std::string column_value(uint64_t key_index, unsigned col, uint64_t salt) const {
+    uint64_t x = splitmix64(key_index * 37 + col + salt * 101);
+    std::string s(cfg_.colsize, '\0');
+    for (unsigned i = 0; i < cfg_.colsize; ++i) {
+      s[i] = static_cast<char>('!' + ((x >> (i * 7)) % 90));
+    }
+    return s;
+  }
+
+  const MycsbConfig& config() const { return cfg_; }
+
+ private:
+  MycsbConfig cfg_;
+  Rng rng_;
+  Zipfian zipf_;
+  unsigned get_pct_ = 100;
+  unsigned scan_pct_ = 0;
+};
+
+}  // namespace masstree
+
+#endif  // MASSTREE_WORKLOAD_YCSB_H_

@@ -1,0 +1,190 @@
+// Flow allocator tests (§6.2): size classes, span recovery, remote frees.
+
+#include "alloc/flow.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace masstree {
+namespace {
+
+TEST(Flow, SizeClassLookup) {
+  using internal::size_class_for;
+  using internal::kSizeClasses;
+  EXPECT_EQ(kSizeClasses[size_class_for(1)], 16u);
+  EXPECT_EQ(kSizeClasses[size_class_for(16)], 16u);
+  EXPECT_EQ(kSizeClasses[size_class_for(17)], 32u);
+  EXPECT_EQ(kSizeClasses[size_class_for(64)], 64u);
+  EXPECT_EQ(kSizeClasses[size_class_for(65)], 128u);
+  EXPECT_EQ(kSizeClasses[size_class_for(4096)], 4096u);
+  EXPECT_EQ(size_class_for(100000), internal::kNumClasses);  // large
+}
+
+TEST(Flow, AllocateWriteFree) {
+  Flow flow;
+  Arena* a = flow.acquire_arena();
+  bind_thread_arena(a);
+  void* p = a->allocate(100);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xAB, 100);
+  Arena::deallocate(p);
+  bind_thread_arena(nullptr);
+  flow.release_arena(a);
+}
+
+TEST(Flow, NodesAreCacheLineAligned) {
+  Flow flow;
+  Arena* a = flow.acquire_arena();
+  for (int i = 0; i < 100; ++i) {
+    void* p = a->allocate(256 + (i % 3) * 64);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % kCacheLineSize, 0u);
+  }
+  flow.release_arena(a);
+}
+
+TEST(Flow, LocalFreeListReuse) {
+  Flow flow;
+  Arena* a = flow.acquire_arena();
+  bind_thread_arena(a);
+  void* p1 = a->allocate(64);
+  Arena::deallocate(p1);
+  void* p2 = a->allocate(64);
+  EXPECT_EQ(p1, p2);  // LIFO reuse
+  bind_thread_arena(nullptr);
+  flow.release_arena(a);
+}
+
+TEST(Flow, DistinctAllocations) {
+  Flow flow;
+  Arena* a = flow.acquire_arena();
+  std::set<void*> seen;
+  for (int i = 0; i < 10000; ++i) {
+    void* p = a->allocate(48);
+    EXPECT_TRUE(seen.insert(p).second);
+  }
+  flow.release_arena(a);
+}
+
+TEST(Flow, LargeAllocation) {
+  Flow flow;
+  Arena* a = flow.acquire_arena();
+  size_t big = 3u << 20;  // 3 MB, above the largest class
+  char* p = static_cast<char*>(a->allocate(big));
+  ASSERT_NE(p, nullptr);
+  p[0] = 'x';
+  p[big - 1] = 'y';
+  Arena::deallocate(p);
+  flow.release_arena(a);
+}
+
+TEST(Flow, RemoteFreeDrains) {
+  Flow flow;
+  Arena* a = flow.acquire_arena();
+  bind_thread_arena(a);
+  // Exhaust one span's worth so the drain path triggers.
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 1000; ++i) {
+    ptrs.push_back(a->allocate(64));
+  }
+  std::thread other([&] {
+    // Not the owner: frees go onto the span's remote list.
+    for (void* p : ptrs) {
+      Arena::deallocate(p);
+    }
+  });
+  other.join();
+  // Owner reallocates; must be able to drain the remote frees rather than
+  // mapping fresh chunks forever.
+  uint64_t chunks_before = flow.chunks_mapped();
+  std::set<void*> reused(ptrs.begin(), ptrs.end());
+  int hits = 0;
+  for (int i = 0; i < 1000; ++i) {
+    void* p = a->allocate(64);
+    if (reused.count(p)) {
+      ++hits;
+    }
+  }
+  EXPECT_GT(hits, 0);
+  EXPECT_LE(flow.chunks_mapped(), chunks_before + 1);
+  bind_thread_arena(nullptr);
+  flow.release_arena(a);
+}
+
+TEST(Flow, SpansAreCarvedNotBurned) {
+  // Regression: a fresh span must become the carving span, so consecutive
+  // allocations fill it instead of mapping a new span per object.
+  Flow flow;
+  Arena* a = flow.acquire_arena();
+  for (int i = 0; i < 10000; ++i) {
+    a->allocate(256);
+  }
+  // 10000 x 256B = 2.44 MB; spans are 64 KB, so ~40 spans and 1-2 chunks.
+  EXPECT_LT(a->stats().spans, 60u);
+  EXPECT_LE(flow.chunks_mapped(), 2u);
+  flow.release_arena(a);
+}
+
+TEST(Flow, ArenaPoolingReusesArenas) {
+  Flow flow;
+  Arena* a = flow.acquire_arena();
+  flow.release_arena(a);
+  Arena* b = flow.acquire_arena();
+  EXPECT_EQ(a, b);
+  flow.release_arena(b);
+}
+
+TEST(Flow, StatsCount) {
+  Flow flow;
+  Arena* a = flow.acquire_arena();
+  bind_thread_arena(a);
+  uint64_t before = a->stats().allocated_objects;
+  void* p = a->allocate(32);
+  EXPECT_EQ(a->stats().allocated_objects, before + 1);
+  Arena::deallocate(p);
+  EXPECT_EQ(a->stats().freed_objects, 1u);
+  bind_thread_arena(nullptr);
+  flow.release_arena(a);
+}
+
+TEST(Flow, ConcurrentAllocFreeStress) {
+  Flow flow;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&flow, t] {
+      Arena* a = flow.acquire_arena();
+      bind_thread_arena(a);
+      std::vector<void*> live;
+      uint64_t rng = 0x12345 + t;
+      for (int i = 0; i < kIters; ++i) {
+        rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+        size_t sz = 16 + (rng % 512);
+        void* p = a->allocate(sz);
+        std::memset(p, static_cast<int>(rng & 0xff), sz > 16 ? 16 : sz);
+        live.push_back(p);
+        if (live.size() > 64) {
+          size_t idx = rng % live.size();
+          Arena::deallocate(live[idx]);
+          live[idx] = live.back();
+          live.pop_back();
+        }
+      }
+      for (void* p : live) {
+        Arena::deallocate(p);
+      }
+      bind_thread_arena(nullptr);
+      flow.release_arena(a);
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+}
+
+}  // namespace
+}  // namespace masstree

@@ -1,0 +1,373 @@
+// Baseline data-structure tests: the Figure 8 ladder (binary tree, 4-tree,
+// B-tree variants), the §6.4 hash table, the §4.1 pkB-tree, and the §6.6
+// hard-partitioned store. Each is checked against an oracle and under
+// concurrent churn.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/binary_tree.h"
+#include "baselines/fast_btree.h"
+#include "baselines/four_tree.h"
+#include "baselines/hash_table.h"
+#include "baselines/partitioned.h"
+#include "util/rand.h"
+#include "workload/keys.h"
+
+namespace masstree {
+namespace {
+
+// ------------------------- binary tree -------------------------
+
+template <typename T>
+class BinaryTreeTest : public ::testing::Test {};
+
+using BinaryVariants =
+    ::testing::Types<BinaryTree<MallocNodeAlloc, false>, BinaryTree<MallocNodeAlloc, true>,
+                     BinaryTree<FlowNodeAlloc, true>>;
+TYPED_TEST_SUITE(BinaryTreeTest, BinaryVariants);
+
+TYPED_TEST(BinaryTreeTest, OracleRandomKeys) {
+  ThreadContext ti;
+  TypeParam tree;
+  std::map<std::string, uint64_t> oracle;
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    std::string k = decimal_key(rng.next());
+    uint64_t v = rng.next();
+    bool inserted = tree.insert(k, v, &ti.arena());
+    EXPECT_EQ(inserted, oracle.find(k) == oracle.end());
+    oracle[k] = v;
+  }
+  for (const auto& [k, v] : oracle) {
+    uint64_t got;
+    ASSERT_TRUE(tree.get(k, &got)) << k;
+    ASSERT_EQ(got, v);
+  }
+  uint64_t dummy;
+  EXPECT_FALSE(tree.get("not-a-decimal-key", &dummy));
+}
+
+TYPED_TEST(BinaryTreeTest, LongKeysOverflow) {
+  ThreadContext ti;
+  TypeParam tree;
+  std::string longkey(100, 'z');
+  tree.insert(longkey + "1", 1, &ti.arena());
+  tree.insert(longkey + "2", 2, &ti.arena());
+  uint64_t v;
+  ASSERT_TRUE(tree.get(longkey + "1", &v));
+  EXPECT_EQ(v, 1u);
+  ASSERT_TRUE(tree.get(longkey + "2", &v));
+  EXPECT_EQ(v, 2u);
+  EXPECT_FALSE(tree.get(longkey, &v));
+}
+
+TEST(BinaryTreeConcurrent, ParallelInsertsAllLand) {
+  BinaryTree<FlowNodeAlloc, true> tree;
+  constexpr int kThreads = 4, kPer = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ThreadContext ti;
+      for (int i = 0; i < kPer; ++i) {
+        tree.insert(decimal_key(static_cast<uint64_t>(t) * kPer + i),
+                    static_cast<uint64_t>(t) * kPer + i, &ti.arena());
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  ThreadContext ti;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPer; ++i) {
+      uint64_t v;
+      ASSERT_TRUE(tree.get(decimal_key(static_cast<uint64_t>(t) * kPer + i), &v));
+    }
+  }
+}
+
+// ------------------------- 4-tree -------------------------
+
+TEST(FourTree, OracleRandomKeys) {
+  ThreadContext ti;
+  FourTree tree(ti);
+  std::map<std::string, uint64_t> oracle;
+  Rng rng(6);
+  for (int i = 0; i < 5000; ++i) {
+    std::string k = decimal_key(rng.next());
+    uint64_t v = rng.next();
+    bool inserted = tree.insert(k, v, ti);
+    EXPECT_EQ(inserted, oracle.find(k) == oracle.end()) << k;
+    oracle[k] = v;
+  }
+  for (const auto& [k, v] : oracle) {
+    uint64_t got;
+    ASSERT_TRUE(tree.get(k, &got)) << k;
+    ASSERT_EQ(got, v);
+  }
+}
+
+TEST(FourTree, SameSliceKeys) {
+  ThreadContext ti;
+  FourTree tree(ti);
+  // Keys sharing 8-byte prefixes and binary tails.
+  std::vector<std::string> keys = {"prefix00", "prefix00a", "prefix00b",
+                                   std::string("prefix00\x00", 9), "prefix00aaaaaaaaaaaaaaaaaaX",
+                                   "prefix00aaaaaaaaaaaaaaaaaaY"};
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_TRUE(tree.insert(keys[i], i + 1, ti)) << i;
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    uint64_t v;
+    ASSERT_TRUE(tree.get(keys[i], &v)) << i;
+    EXPECT_EQ(v, i + 1);
+  }
+}
+
+TEST(FourTree, ConcurrentInsertGet) {
+  ThreadContext main_ti;
+  FourTree tree(main_ti);
+  for (int i = 0; i < 1000; ++i) {
+    tree.insert("stable" + std::to_string(i), i, main_ti);
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> lost{0};
+  std::thread reader([&] {
+    Rng rng(1);
+    while (!stop.load()) {
+      uint64_t i = rng.next_range(1000), v;
+      if (!tree.get("stable" + std::to_string(i), &v) || v != i) {
+        ++lost;
+      }
+    }
+  });
+  {
+    ThreadContext ti;
+    for (int i = 0; i < 30000; ++i) {
+      tree.insert(decimal_key(i), i, ti);
+    }
+  }
+  stop = true;
+  reader.join();
+  EXPECT_EQ(lost.load(), 0);
+}
+
+// ------------------------- fast B-tree family -------------------------
+
+template <typename T>
+class FastBtreeTest : public ::testing::Test {};
+
+using BtreeVariants = ::testing::Types<BtreePlain, BtreePrefetch, BtreePermuter, PkBtree>;
+TYPED_TEST_SUITE(FastBtreeTest, BtreeVariants);
+
+TYPED_TEST(FastBtreeTest, OracleDecimalKeys) {
+  ThreadContext ti;
+  TypeParam tree(ti);
+  std::map<std::string, uint64_t> oracle;
+  Rng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    std::string k = decimal_key(rng.next());
+    uint64_t v = rng.next();
+    bool inserted = tree.insert(k, v, ti);
+    EXPECT_EQ(inserted, oracle.find(k) == oracle.end()) << k;
+    oracle[k] = v;
+  }
+  for (const auto& [k, v] : oracle) {
+    uint64_t got;
+    ASSERT_TRUE(tree.get(k, &got, ti)) << k;
+    ASSERT_EQ(got, v);
+  }
+  uint64_t dummy;
+  EXPECT_FALSE(tree.get("zzzz-not-there", &dummy, ti));
+}
+
+TYPED_TEST(FastBtreeTest, LongSharedPrefixKeys) {
+  // Figure 9-style keys: only the last 8 bytes differ.
+  ThreadContext ti;
+  TypeParam tree(ti);
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(tree.insert(prefix_key(i, 40), i, ti)) << i;
+  }
+  for (int i = 0; i < 3000; ++i) {
+    uint64_t v;
+    ASSERT_TRUE(tree.get(prefix_key(i, 40), &v, ti)) << i;
+    ASSERT_EQ(v, static_cast<uint64_t>(i));
+  }
+}
+
+TYPED_TEST(FastBtreeTest, SequentialInsertOrderPreserved) {
+  ThreadContext ti;
+  TypeParam tree(ti);
+  for (int i = 0; i < 5000; ++i) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "%08d", i);
+    ASSERT_TRUE(tree.insert(buf, i, ti));
+  }
+  for (int i = 0; i < 5000; ++i) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "%08d", i);
+    uint64_t v;
+    ASSERT_TRUE(tree.get(buf, &v, ti)) << buf;
+    ASSERT_EQ(v, static_cast<uint64_t>(i));
+  }
+}
+
+TEST(BtreeFixed8Keys, EightByteKeys) {
+  ThreadContext ti;
+  BtreeFixed8 tree(ti);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(tree.insert(decimal8_key(i), i, ti));
+  }
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v;
+    ASSERT_TRUE(tree.get(decimal8_key(i), &v, ti));
+    ASSERT_EQ(v, static_cast<uint64_t>(i));
+  }
+}
+
+TEST(BtreeConcurrent, NoLostKeysUnderInserts) {
+  ThreadContext main_ti;
+  BtreePermuter tree(main_ti);
+  constexpr int kStable = 2000;
+  for (int i = 0; i < kStable; ++i) {
+    tree.insert("stable" + std::to_string(100000 + i), i, main_ti);
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> lost{0};
+  std::thread reader([&] {
+    ThreadContext ti;
+    Rng rng(3);
+    while (!stop.load()) {
+      uint64_t i = rng.next_range(kStable), v;
+      if (!tree.get("stable" + std::to_string(100000 + i), &v, ti) || v != i) {
+        ++lost;
+      }
+    }
+  });
+  std::thread writer([&] {
+    ThreadContext ti;
+    for (int i = 0; i < 50000; ++i) {
+      tree.insert(decimal_key(i), i, ti);
+    }
+    stop = true;
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(lost.load(), 0);
+}
+
+TEST(BtreeConcurrent, NonPermuterVariantAlsoSafe) {
+  // Without the permuter, inserts shift keys under dirty marks; readers must
+  // still never observe garbage.
+  ThreadContext main_ti;
+  BtreePrefetch tree(main_ti);
+  for (int i = 0; i < 500; ++i) {
+    tree.insert("fix" + std::to_string(1000 + i), i, main_ti);
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> lost{0};
+  std::thread reader([&] {
+    ThreadContext ti;
+    Rng rng(4);
+    while (!stop.load()) {
+      uint64_t i = rng.next_range(500), v;
+      if (!tree.get("fix" + std::to_string(1000 + i), &v, ti) || v != i) {
+        ++lost;
+      }
+    }
+  });
+  std::thread writer([&] {
+    ThreadContext ti;
+    for (int i = 0; i < 30000; ++i) {
+      tree.insert(decimal_key(777000 + i), i, ti);
+    }
+    stop = true;
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(lost.load(), 0);
+}
+
+// ------------------------- hash table -------------------------
+
+TEST(HashTable, OracleAlphaKeys) {
+  ThreadContext ti;
+  HashTable8 table(10000, ti);
+  std::map<std::string, uint64_t> oracle;
+  for (int i = 0; i < 10000; ++i) {
+    std::string k = alpha8_key(i);
+    bool inserted = table.insert(k, i);
+    EXPECT_EQ(inserted, oracle.find(k) == oracle.end());
+    oracle[k] = i;
+  }
+  for (const auto& [k, v] : oracle) {
+    uint64_t got;
+    ASSERT_TRUE(table.get(k, &got));
+    ASSERT_EQ(got, v);
+  }
+  uint64_t dummy;
+  EXPECT_FALSE(table.get("QQQQQQQQ", &dummy));
+}
+
+TEST(HashTable, OccupancyNearTarget) {
+  ThreadContext ti;
+  HashTable8 table(100000, ti, 0.30);
+  for (int i = 0; i < 100000; ++i) {
+    table.insert(alpha8_key(i), i);
+  }
+  EXPECT_LE(table.occupancy(), 0.31);
+  EXPECT_GE(table.occupancy(), 0.10);
+}
+
+TEST(HashTable, ConcurrentInserts) {
+  ThreadContext main_ti;
+  HashTable8 table(40000, main_ti);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 10000; ++i) {
+        table.insert(alpha8_key(static_cast<uint64_t>(t) * 10000 + i),
+                     static_cast<uint64_t>(t) * 10000 + i);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  for (uint64_t i = 0; i < 40000; ++i) {
+    uint64_t v;
+    ASSERT_TRUE(table.get(alpha8_key(i), &v));
+    ASSERT_EQ(v, i);
+  }
+}
+
+// ------------------------- partitioned -------------------------
+
+TEST(Partitioned, RoutesAndBalances) {
+  ThreadContext ti;
+  PartitionedMasstree store(16, ti);
+  std::vector<int> counts(16, 0);
+  for (int i = 0; i < 20000; ++i) {
+    std::string k = decimal_key(i);
+    unsigned p = store.partition_of(k);
+    ++counts[p];
+    store.insert(k, i, ti);
+  }
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t v;
+    ASSERT_TRUE(store.get(decimal_key(i), &v, ti));
+  }
+  // Hash partitioning keeps key counts roughly equal (±40%).
+  for (int p = 0; p < 16; ++p) {
+    EXPECT_GT(counts[p], 20000 / 16 * 0.6) << p;
+    EXPECT_LT(counts[p], 20000 / 16 * 1.4) << p;
+  }
+}
+
+}  // namespace
+}  // namespace masstree

@@ -1,0 +1,169 @@
+// Epoch-based reclamation tests (§4.6.1).
+
+#include "epoch/epoch.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace masstree {
+namespace {
+
+std::atomic<int> g_deleted{0};
+void CountingDeleter(void* p) {
+  ++g_deleted;
+  delete static_cast<int*>(p);
+}
+
+TEST(Epoch, RegisterUnregister) {
+  EpochManager mgr;
+  EpochSlot* a = mgr.register_thread();
+  EpochSlot* b = mgr.register_thread();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  mgr.unregister_thread(a);
+  mgr.unregister_thread(b);
+  // Slot is reusable after release.
+  EpochSlot* c = mgr.register_thread();
+  EXPECT_TRUE(c == a || c == b);
+  mgr.unregister_thread(c);
+}
+
+TEST(Epoch, GuardPublishesAndClears) {
+  EpochManager mgr;
+  EpochSlot* s = mgr.register_thread();
+  EXPECT_EQ(s->active.load(), 0u);
+  {
+    EpochGuard g(*s);
+    EXPECT_NE(s->active.load(), 0u);
+    {
+      EpochGuard nested(*s);  // re-entrant
+      EXPECT_NE(s->active.load(), 0u);
+    }
+    EXPECT_NE(s->active.load(), 0u);  // still inside the outer guard
+  }
+  EXPECT_EQ(s->active.load(), 0u);
+  mgr.unregister_thread(s);
+}
+
+TEST(Epoch, RetireFreedWhenQuiescent) {
+  EpochManager mgr;
+  EpochSlot* s = mgr.register_thread();
+  g_deleted = 0;
+  {
+    EpochGuard g(*s);
+    mgr.retire(*s, new int(7), &CountingDeleter);
+  }
+  mgr.advance();
+  EXPECT_EQ(mgr.reclaim(*s), 1u);
+  EXPECT_EQ(g_deleted.load(), 1);
+  mgr.unregister_thread(s);
+}
+
+TEST(Epoch, ActiveReaderBlocksReclaim) {
+  EpochManager mgr;
+  EpochSlot* writer = mgr.register_thread();
+  EpochSlot* reader = mgr.register_thread();
+  g_deleted = 0;
+
+  auto* reader_guard = new EpochGuard(*reader);  // reader enters and stays
+  {
+    EpochGuard g(*writer);
+    mgr.retire(*writer, new int(1), &CountingDeleter);
+  }
+  mgr.advance();
+  // The reader entered before (or at) the retire epoch: nothing can be freed.
+  EXPECT_EQ(mgr.reclaim(*writer), 0u);
+  EXPECT_EQ(g_deleted.load(), 0);
+
+  delete reader_guard;  // reader leaves
+  mgr.advance();
+  EXPECT_EQ(mgr.reclaim(*writer), 1u);
+  EXPECT_EQ(g_deleted.load(), 1);
+
+  mgr.unregister_thread(writer);
+  mgr.unregister_thread(reader);
+}
+
+TEST(Epoch, MinActiveEpochIgnoresQuiescent) {
+  EpochManager mgr;
+  EpochSlot* a = mgr.register_thread();
+  EpochSlot* b = mgr.register_thread();
+  uint64_t e0 = mgr.current_epoch();
+  EXPECT_EQ(mgr.min_active_epoch(), e0);  // nobody active
+  {
+    EpochGuard g(*a);
+    mgr.advance();
+    mgr.advance();
+    // a pinned an older epoch; b quiescent.
+    EXPECT_LE(mgr.min_active_epoch(), e0 + 2);
+    EXPECT_GE(mgr.min_active_epoch(), e0);
+  }
+  EXPECT_EQ(mgr.min_active_epoch(), mgr.current_epoch());
+  mgr.unregister_thread(a);
+  mgr.unregister_thread(b);
+}
+
+TEST(Epoch, UnregisterDrainsLimbo) {
+  EpochManager mgr;
+  EpochSlot* s = mgr.register_thread();
+  g_deleted = 0;
+  {
+    EpochGuard g(*s);
+    for (int i = 0; i < 10; ++i) {
+      mgr.retire(*s, new int(i), &CountingDeleter);
+    }
+  }
+  mgr.unregister_thread(s);  // must free everything before returning
+  EXPECT_EQ(g_deleted.load(), 10);
+}
+
+// Concurrency: readers repeatedly enter epochs and dereference a shared
+// pointer that a writer keeps swapping and retiring. With correct epoch
+// protection this cannot touch freed memory (validated under ASan in
+// dedicated runs; here we check liveness and final counts).
+TEST(Epoch, SwapStress) {
+  EpochManager mgr;
+  g_deleted = 0;
+  std::atomic<int*> shared{new int(0)};
+  std::atomic<bool> stop{false};
+  constexpr int kSwaps = 3000;
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      EpochSlot* s = mgr.register_thread();
+      uint64_t sum = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        EpochGuard g(*s);
+        int* p = shared.load(std::memory_order_acquire);
+        sum += static_cast<uint64_t>(*p);  // must be alive
+      }
+      (void)sum;
+      mgr.unregister_thread(s);
+    });
+  }
+
+  {
+    EpochSlot* s = mgr.register_thread();
+    for (int i = 1; i <= kSwaps; ++i) {
+      EpochGuard g(*s);
+      int* fresh = new int(i);
+      int* old = shared.exchange(fresh, std::memory_order_acq_rel);
+      mgr.retire(*s, old, &CountingDeleter);
+    }
+    mgr.unregister_thread(s);
+  }
+  stop = true;
+  for (auto& th : readers) {
+    th.join();
+  }
+  delete shared.load();
+  EXPECT_EQ(g_deleted.load(), kSwaps);
+}
+
+}  // namespace
+}  // namespace masstree

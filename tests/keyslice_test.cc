@@ -1,0 +1,115 @@
+// Key slice encoding tests (§4.2): byte-swapped integer comparison must
+// match lexicographic string comparison, including binary keys with NULs.
+
+#include "key/key.h"
+#include "key/keyslice.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace masstree {
+namespace {
+
+TEST(KeySlice, EmptyIsZero) { EXPECT_EQ(make_slice(""), 0u); }
+
+TEST(KeySlice, ShortKeysZeroPadded) {
+  EXPECT_EQ(make_slice("A"), 0x4100000000000000ull);
+  EXPECT_EQ(make_slice("AB"), 0x4142000000000000ull);
+}
+
+TEST(KeySlice, EightBytesBigEndian) {
+  EXPECT_EQ(make_slice("ABCDEFGH"), 0x4142434445464748ull);
+}
+
+TEST(KeySlice, LongKeysTruncateToEight) {
+  EXPECT_EQ(make_slice("ABCDEFGHIJK"), make_slice("ABCDEFGH"));
+}
+
+TEST(KeySlice, OrderMatchesLexicographic) {
+  std::vector<std::string> keys = {
+      "",        "\x00",      std::string("\x00\x01", 2), "A",     "AA",  "AAAAAAA",
+      "AAAAAAAB", "AB",       "B",                        "zzzzzzz", "\x7f", "\x80",
+      std::string("\xff\xff", 2)};
+  for (const auto& a : keys) {
+    for (const auto& b : keys) {
+      std::string pa = a.substr(0, 8), pb = b.substr(0, 8);
+      if (pa < pb) {
+        EXPECT_LT(make_slice(a), make_slice(b)) << a << " vs " << b;
+      } else if (pa > pb) {
+        EXPECT_GT(make_slice(a), make_slice(b));
+      } else {
+        EXPECT_EQ(make_slice(a), make_slice(b));
+      }
+    }
+  }
+}
+
+TEST(KeySlice, HighBitBytesUnsigned) {
+  // 0x80 must compare greater than 0x7f (unsigned byte semantics).
+  EXPECT_GT(make_slice("\x80"), make_slice("\x7f"));
+}
+
+TEST(KeySlice, EmbeddedNulDistinctFromShort) {
+  // "ABCDEFG" and "ABCDEFG\0" share a slice; length disambiguates (§4.2).
+  std::string with_nul("ABCDEFG\0", 8);
+  EXPECT_EQ(make_slice("ABCDEFG"), make_slice(with_nul));
+}
+
+TEST(KeySlice, RoundTrip) {
+  std::string s = "qwerty";
+  uint64_t slice = make_slice(s);
+  EXPECT_EQ(slice_to_string(slice, s.size()), s);
+  std::string b("\x01\x00\xffXY\x00\x07z", 8);
+  EXPECT_EQ(slice_to_string(make_slice(b), 8), b);
+}
+
+TEST(Key, CursorBasics) {
+  Key k("0123456789ABCDEF!!");
+  EXPECT_EQ(k.layer(), 0u);
+  EXPECT_EQ(k.slice(), make_slice("01234567"));
+  EXPECT_EQ(k.length_in_slice(), 8u);
+  EXPECT_TRUE(k.has_suffix());
+  EXPECT_EQ(k.suffix(), "89ABCDEF!!");
+
+  k.shift();
+  EXPECT_EQ(k.layer(), 1u);
+  EXPECT_EQ(k.slice(), make_slice("89ABCDEF"));
+  EXPECT_TRUE(k.has_suffix());
+  EXPECT_EQ(k.suffix(), "!!");
+
+  k.shift();
+  EXPECT_EQ(k.layer(), 2u);
+  EXPECT_EQ(k.length_in_slice(), 2u);
+  EXPECT_FALSE(k.has_suffix());
+
+  k.unshift_all();
+  EXPECT_EQ(k.layer(), 0u);
+}
+
+TEST(Key, ExactMultipleOfEight) {
+  Key k("ABCDEFGH");  // exactly one slice
+  EXPECT_EQ(k.length_in_slice(), 8u);
+  EXPECT_FALSE(k.has_suffix());  // 8 bytes end in layer 0
+}
+
+TEST(Key, NineBytes) {
+  Key k("ABCDEFGHI");
+  EXPECT_TRUE(k.has_suffix());
+  EXPECT_EQ(k.suffix(), "I");
+  k.shift();
+  EXPECT_EQ(k.length_in_slice(), 1u);
+  EXPECT_FALSE(k.has_suffix());
+}
+
+TEST(Key, EmptyKey) {
+  Key k("");
+  EXPECT_EQ(k.slice(), 0u);
+  EXPECT_EQ(k.length_in_slice(), 0u);
+  EXPECT_FALSE(k.has_suffix());
+}
+
+}  // namespace
+}  // namespace masstree

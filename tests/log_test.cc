@@ -1,0 +1,182 @@
+// Log encoding, group commit, and recovery-cutoff tests (§5), including
+// failure injection (torn tails, corrupt records).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "log/logger.h"
+#include "log/logrecord.h"
+#include "log/recovery.h"
+
+namespace masstree {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(LogRecord, PutRoundTrip) {
+  std::string buf;
+  logwire::encode_put(&buf, "mykey", {{0, "val0"}, {3, "val3"}}, 42, 1000);
+  std::vector<LogEntry> out;
+  EXPECT_EQ(logwire::decode_all(buf, &out), buf.size());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].type, LogType::kPut);
+  EXPECT_EQ(out[0].key, "mykey");
+  EXPECT_EQ(out[0].version, 42u);
+  EXPECT_EQ(out[0].timestamp_us, 1000u);
+  ASSERT_EQ(out[0].columns.size(), 2u);
+  EXPECT_EQ(out[0].columns[0].first, 0);
+  EXPECT_EQ(out[0].columns[0].second, "val0");
+  EXPECT_EQ(out[0].columns[1].first, 3);
+  EXPECT_EQ(out[0].columns[1].second, "val3");
+}
+
+TEST(LogRecord, RemoveRoundTrip) {
+  std::string buf;
+  logwire::encode_remove(&buf, "gone", 7, 2000);
+  std::vector<LogEntry> out;
+  logwire::decode_all(buf, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].type, LogType::kRemove);
+  EXPECT_EQ(out[0].key, "gone");
+}
+
+TEST(LogRecord, BinaryKeyRoundTrip) {
+  std::string key("\x00key\xffwith\x00nuls", 14);
+  std::string buf;
+  logwire::encode_put(&buf, key, {{0, std::string("\x00\x01", 2)}}, 1, 1);
+  std::vector<LogEntry> out;
+  logwire::decode_all(buf, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].key, key);
+  EXPECT_EQ(out[0].columns[0].second, std::string("\x00\x01", 2));
+}
+
+TEST(LogRecord, TornTailDiscarded) {
+  std::string buf;
+  logwire::encode_put(&buf, "a", {{0, "1"}}, 1, 1);
+  size_t whole = buf.size();
+  logwire::encode_put(&buf, "b", {{0, "2"}}, 2, 2);
+  // Simulate a crash mid-write of the second record.
+  std::string torn = buf.substr(0, whole + 7);
+  std::vector<LogEntry> out;
+  EXPECT_EQ(logwire::decode_all(torn, &out), whole);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].key, "a");
+}
+
+TEST(LogRecord, CorruptRecordStopsReplay) {
+  std::string buf;
+  logwire::encode_put(&buf, "a", {{0, "1"}}, 1, 1);
+  size_t first = buf.size();
+  logwire::encode_put(&buf, "b", {{0, "2"}}, 2, 2);
+  logwire::encode_put(&buf, "c", {{0, "3"}}, 3, 3);
+  buf[first + 10] ^= 0x5A;  // flip a byte inside record 2
+  std::vector<LogEntry> out;
+  EXPECT_EQ(logwire::decode_all(buf, &out), first);
+  ASSERT_EQ(out.size(), 1u);  // record 3 is also discarded: order matters
+}
+
+TEST(Logger, WritesAndRecovers) {
+  std::string path = TempPath("logger_basic.bin");
+  std::remove(path.c_str());
+  {
+    Logger::Options opt;
+    opt.flush_interval_ms = 10;
+    Logger log(path, opt);
+    for (int i = 0; i < 100; ++i) {
+      log.append_put("key" + std::to_string(i), {{0, "v" + std::to_string(i)}}, i + 1, i + 1);
+    }
+    log.append_remove("key5", 200, 200);
+    log.sync();
+  }  // destructor flushes the rest
+  auto entries = read_log_file(path);
+  size_t puts = 0, removes = 0, markers = 0;
+  for (const auto& e : entries) {
+    switch (e.type) {
+      case LogType::kPut: ++puts; break;
+      case LogType::kRemove: ++removes; break;
+      case LogType::kMarker: ++markers; break;
+    }
+  }
+  EXPECT_EQ(puts, 100u);
+  EXPECT_EQ(removes, 1u);
+  // sync() and the destructor both append heartbeat markers (§5 cutoff).
+  EXPECT_GE(markers, 2u);
+}
+
+TEST(Logger, GroupCommitFlushesOnDeadline) {
+  std::string path = TempPath("logger_deadline.bin");
+  std::remove(path.c_str());
+  Logger::Options opt;
+  opt.flush_interval_ms = 20;
+  Logger log(path, opt);
+  log.append_put("k", {{0, "v"}}, 1, 1);
+  // Without an explicit sync, the 20 ms group-commit deadline must flush.
+  for (int tries = 0; tries < 100 && log.flushes() == 0; ++tries) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(log.bytes_written(), 0u);
+}
+
+TEST(Recovery, CutoffIsMinOfLastTimestamps) {
+  // Three logs whose last timestamps are 50, 80, 30 -> cutoff 30 (§5).
+  std::vector<std::string> paths;
+  uint64_t lasts[3] = {50, 80, 30};
+  for (int i = 0; i < 3; ++i) {
+    std::string p = TempPath("cutoff" + std::to_string(i) + ".bin");
+    std::remove(p.c_str());
+    std::string buf;
+    logwire::encode_put(&buf, "k" + std::to_string(i), {{0, "v"}}, i + 1, 10);
+    logwire::encode_put(&buf, "k" + std::to_string(i), {{0, "w"}}, i + 10, lasts[i]);
+    std::ofstream(p, std::ios::binary) << buf;
+    paths.push_back(p);
+  }
+  RecoverySet rs = load_logs(paths);
+  EXPECT_EQ(rs.cutoff_us, 30u);
+  auto plan = replay_plan(std::move(rs));
+  // Only entries with ts <= 30 survive: the three ts=10 entries plus log 2's
+  // ts=30 entry.
+  EXPECT_EQ(plan.size(), 4u);
+  // Sorted by version.
+  for (size_t i = 1; i < plan.size(); ++i) {
+    EXPECT_LE(plan[i - 1].version, plan[i].version);
+  }
+}
+
+TEST(Recovery, EmptyLogDoesNotZeroCutoff) {
+  std::string p1 = TempPath("re_nonempty.bin");
+  std::string p2 = TempPath("re_empty.bin");
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+  std::string buf;
+  logwire::encode_put(&buf, "k", {{0, "v"}}, 1, 99);
+  std::ofstream(p1, std::ios::binary) << buf;
+  std::ofstream(p2, std::ios::binary) << "";
+  RecoverySet rs = load_logs({p1, p2});
+  EXPECT_EQ(rs.cutoff_us, 99u);
+}
+
+TEST(Recovery, MissingFilesReadEmpty) {
+  auto entries = read_log_file(TempPath("does_not_exist.bin"));
+  EXPECT_TRUE(entries.empty());
+}
+
+TEST(Recovery, SincePrunesCheckpointedEntries) {
+  std::string p = TempPath("re_since.bin");
+  std::remove(p.c_str());
+  std::string buf;
+  for (int i = 1; i <= 10; ++i) {
+    logwire::encode_put(&buf, "k", {{0, std::to_string(i)}}, i, i * 10);
+  }
+  std::ofstream(p, std::ios::binary) << buf;
+  auto plan = replay_plan(load_logs({p}), /*since_us=*/55);
+  EXPECT_EQ(plan.size(), 5u);  // ts 60..100
+}
+
+}  // namespace
+}  // namespace masstree

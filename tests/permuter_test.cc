@@ -1,0 +1,143 @@
+// Permuter tests (§4.6.2): the 64-bit sort-order word must stay a valid
+// permutation of 0..14 under arbitrary insert/remove sequences.
+
+#include "core/permuter.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+namespace masstree {
+namespace {
+
+// Checks that the 15 subfields are a permutation of 0..14.
+void ExpectValidPermutation(const Permuter& p) {
+  std::vector<bool> seen(15, false);
+  for (int i = 0; i < 15; ++i) {
+    int s = p.get(i);
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, 15);
+    ASSERT_FALSE(seen[s]) << "duplicate slot " << s;
+    seen[s] = true;
+  }
+}
+
+TEST(Permuter, EmptyState) {
+  Permuter p = Permuter::make_empty();
+  EXPECT_EQ(p.size(), 0);
+  ExpectValidPermutation(p);
+  // Free list starts as identity.
+  for (int i = 0; i < 15; ++i) {
+    EXPECT_EQ(p.get(i), i);
+  }
+}
+
+TEST(Permuter, MakeSorted) {
+  for (int n = 0; n <= 15; ++n) {
+    Permuter p = Permuter::make_sorted(n);
+    EXPECT_EQ(p.size(), n);
+    ExpectValidPermutation(p);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(p.get(i), i);
+    }
+  }
+}
+
+TEST(Permuter, InsertAtFront) {
+  Permuter p = Permuter::make_empty();
+  int s0 = p.insert_from_back(0);
+  EXPECT_EQ(s0, 0);
+  EXPECT_EQ(p.size(), 1);
+  int s1 = p.insert_from_back(0);  // new smallest key
+  EXPECT_EQ(s1, 1);
+  EXPECT_EQ(p.size(), 2);
+  EXPECT_EQ(p.get(0), 1);
+  EXPECT_EQ(p.get(1), 0);
+  ExpectValidPermutation(p);
+}
+
+TEST(Permuter, InsertAtBackSequential) {
+  Permuter p = Permuter::make_empty();
+  for (int i = 0; i < 15; ++i) {
+    int slot = p.insert_from_back(i);
+    EXPECT_EQ(slot, i);
+    EXPECT_EQ(p.size(), i + 1);
+    ExpectValidPermutation(p);
+  }
+  for (int i = 0; i < 15; ++i) {
+    EXPECT_EQ(p.get(i), i);
+  }
+}
+
+TEST(Permuter, RemoveFirst) {
+  Permuter p = Permuter::make_sorted(3);
+  p.remove(0);
+  EXPECT_EQ(p.size(), 2);
+  EXPECT_EQ(p.get(0), 1);
+  EXPECT_EQ(p.get(1), 2);
+  // Removed slot is the next to be reused.
+  EXPECT_EQ(p.back(), 0);
+  ExpectValidPermutation(p);
+}
+
+TEST(Permuter, RemoveLast) {
+  Permuter p = Permuter::make_sorted(15);
+  p.remove(14);
+  EXPECT_EQ(p.size(), 14);
+  EXPECT_EQ(p.back(), 14);
+  ExpectValidPermutation(p);
+}
+
+TEST(Permuter, ReuseAfterRemove) {
+  Permuter p = Permuter::make_sorted(5);
+  p.remove(2);  // slot 2 freed
+  int slot = p.insert_from_back(4);
+  EXPECT_EQ(slot, 2);  // the freed slot is reused first
+  EXPECT_EQ(p.size(), 5);
+  ExpectValidPermutation(p);
+}
+
+// Property test: a long random insert/remove walk tracked against a plain
+// vector model.
+TEST(Permuter, RandomWalkAgainstModel) {
+  std::mt19937_64 rng(42);
+  for (int round = 0; round < 200; ++round) {
+    Permuter p = Permuter::make_empty();
+    // model[i] = slot of i-th key
+    std::vector<int> model;
+    for (int step = 0; step < 400; ++step) {
+      bool do_insert = model.empty() || (model.size() < 15 && (rng() & 1));
+      if (do_insert) {
+        int i = static_cast<int>(rng() % (model.size() + 1));
+        int slot = p.insert_from_back(i);
+        model.insert(model.begin() + i, slot);
+      } else {
+        int i = static_cast<int>(rng() % model.size());
+        p.remove(i);
+        model.erase(model.begin() + i);
+      }
+      ASSERT_EQ(p.size(), static_cast<int>(model.size()));
+      for (size_t i = 0; i < model.size(); ++i) {
+        ASSERT_EQ(p.get(static_cast<int>(i)), model[i]);
+      }
+      ExpectValidPermutation(p);
+    }
+  }
+}
+
+TEST(Permuter, SingleWordPublish) {
+  // The whole state is one u64: simulating the atomic publish is just a
+  // copy, and the copy carries the complete order.
+  Permuter p = Permuter::make_sorted(7);
+  p.remove(3);
+  Permuter q(p.value());
+  EXPECT_EQ(q.size(), 6);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(q.get(i), p.get(i));
+  }
+}
+
+}  // namespace
+}  // namespace masstree

@@ -1,0 +1,100 @@
+// Row (multi-column COW value, §4.7) tests.
+
+#include "value/row.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace masstree {
+namespace {
+
+class RowTest : public ::testing::Test {
+ protected:
+  ThreadContext ti_;
+};
+
+TEST_F(RowTest, MakeAndRead) {
+  Row* r = Row::make(ti_, {{0, "alpha"}, {2, "gamma"}}, 7);
+  EXPECT_EQ(r->version(), 7u);
+  EXPECT_EQ(r->ncols(), 3u);
+  EXPECT_EQ(r->col(0), "alpha");
+  EXPECT_EQ(r->col(1), "");  // unset column between set ones
+  EXPECT_EQ(r->col(2), "gamma");
+  EXPECT_EQ(r->col(99), "");  // out of range reads empty
+  Row::deallocate(r);
+}
+
+TEST_F(RowTest, EmptyRow) {
+  Row* r = Row::make(ti_, {}, 1);
+  EXPECT_EQ(r->ncols(), 0u);
+  EXPECT_EQ(r->col(0), "");
+  Row::deallocate(r);
+}
+
+TEST_F(RowTest, UpdateCopiesUnmodifiedColumns) {
+  Row* r1 = Row::make(ti_, {{0, "aaa"}, {1, "bbb"}, {2, "ccc"}}, 1);
+  Row* r2 = Row::update(ti_, r1, {{1, "BBB"}}, 2);
+  // Old row untouched (§4.7: modifications don't act in place).
+  EXPECT_EQ(r1->col(1), "bbb");
+  EXPECT_EQ(r2->col(0), "aaa");
+  EXPECT_EQ(r2->col(1), "BBB");
+  EXPECT_EQ(r2->col(2), "ccc");
+  EXPECT_EQ(r2->version(), 2u);
+  Row::deallocate(r1);
+  Row::deallocate(r2);
+}
+
+TEST_F(RowTest, UpdateWidensColumnSet) {
+  Row* r1 = Row::make(ti_, {{0, "x"}}, 1);
+  Row* r2 = Row::update(ti_, r1, {{4, "wide"}}, 2);
+  EXPECT_EQ(r2->ncols(), 5u);
+  EXPECT_EQ(r2->col(0), "x");
+  EXPECT_EQ(r2->col(4), "wide");
+  Row::deallocate(r1);
+  Row::deallocate(r2);
+}
+
+TEST_F(RowTest, UpdateFromNull) {
+  Row* r = Row::update(ti_, nullptr, {{1, "solo"}}, 3);
+  EXPECT_EQ(r->ncols(), 2u);
+  EXPECT_EQ(r->col(1), "solo");
+  Row::deallocate(r);
+}
+
+TEST_F(RowTest, BinaryColumnData) {
+  std::string bin("\x00\x01\x02\xff", 4);
+  Row* r = Row::make(ti_, {{0, bin}}, 1);
+  EXPECT_EQ(r->col(0), bin);
+  Row::deallocate(r);
+}
+
+TEST_F(RowTest, SlotRoundTrip) {
+  Row* r = Row::make(ti_, {{0, "v"}}, 1);
+  uint64_t slot = Row::to_slot(r);
+  EXPECT_EQ(Row::from_slot(slot), r);
+  Row::deallocate(r);
+}
+
+TEST_F(RowTest, TenByFourColumns) {
+  // The MYCSB configuration: 10 columns of 4 bytes (§7).
+  std::vector<ColumnUpdate> updates;
+  std::vector<std::string> data;
+  for (unsigned i = 0; i < 10; ++i) {
+    data.push_back("c" + std::to_string(i) + "x");
+    data.back().resize(4, '_');
+  }
+  for (unsigned i = 0; i < 10; ++i) {
+    updates.push_back({i, data[i]});
+  }
+  Row* r = Row::make(ti_, updates, 5);
+  EXPECT_EQ(r->ncols(), 10u);
+  for (unsigned i = 0; i < 10; ++i) {
+    EXPECT_EQ(r->col(i), data[i]);
+    EXPECT_EQ(r->col(i).size(), 4u);
+  }
+  Row::deallocate(r);
+}
+
+}  // namespace
+}  // namespace masstree

@@ -1,0 +1,420 @@
+// Concurrency tests for the §4.4–§4.6 protocols. The correctness condition
+// is the paper's "no lost keys": get(k) returns a correct value regardless of
+// concurrent writers; a get racing a put may return the old or new value but
+// never garbage, and keys never disappear during splits/removes.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/tree.h"
+#include "util/rand.h"
+
+namespace masstree {
+namespace {
+
+std::string PaddedKey(uint64_t i, const char* fmt = "%010llu") {
+  char buf[32];
+  snprintf(buf, sizeof(buf), fmt, static_cast<unsigned long long>(i));
+  return buf;
+}
+
+// Readers continuously look up keys that are guaranteed present while writers
+// insert fresh keys, forcing splits underneath the readers.
+TEST(TreeConcurrent, NoLostKeysDuringInserts) {
+  ThreadContext main_ti;
+  Tree tree(main_ti);
+  constexpr int kStable = 2000;
+  constexpr int kChurn = 30000;
+
+  for (int i = 0; i < kStable; ++i) {
+    uint64_t old;
+    tree.insert("stable" + PaddedKey(i), i + 1, &old, main_ti);
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> lost{0};
+  std::vector<std::thread> threads;
+
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      ThreadContext ti;
+      Rng rng(1000 + t);
+      while (!stop.load(std::memory_order_acquire)) {
+        uint64_t i = rng.next_range(kStable);
+        uint64_t v = 0;
+        if (!tree.get("stable" + PaddedKey(i), &v, ti) || v != i + 1) {
+          ++lost;
+        }
+      }
+    });
+  }
+  {
+    std::thread writer([&] {
+      ThreadContext ti;
+      for (int i = 0; i < kChurn; ++i) {
+        uint64_t old;
+        tree.insert("churn" + PaddedKey(i * 2654435761u % 100000000), i, &old, ti);
+      }
+      stop = true;
+    });
+    writer.join();
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(lost.load(), 0);
+}
+
+// Concurrent inserters over disjoint key ranges: every key must land.
+TEST(TreeConcurrent, DisjointInserters) {
+  ThreadContext main_ti;
+  Tree tree(main_ti);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ThreadContext ti;
+      for (int i = 0; i < kPerThread; ++i) {
+        uint64_t old;
+        ASSERT_TRUE(tree.insert(PaddedKey(static_cast<uint64_t>(t) * kPerThread + i),
+                                t * 1000000 + i, &old, ti));
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      uint64_t v;
+      ASSERT_TRUE(
+          tree.get(PaddedKey(static_cast<uint64_t>(t) * kPerThread + i), &v, main_ti));
+      ASSERT_EQ(v, static_cast<uint64_t>(t * 1000000 + i));
+    }
+  }
+  TreeStats st = tree.collect_stats();
+  EXPECT_EQ(st.keys, static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+// Concurrent inserters racing on the SAME keys: exactly one insert per key
+// must win (return true).
+TEST(TreeConcurrent, RacingInsertsSameKeys) {
+  ThreadContext main_ti;
+  Tree tree(main_ti);
+  constexpr int kKeys = 10000;
+  std::atomic<int> wins{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t] {
+      ThreadContext ti;
+      int my_wins = 0;
+      for (int i = 0; i < kKeys; ++i) {
+        uint64_t old;
+        if (tree.insert(PaddedKey(i), 100 + t, &old, ti)) {
+          ++my_wins;
+        }
+      }
+      wins += my_wins;
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(wins.load(), kKeys);
+  for (int i = 0; i < kKeys; ++i) {
+    uint64_t v;
+    ASSERT_TRUE(tree.get(PaddedKey(i), &v, main_ti));
+    ASSERT_TRUE(v >= 100 && v <= 102);
+  }
+}
+
+// The §4.6.5 race: get(k1) vs remove(k1) + put(k2) reusing the slot. The get
+// may return k1's old value (overlap) or not-found, but never k2's value.
+TEST(TreeConcurrent, RemoveReinsertSlotReuse) {
+  ThreadContext main_ti;
+  Tree tree(main_ti);
+  // A handful of keys that share a border node.
+  std::vector<std::string> keys;
+  for (int i = 0; i < 8; ++i) {
+    keys.push_back("slot" + std::to_string(i));
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> corruption{0};
+
+  std::thread mutator([&] {
+    ThreadContext ti;
+    Rng rng(5);
+    for (int round = 0; round < 30000; ++round) {
+      const std::string& k = keys[rng.next_range(keys.size())];
+      uint64_t old;
+      // Value encodes the key index so readers can detect cross-talk.
+      uint64_t idx = static_cast<uint64_t>(&k - &keys[0]);
+      if (rng.next() & 1) {
+        tree.insert(k, (idx << 32) | round, &old, ti);
+      } else {
+        tree.remove(k, &old, ti);
+      }
+    }
+    stop = true;
+  });
+  std::thread reader([&] {
+    ThreadContext ti;
+    Rng rng(6);
+    while (!stop.load(std::memory_order_acquire)) {
+      uint64_t idx = rng.next_range(keys.size());
+      uint64_t v;
+      if (tree.get(keys[idx], &v, ti) && (v >> 32) != idx) {
+        ++corruption;  // returned a value written for a different key
+      }
+    }
+  });
+  mutator.join();
+  reader.join();
+  EXPECT_EQ(corruption.load(), 0);
+}
+
+// Layer-creation race: one thread builds ever-deeper shared-prefix keys while
+// readers hammer the conflicting fixed key. The fixed key must stay visible
+// through the UNSTABLE->LAYER transition (§4.6.3).
+TEST(TreeConcurrent, LayerCreationKeepsKeysVisible) {
+  ThreadContext main_ti;
+  Tree tree(main_ti);
+  const std::string anchor = "prefix00anchor";
+  {
+    uint64_t old;
+    tree.insert(anchor, 777, &old, main_ti);
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> lost{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&] {
+      ThreadContext ti;
+      while (!stop.load(std::memory_order_acquire)) {
+        uint64_t v = 0;
+        if (!tree.get(anchor, &v, ti) || v != 777) {
+          ++lost;
+        }
+      }
+    });
+  }
+  {
+    ThreadContext ti;
+    uint64_t old;
+    // Each insert shares a progressively longer prefix with the anchor,
+    // repeatedly forcing layer creation along the anchor's path.
+    for (int i = 0; i < 5000; ++i) {
+      std::string k = "prefix00" + std::string(i % 40, 'a') + std::to_string(i);
+      tree.insert(k, i, &old, ti);
+    }
+  }
+  stop = true;
+  for (auto& th : readers) {
+    th.join();
+  }
+  EXPECT_EQ(lost.load(), 0);
+}
+
+// Scans running against concurrent inserts must stay sorted, never
+// duplicate, and always include keys present for the whole scan.
+TEST(TreeConcurrent, ScanUnderChurn) {
+  ThreadContext main_ti;
+  Tree tree(main_ti);
+  constexpr int kStable = 3000;
+  for (int i = 0; i < kStable; ++i) {
+    uint64_t old;
+    tree.insert("s" + PaddedKey(i), 1, &old, main_ti);
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> errors{0};
+
+  std::thread scanner([&] {
+    ThreadContext ti;
+    while (!stop.load(std::memory_order_acquire)) {
+      std::string last;
+      int stable_seen = 0;
+      bool first = true;
+      tree.scan(
+          "", 1u << 30,
+          [&](std::string_view k, uint64_t) {
+            if (!first && std::string_view(last) >= k) {
+              ++errors;  // order violation or duplicate
+            }
+            last.assign(k);
+            first = false;
+            if (k.substr(0, 1) == "s") {
+              ++stable_seen;
+            }
+            return true;
+          },
+          ti);
+      if (stable_seen != kStable) {
+        ++errors;  // lost a key that was present throughout
+      }
+    }
+  });
+  {
+    ThreadContext ti;
+    Rng rng(77);
+    for (int i = 0; i < 20000; ++i) {
+      uint64_t old;
+      tree.insert("c" + PaddedKey(rng.next()), i, &old, ti);  // "c" < "s"
+    }
+  }
+  stop = true;
+  scanner.join();
+  EXPECT_EQ(errors.load(), 0);
+}
+
+// Full mixed workload: inserts, updates, removes, gets, scans, and
+// maintenance, all concurrent, with per-thread key ownership for exact
+// validation.
+TEST(TreeConcurrent, MixedWorkloadStress) {
+  ThreadContext main_ti;
+  Tree tree(main_ti);
+  constexpr int kThreads = 4;
+  constexpr int kOps = 40000;
+  constexpr int kSpace = 4000;  // keys per thread
+
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ThreadContext ti;
+      Rng rng(31337 + t);
+      // Shadow model of this thread's own keys (disjoint from others).
+      std::vector<int64_t> mine(kSpace, -1);
+      for (int op = 0; op < kOps; ++op) {
+        uint64_t i = rng.next_range(kSpace);
+        // Long keys with shared prefixes exercise multiple layers.
+        std::string key = "worker" + std::to_string(t) + "/item/" + PaddedKey(i);
+        int action = static_cast<int>(rng.next_range(10));
+        uint64_t old;
+        if (action < 5) {
+          // Keep the top bit clear: the shadow model uses -1 as "absent".
+          uint64_t v = (rng.next() >> 1) | 1;
+          tree.insert(key, v, &old, ti);
+          mine[i] = static_cast<int64_t>(v);
+        } else if (action < 7) {
+          bool removed = tree.remove(key, &old, ti);
+          if (removed != (mine[i] >= 0)) {
+            ++failures;
+          }
+          mine[i] = -1;
+        } else {
+          uint64_t v;
+          bool found = tree.get(key, &v, ti);
+          if (found != (mine[i] >= 0) ||
+              (found && v != static_cast<uint64_t>(mine[i]))) {
+            ++failures;
+          }
+        }
+        if ((op & 8191) == 0) {
+          tree.run_maintenance(ti);
+        }
+      }
+      // Final verification of every owned key.
+      for (int i = 0; i < kSpace; ++i) {
+        std::string key = "worker" + std::to_string(t) + "/item/" + PaddedKey(i);
+        uint64_t v;
+        bool found = tree.get(key, &v, ti);
+        if (found != (mine[i] >= 0) || (found && v != static_cast<uint64_t>(mine[i]))) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  tree.run_maintenance(main_ti);
+}
+
+// Node-deletion protocol: concurrent removals emptying whole subtrees while
+// readers traverse. Forwarding pointers must always lead somewhere live.
+TEST(TreeConcurrent, MassRemovalUnderReaders) {
+  ThreadContext main_ti;
+  Tree tree(main_ti);
+  constexpr int kKeys = 30000;
+  for (int i = 0; i < kKeys; ++i) {
+    uint64_t old;
+    tree.insert(PaddedKey(i), i, &old, main_ti);
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> wrong{0};
+  std::thread reader([&] {
+    ThreadContext ti;
+    Rng rng(11);
+    while (!stop.load(std::memory_order_acquire)) {
+      uint64_t i = rng.next_range(kKeys);
+      uint64_t v;
+      if (tree.get(PaddedKey(i), &v, ti) && v != i) {
+        ++wrong;
+      }
+    }
+  });
+  {
+    std::vector<std::thread> removers;
+    for (int t = 0; t < 2; ++t) {
+      removers.emplace_back([&, t] {
+        ThreadContext ti;
+        for (int i = t; i < kKeys; i += 2) {
+          uint64_t old;
+          bool removed = tree.remove(PaddedKey(i), &old, ti);
+          if (!removed || old != static_cast<uint64_t>(i)) {
+            ++wrong;
+          }
+        }
+      });
+    }
+    for (auto& th : removers) {
+      th.join();
+    }
+  }
+  stop = true;
+  reader.join();
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(tree.collect_stats().keys, 0u);
+}
+
+// §6.2's retry-rate observation: with concurrent inserts, split-caused
+// retries from the root are orders of magnitude rarer than local retries.
+TEST(TreeConcurrent, RetryRatesShape) {
+  ThreadContext main_ti;
+  Tree tree(main_ti);
+  std::atomic<uint64_t> root_retries{0}, local_retries{0}, ops{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      ThreadContext ti;
+      Rng rng(t + 1);
+      for (int i = 0; i < 50000; ++i) {
+        uint64_t old;
+        tree.insert(PaddedKey(rng.next_range(10000000)), i, &old, ti);
+        uint64_t v;
+        tree.get(PaddedKey(rng.next_range(10000000)), &v, ti);
+      }
+      root_retries += ti.counters().get(Counter::kGetRetryFromRoot);
+      local_retries += ti.counters().get(Counter::kGetRetryLocal);
+      ops += 100000;
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  // Split retries from the root must be a tiny fraction of operations.
+  EXPECT_LT(static_cast<double>(root_retries.load()),
+            0.01 * static_cast<double>(ops.load()));
+}
+
+}  // namespace
+}  // namespace masstree

@@ -1,0 +1,322 @@
+// Property-based tests: randomized operation sequences over adversarial key
+// families, validated against std::map oracles. Each key family stresses a
+// different structural path — trie layering (§4.1), same-slice grouping
+// (§4.2), suffix storage, split boundaries, removal cascades (§4.6.5).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/tree.h"
+#include "util/rand.h"
+
+namespace masstree {
+namespace {
+
+// A key family is a deterministic index -> key mapping.
+struct KeyFamily {
+  const char* name;
+  std::string (*make)(uint64_t i);
+  uint64_t space;  // index range
+};
+
+std::string ShortDense(uint64_t i) {
+  // Lengths 0..8, heavy same-slice grouping.
+  std::string base = "ABCDEFGH";
+  return base.substr(0, i % 9);
+}
+
+std::string DecimalMix(uint64_t i) {
+  return std::to_string((i * 2654435761u) % 2000000011u);
+}
+
+std::string SharedPrefixDeep(uint64_t i) {
+  // 24-byte shared prefix -> three trie layers before any difference.
+  return std::string(24, 'p') + std::to_string(i);
+}
+
+std::string BinaryNuls(uint64_t i) {
+  // NUL-dense binary keys with varying lengths, including slice boundaries.
+  std::string k;
+  uint64_t x = i * 0x9E3779B97F4A7C15ull;
+  size_t len = x % 19;  // 0..18 crosses the 8/16-byte boundaries
+  for (size_t j = 0; j < len; ++j) {
+    k.push_back(static_cast<char>((x >> (j * 3)) % 3));  // bytes 0,1,2 only
+  }
+  return k;
+}
+
+std::string BoundaryLengths(uint64_t i) {
+  // Lengths clustered exactly at slice boundaries: 7, 8, 9, 15, 16, 17.
+  static const size_t lens[] = {7, 8, 9, 15, 16, 17};
+  size_t len = lens[i % 6];
+  std::string k(len, 'x');
+  // Differentiate within a small alphabet so slices collide often.
+  uint64_t x = i / 6;
+  for (size_t j = 0; j < len && x != 0; ++j, x /= 3) {
+    k[len - 1 - j] = static_cast<char>('x' + x % 3);
+  }
+  return k;
+}
+
+std::string LongSuffixes(uint64_t i) {
+  // 8-byte shared head + 50-200 byte suffixes: exercises bag growth.
+  return "HEADHEAD" + std::string(50 + i % 150, 'S') + std::to_string(i);
+}
+
+class TreePropertyTest : public ::testing::TestWithParam<KeyFamily> {};
+
+TEST_P(TreePropertyTest, RandomOpsMatchOracle) {
+  const KeyFamily& fam = GetParam();
+  ThreadContext ti;
+  Tree tree(ti);
+  std::map<std::string, uint64_t> oracle;
+  Rng rng(0xFACE + fam.space);
+
+  for (int op = 0; op < 30000; ++op) {
+    uint64_t i = rng.next_range(fam.space);
+    std::string key = fam.make(i);
+    switch (rng.next_range(10)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3: {  // insert/update
+        uint64_t v = rng.next();
+        uint64_t old;
+        bool inserted = tree.insert(key, v, &old, ti);
+        bool expect_new = oracle.find(key) == oracle.end();
+        ASSERT_EQ(inserted, expect_new) << fam.name << " key=" << key;
+        oracle[key] = v;
+        break;
+      }
+      case 4:
+      case 5: {  // remove
+        uint64_t old;
+        bool removed = tree.remove(key, &old, ti);
+        ASSERT_EQ(removed, oracle.erase(key) > 0) << fam.name << " key=" << key;
+        break;
+      }
+      default: {  // get
+        uint64_t v;
+        bool found = tree.get(key, &v, ti);
+        auto it = oracle.find(key);
+        ASSERT_EQ(found, it != oracle.end()) << fam.name << " key=" << key;
+        if (found) {
+          ASSERT_EQ(v, it->second) << fam.name << " key=" << key;
+        }
+        break;
+      }
+    }
+    if ((op & 4095) == 0) {
+      tree.run_maintenance(ti);
+    }
+  }
+
+  // Full-state check: every oracle key present with the right value, and a
+  // complete scan returns exactly the oracle in order.
+  for (const auto& [k, v] : oracle) {
+    uint64_t got;
+    ASSERT_TRUE(tree.get(k, &got, ti)) << fam.name << " key=" << k;
+    ASSERT_EQ(got, v);
+  }
+  std::vector<std::pair<std::string, uint64_t>> scanned;
+  tree.scan(
+      "", ~size_t{0},
+      [&](std::string_view k, uint64_t v) {
+        scanned.emplace_back(std::string(k), v);
+        return true;
+      },
+      ti);
+  ASSERT_EQ(scanned.size(), oracle.size()) << fam.name;
+  auto it = oracle.begin();
+  for (size_t i = 0; i < scanned.size(); ++i, ++it) {
+    ASSERT_EQ(scanned[i].first, it->first) << fam.name << " position " << i;
+    ASSERT_EQ(scanned[i].second, it->second);
+  }
+
+  // Structural sanity: stats agree with the oracle count.
+  ASSERT_EQ(tree.collect_stats().keys, oracle.size()) << fam.name;
+}
+
+TEST_P(TreePropertyTest, InsertAllRemoveAllRepeatedly) {
+  const KeyFamily& fam = GetParam();
+  ThreadContext ti;
+  Tree tree(ti);
+  // Three grow/shrink cycles: removal cascades + layer GC + reinsertion into
+  // reclaimed structure.
+  for (int round = 0; round < 3; ++round) {
+    std::map<std::string, uint64_t> oracle;
+    for (uint64_t i = 0; i < fam.space; ++i) {
+      std::string k = fam.make(i);
+      uint64_t old;
+      tree.insert(k, i + round, &old, ti);
+      oracle[k] = i + round;
+    }
+    ASSERT_EQ(tree.collect_stats().keys, oracle.size());
+    for (const auto& [k, v] : oracle) {
+      uint64_t got;
+      ASSERT_TRUE(tree.get(k, &got, ti));
+      ASSERT_EQ(got, v);
+    }
+    for (const auto& [k, v] : oracle) {
+      uint64_t old;
+      ASSERT_TRUE(tree.remove(k, &old, ti)) << fam.name << " round " << round;
+    }
+    tree.run_maintenance(ti);
+    ASSERT_EQ(tree.collect_stats().keys, 0u) << fam.name << " round " << round;
+  }
+}
+
+TEST_P(TreePropertyTest, ScanFromEveryBoundary) {
+  const KeyFamily& fam = GetParam();
+  ThreadContext ti;
+  Tree tree(ti);
+  std::map<std::string, uint64_t> oracle;
+  for (uint64_t i = 0; i < std::min<uint64_t>(fam.space, 2000); ++i) {
+    std::string k = fam.make(i);
+    uint64_t old;
+    tree.insert(k, i, &old, ti);
+    oracle[k] = i;
+  }
+  // Scan starting exactly at each present key (inclusive) and just after it.
+  int checked = 0;
+  for (auto it = oracle.begin(); it != oracle.end() && checked < 100;
+       std::advance(it, 7), ++checked) {
+    std::vector<std::string> got;
+    tree.scan(
+        it->first, 3,
+        [&](std::string_view k, uint64_t) {
+          got.emplace_back(k);
+          return true;
+        },
+        ti);
+    auto oit = it;
+    for (size_t j = 0; j < got.size(); ++j, ++oit) {
+      ASSERT_EQ(got[j], oit->first) << fam.name;
+    }
+    // Successor scan: start = key + '\0' must skip the key itself.
+    std::string succ = it->first + std::string(1, '\0');
+    got.clear();
+    tree.scan(
+        succ, 1,
+        [&](std::string_view k, uint64_t) {
+          got.emplace_back(k);
+          return true;
+        },
+        ti);
+    auto nit = std::next(it);
+    // key+'\0' may itself exist in NUL-rich families.
+    if (!got.empty() && nit != oracle.end()) {
+      ASSERT_GE(got[0], succ) << fam.name;
+    }
+    if (std::distance(oracle.begin(), it) + 7 >= static_cast<long>(oracle.size())) {
+      break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KeyFamilies, TreePropertyTest,
+    ::testing::Values(KeyFamily{"short_dense", &ShortDense, 9},
+                      KeyFamily{"decimal_mix", &DecimalMix, 5000},
+                      KeyFamily{"shared_prefix_deep", &SharedPrefixDeep, 3000},
+                      KeyFamily{"binary_nuls", &BinaryNuls, 4000},
+                      KeyFamily{"boundary_lengths", &BoundaryLengths, 2000},
+                      KeyFamily{"long_suffixes", &LongSuffixes, 1500}),
+    [](const ::testing::TestParamInfo<KeyFamily>& info) { return info.param.name; });
+
+// ---- non-parameterized structural properties ----
+
+TEST(TreeInvariants, SameSliceGroupMaxTen) {
+  // §4.2: "A single tree can store at most 10 keys with the same slice" —
+  // lengths 0..8 plus one suffixed key; the eleventh (another long key)
+  // forces a layer.
+  ThreadContext ti;
+  Tree tree(ti);
+  std::string base = "SLICESLC";
+  uint64_t old;
+  for (size_t len = 0; len <= 8; ++len) {
+    tree.insert(std::string_view(base).substr(0, len), len, &old, ti);
+  }
+  tree.insert(base + "longer-a", 100, &old, ti);  // the one suffixed key
+  ASSERT_EQ(tree.collect_stats().layer_links, 0u);
+  tree.insert(base + "longer-b", 101, &old, ti);  // conflict -> layer
+  TreeStats st = tree.collect_stats();
+  EXPECT_EQ(st.layer_links, 1u);
+  EXPECT_EQ(st.layers, 2u);
+  // Everything still retrievable.
+  for (size_t len = 0; len <= 8; ++len) {
+    uint64_t v;
+    ASSERT_TRUE(tree.get(std::string_view(base).substr(0, len), &v, ti));
+    ASSERT_EQ(v, len);
+  }
+  uint64_t v;
+  ASSERT_TRUE(tree.get(base + "longer-a", &v, ti));
+  EXPECT_EQ(v, 100u);
+  ASSERT_TRUE(tree.get(base + "longer-b", &v, ti));
+  EXPECT_EQ(v, 101u);
+}
+
+TEST(TreeInvariants, LayerDepthMatchesPrefixLength) {
+  // Invariant (1) of §4.1: keys shorter than 8h+8 bytes are stored at layer
+  // <= h; a 64-byte shared prefix generates at least 8 layers.
+  ThreadContext ti;
+  Tree tree(ti);
+  std::string prefix(64, 'L');
+  uint64_t old;
+  for (int i = 0; i < 100; ++i) {
+    tree.insert(prefix + std::to_string(i), i, &old, ti);
+  }
+  EXPECT_GE(tree.collect_stats().layers, 9u);
+}
+
+TEST(TreeInvariants, BorderFillAfterSequentialLoad) {
+  // §4.3's sequential-insert optimization keeps nodes nearly full.
+  ThreadContext ti;
+  Tree tree(ti);
+  uint64_t old;
+  for (int i = 0; i < 100000; ++i) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "%08d", i);
+    tree.insert(buf, i, &old, ti);
+  }
+  EXPECT_GT(tree.collect_stats().avg_border_fill(15), 0.9);
+}
+
+TEST(TreeInvariants, RandomFillFactorReasonable) {
+  // Random inserts land around the classical ~70% B-tree utilization.
+  ThreadContext ti;
+  Tree tree(ti);
+  Rng rng(3);
+  uint64_t old;
+  for (int i = 0; i < 100000; ++i) {
+    tree.insert(std::to_string(rng.next()), i, &old, ti);
+  }
+  double fill = tree.collect_stats().avg_border_fill(15);
+  EXPECT_GT(fill, 0.55);
+  EXPECT_LT(fill, 0.85);
+}
+
+TEST(TreeInvariants, UpdateNeverChangesShape) {
+  ThreadContext ti;
+  Tree tree(ti);
+  uint64_t old;
+  for (int i = 0; i < 10000; ++i) {
+    tree.insert("k" + std::to_string(i), i, &old, ti);
+  }
+  TreeStats before = tree.collect_stats();
+  Rng rng(9);
+  for (int i = 0; i < 50000; ++i) {
+    tree.insert("k" + std::to_string(rng.next_range(10000)), rng.next(), &old, ti);
+  }
+  TreeStats after = tree.collect_stats();
+  EXPECT_EQ(before.border_nodes, after.border_nodes);
+  EXPECT_EQ(before.interior_nodes, after.interior_nodes);
+  EXPECT_EQ(before.keys, after.keys);
+}
+
+}  // namespace
+}  // namespace masstree

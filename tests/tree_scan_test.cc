@@ -1,0 +1,219 @@
+// Range-query (getrange/scan, §3) tests, including multi-layer traversal and
+// oracle comparisons against std::map.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/tree.h"
+#include "util/rand.h"
+
+namespace masstree {
+namespace {
+
+class ScanTest : public ::testing::Test {
+ protected:
+  ScanTest() : tree_(ti_) {}
+
+  void Put(const std::string& k, uint64_t v) {
+    uint64_t old;
+    tree_.insert(k, v, &old, ti_);
+    oracle_[k] = v;
+  }
+  void Remove(const std::string& k) {
+    uint64_t old;
+    tree_.remove(k, &old, ti_);
+    oracle_.erase(k);
+  }
+
+  std::vector<std::pair<std::string, uint64_t>> Scan(const std::string& first, size_t limit) {
+    std::vector<std::pair<std::string, uint64_t>> out;
+    tree_.scan(
+        first, limit,
+        [&](std::string_view k, uint64_t v) {
+          out.emplace_back(std::string(k), v);
+          return true;
+        },
+        ti_);
+    return out;
+  }
+
+  std::vector<std::pair<std::string, uint64_t>> OracleScan(const std::string& first,
+                                                           size_t limit) {
+    std::vector<std::pair<std::string, uint64_t>> out;
+    for (auto it = oracle_.lower_bound(first); it != oracle_.end() && out.size() < limit; ++it) {
+      out.emplace_back(it->first, it->second);
+    }
+    return out;
+  }
+
+  void ExpectScanMatchesOracle(const std::string& first, size_t limit) {
+    auto got = Scan(first, limit);
+    auto want = OracleScan(first, limit);
+    ASSERT_EQ(got.size(), want.size()) << "first=" << first;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].first, want[i].first) << "i=" << i;
+      EXPECT_EQ(got[i].second, want[i].second) << "i=" << i;
+    }
+  }
+
+  ThreadContext ti_;
+  Tree tree_;
+  std::map<std::string, uint64_t> oracle_;
+};
+
+TEST_F(ScanTest, EmptyTree) { EXPECT_TRUE(Scan("", 10).empty()); }
+
+TEST_F(ScanTest, SortedOrderSingleNode) {
+  Put("banana", 2);
+  Put("apple", 1);
+  Put("cherry", 3);
+  auto got = Scan("", 10);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].first, "apple");
+  EXPECT_EQ(got[1].first, "banana");
+  EXPECT_EQ(got[2].first, "cherry");
+}
+
+TEST_F(ScanTest, InclusiveStart) {
+  Put("a", 1);
+  Put("b", 2);
+  Put("c", 3);
+  auto got = Scan("b", 10);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].first, "b");  // §3: "starting with the next key at or after k"
+}
+
+TEST_F(ScanTest, StartBetweenKeys) {
+  Put("aa", 1);
+  Put("cc", 3);
+  auto got = Scan("bb", 10);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].first, "cc");
+}
+
+TEST_F(ScanTest, LimitRespected) {
+  for (int i = 0; i < 100; ++i) {
+    char buf[8];
+    snprintf(buf, sizeof(buf), "%03d", i);
+    Put(buf, i);
+  }
+  EXPECT_EQ(Scan("", 17).size(), 17u);
+  ExpectScanMatchesOracle("", 17);
+  ExpectScanMatchesOracle("050", 25);
+}
+
+TEST_F(ScanTest, CallbackCanStopEarly) {
+  for (int i = 0; i < 50; ++i) {
+    Put("k" + std::to_string(100 + i), i);
+  }
+  int seen = 0;
+  tree_.scan(
+      "", 1000,
+      [&](std::string_view, uint64_t) {
+        ++seen;
+        return seen < 5;
+      },
+      ti_);
+  EXPECT_EQ(seen, 5);
+}
+
+TEST_F(ScanTest, AcrossManyNodes) {
+  for (int i = 0; i < 3000; ++i) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "%07d", i * 3);
+    Put(buf, i);
+  }
+  ExpectScanMatchesOracle("", 3000);
+  ExpectScanMatchesOracle("0004500", 100);
+  ExpectScanMatchesOracle("0004501", 100);  // non-existent start
+  ExpectScanMatchesOracle("0008999", 10);
+  ExpectScanMatchesOracle("9999999", 10);  // past the end
+}
+
+TEST_F(ScanTest, AcrossLayers) {
+  // Keys sharing long prefixes live in deep layers; scans must stitch the
+  // prefix back together and keep global order.
+  Put("0123456789AB", 1);
+  Put("0123456789CD", 2);
+  Put("01234567", 3);
+  Put("0123", 4);
+  Put("01234567AAAAAAAAZZ", 5);
+  Put("1", 6);
+  ExpectScanMatchesOracle("", 100);
+  ExpectScanMatchesOracle("01234567", 100);
+  ExpectScanMatchesOracle("0123456789B", 100);
+  ExpectScanMatchesOracle("01234567AAAAAAAA", 100);
+}
+
+TEST_F(ScanTest, DeepLayersWithSharedPrefix) {
+  std::string prefix(32, 'q');
+  for (int i = 0; i < 300; ++i) {
+    char buf[8];
+    snprintf(buf, sizeof(buf), "%04d", i);
+    Put(prefix + buf, i);
+  }
+  ExpectScanMatchesOracle("", 1000);
+  ExpectScanMatchesOracle(prefix + "0150", 20);
+  ExpectScanMatchesOracle(prefix, 20);
+  // Start strictly inside the prefix region.
+  ExpectScanMatchesOracle(prefix.substr(0, 10), 20);
+}
+
+TEST_F(ScanTest, BinaryKeys) {
+  Put(std::string("\x00", 1), 1);
+  Put(std::string("\x00\x00", 2), 2);
+  Put(std::string("\x00\xff", 2), 3);
+  Put(std::string("\xff", 1), 4);
+  Put("", 5);
+  ExpectScanMatchesOracle("", 10);
+  ExpectScanMatchesOracle(std::string("\x00", 1), 10);
+  ExpectScanMatchesOracle(std::string("\x00\x01", 2), 10);
+}
+
+TEST_F(ScanTest, AfterRemovals) {
+  for (int i = 0; i < 500; ++i) {
+    Put("key" + std::to_string(1000 + i), i);
+  }
+  for (int i = 0; i < 500; i += 3) {
+    Remove("key" + std::to_string(1000 + i));
+  }
+  ExpectScanMatchesOracle("", 1000);
+  ExpectScanMatchesOracle("key1250", 50);
+}
+
+TEST_F(ScanTest, RandomizedOracle) {
+  Rng rng(99);
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 400; ++i) {
+      std::string k = std::to_string(rng.next_range(1u << 31));
+      if (rng.next_range(100) < 15 && !oracle_.empty()) {
+        auto it = oracle_.lower_bound(k);
+        if (it == oracle_.end()) {
+          it = oracle_.begin();
+        }
+        Remove(it->first);
+      } else {
+        Put(k, rng.next());
+      }
+    }
+    ExpectScanMatchesOracle("", 10000);
+    ExpectScanMatchesOracle(std::to_string(rng.next_range(1u << 31)), 37);
+  }
+}
+
+TEST_F(ScanTest, GetrangeSemantics) {
+  // getrange(k, n): up to n pairs from the next key at or after k (§3).
+  for (int i = 0; i < 10; ++i) {
+    Put("row" + std::to_string(i), i);
+  }
+  auto got = Scan("row3", 4);
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got[0].first, "row3");
+  EXPECT_EQ(got[3].first, "row6");
+}
+
+}  // namespace
+}  // namespace masstree

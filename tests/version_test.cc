@@ -1,0 +1,163 @@
+// Version-word protocol tests (§4.5, Figures 3 & 4).
+
+#include "core/version.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace masstree {
+namespace {
+
+using CV = NodeVersion<ConcurrentPolicy>;
+using SV = NodeVersion<SequentialPolicy>;
+
+TEST(Version, InitialFlags) {
+  CV v(VersionValue::kBorder | VersionValue::kRoot);
+  VersionValue x = v.load();
+  EXPECT_TRUE(x.is_border());
+  EXPECT_TRUE(x.is_root());
+  EXPECT_FALSE(x.locked());
+  EXPECT_FALSE(x.dirty());
+  EXPECT_FALSE(x.deleted());
+  EXPECT_EQ(x.vinsert(), 0u);
+  EXPECT_EQ(x.vsplit(), 0u);
+}
+
+TEST(Version, UnlockBumpsVinsert) {
+  CV v(VersionValue::kBorder);
+  VersionValue before = v.load();
+  v.lock();
+  v.mark_inserting();
+  EXPECT_TRUE(v.load().inserting());
+  v.unlock();
+  VersionValue after = v.load();
+  EXPECT_FALSE(after.locked());
+  EXPECT_FALSE(after.inserting());
+  EXPECT_EQ(after.vinsert(), before.vinsert() + 1);
+  EXPECT_EQ(after.vsplit(), before.vsplit());
+  EXPECT_TRUE(v.changed_since(before));
+  EXPECT_FALSE(v.split_since(before));
+}
+
+TEST(Version, UnlockBumpsVsplit) {
+  CV v(VersionValue::kBorder);
+  VersionValue before = v.load();
+  v.lock();
+  v.mark_splitting();
+  v.unlock();
+  VersionValue after = v.load();
+  EXPECT_EQ(after.vsplit(), before.vsplit() + 1);
+  EXPECT_EQ(after.vinsert(), before.vinsert());
+  EXPECT_TRUE(v.split_since(before));
+}
+
+TEST(Version, PlainLockUnlockBumpsNothing) {
+  // Updates (value overwrite) lock but never dirty: readers see no change.
+  CV v(VersionValue::kBorder);
+  VersionValue before = v.load();
+  v.lock();
+  v.unlock();
+  EXPECT_FALSE(v.changed_since(before));
+}
+
+TEST(Version, LockBitInvisibleToChangedSince) {
+  CV v(VersionValue::kBorder);
+  VersionValue before = v.load();
+  v.lock();
+  EXPECT_FALSE(v.changed_since(before));  // lock alone is not a change
+  v.unlock();
+}
+
+TEST(Version, VinsertWrapsWithoutTouchingVsplit) {
+  CV v(VersionValue::kBorder);
+  for (int i = 0; i < 256; ++i) {
+    v.lock();
+    v.mark_inserting();
+    v.unlock();
+  }
+  VersionValue after = v.load();
+  EXPECT_EQ(after.vinsert(), 0u);  // 8-bit counter wrapped exactly once
+  EXPECT_EQ(after.vsplit(), 0u);   // no carry into vsplit
+  EXPECT_TRUE(after.is_border());
+}
+
+TEST(Version, DeletedMarksSplitting) {
+  CV v(VersionValue::kBorder);
+  VersionValue before = v.load();
+  v.lock();
+  v.mark_deleted();
+  v.unlock();
+  VersionValue after = v.load();
+  EXPECT_TRUE(after.deleted());
+  EXPECT_TRUE(v.split_since(before));  // deletion counts as a split
+}
+
+TEST(Version, StableSpinsPastDirty) {
+  CV v(VersionValue::kBorder);
+  v.lock();
+  v.mark_inserting();
+  std::thread unlocker([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    v.unlock();
+  });
+  VersionValue x = v.stable();  // must not return while inserting is set
+  EXPECT_FALSE(x.dirty());
+  unlocker.join();
+}
+
+TEST(Version, TryLock) {
+  CV v(VersionValue::kBorder);
+  EXPECT_TRUE(v.try_lock());
+  EXPECT_FALSE(v.try_lock());
+  v.unlock();
+  EXPECT_TRUE(v.try_lock());
+  v.unlock();
+}
+
+TEST(Version, MutualExclusionUnderContention) {
+  CV v(0);
+  std::atomic<int> in_section{0};
+  std::atomic<bool> violation{false};
+  constexpr int kIters = 20000;
+  auto worker = [&] {
+    for (int i = 0; i < kIters; ++i) {
+      v.lock();
+      if (in_section.fetch_add(1) != 0) {
+        violation = true;
+      }
+      in_section.fetch_sub(1);
+      v.unlock();
+    }
+  };
+  std::thread a(worker), b(worker);
+  a.join();
+  b.join();
+  EXPECT_FALSE(violation);
+  EXPECT_FALSE(v.load().locked());
+}
+
+TEST(Version, SequentialPolicyNeverReportsChanges) {
+  SV v(VersionValue::kBorder);
+  VersionValue before = v.load();
+  v.lock();
+  v.mark_inserting();
+  v.unlock();
+  // The single-core variant compiles validation away entirely.
+  EXPECT_FALSE(v.changed_since(before));
+  EXPECT_FALSE(v.split_since(before));
+}
+
+TEST(Version, RootFlagToggle) {
+  CV v(VersionValue::kRoot);
+  v.lock();
+  v.set_root(false);
+  EXPECT_FALSE(v.load().is_root());
+  v.set_root(true);
+  EXPECT_TRUE(v.load().is_root());
+  v.unlock();
+}
+
+}  // namespace
+}  // namespace masstree
