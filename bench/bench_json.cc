@@ -1,0 +1,136 @@
+// JSON-emitting throughput runner: the repo's perf trajectory anchor.
+//
+//   bench_json [output.json]
+//
+// Measures the headline Masstree throughputs every PR must not regress —
+// uniform point gets, fresh-key inserts, uniform updates, and a YCSB-A-style
+// 50/50 get/update mix over a Zipfian (theta=0.99, scrambled) popularity
+// distribution — and writes them as one JSON object (stdout if no path).
+// Workload scale follows the MT_BENCH_* environment knobs of bench/common.h.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench/common.h"
+#include "core/tree.h"
+#include "util/rand.h"
+#include "workload/keys.h"
+
+int main(int argc, char** argv) {
+  using namespace masstree;
+  using namespace masstree::bench;
+  Env e = env(1000000);
+  print_header("bench_json: throughput metrics for BENCH_micro.json", e);
+
+  ThreadContext setup;
+  Tree tree(setup);
+
+  // Timed load phase doubles as the insert metric: every thread claims fresh
+  // key chunks, so the tree keeps splitting like a real ingest.
+  std::atomic<uint64_t> next{0};
+  double insert_mops = timed_mops(e.threads, e.secs, [&](unsigned, const std::atomic<bool>& stop) {
+    thread_local ThreadContext ti;
+    uint64_t ops = 0, old;
+    while (!stop.load(std::memory_order_relaxed)) {
+      uint64_t chunk = next.fetch_add(256, std::memory_order_relaxed);
+      for (uint64_t i = chunk; i < chunk + 256; ++i) {
+        tree.insert(decimal_key(i), i, &old, ti);
+        ++ops;
+      }
+    }
+    return ops;
+  });
+  // Top up to the full key count so the read phases cover e.keys keys.
+  {
+    ThreadContext ti;
+    uint64_t old;
+    for (uint64_t i = next.load(); i < e.keys; ++i) {
+      tree.insert(decimal_key(i), i, &old, ti);
+    }
+  }
+  uint64_t loaded = std::max(next.load(), e.keys);
+
+  double get_uniform_mops =
+      timed_mops(e.threads, e.secs, [&](unsigned t, const std::atomic<bool>& stop) {
+        thread_local ThreadContext ti;
+        Rng rng(100 + t);
+        uint64_t ops = 0, v;
+        while (!stop.load(std::memory_order_relaxed)) {
+          for (int i = 0; i < 256; ++i) {
+            tree.get(decimal_key(rng.next_range(loaded)), &v, ti);
+            ++ops;
+          }
+        }
+        return ops;
+      });
+
+  double update_mops =
+      timed_mops(e.threads, e.secs, [&](unsigned t, const std::atomic<bool>& stop) {
+        thread_local ThreadContext ti;
+        Rng rng(200 + t);
+        uint64_t ops = 0, old;
+        while (!stop.load(std::memory_order_relaxed)) {
+          for (int i = 0; i < 256; ++i) {
+            uint64_t k = rng.next_range(loaded);
+            tree.insert(decimal_key(k), k ^ ops, &old, ti);
+            ++ops;
+          }
+        }
+        return ops;
+      });
+
+  // YCSB-A: 50% reads, 50% updates, Zipfian key popularity (§7).
+  double ycsb_a_mops =
+      timed_mops(e.threads, e.secs, [&](unsigned t, const std::atomic<bool>& stop) {
+        thread_local ThreadContext ti;
+        Rng coin(300 + t);
+        Zipfian zipf(loaded, 0.99, 400 + t);
+        uint64_t ops = 0, v, old;
+        while (!stop.load(std::memory_order_relaxed)) {
+          for (int i = 0; i < 256; ++i) {
+            uint64_t k = zipf.next_scrambled();
+            if (coin.next() & 1) {
+              tree.get(decimal_key(k), &v, ti);
+            } else {
+              tree.insert(decimal_key(k), k + ops, &old, ti);
+            }
+            ++ops;
+          }
+        }
+        return ops;
+      });
+
+  std::string json;
+  char buf[256];
+  auto add = [&](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    json += buf;
+  };
+  add("{\n");
+  add("  \"bench\": \"micro_throughput\",\n");
+  add("  \"tree\": \"masstree\",\n");
+  add("  \"keys\": %llu,\n", static_cast<unsigned long long>(loaded));
+  add("  \"threads\": %u,\n", e.threads);
+  add("  \"secs_per_phase\": %.2f,\n", e.secs);
+  add("  \"metrics\": {\n");
+  add("    \"insert_mops\": %.4f,\n", insert_mops);
+  add("    \"get_uniform_mops\": %.4f,\n", get_uniform_mops);
+  add("    \"update_uniform_mops\": %.4f,\n", update_mops);
+  add("    \"ycsb_a_zipfian_mops\": %.4f\n", ycsb_a_mops);
+  add("  }\n");
+  add("}\n");
+
+  if (argc > 1) {
+    FILE* f = std::fopen(argv[1], "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", argv[1]);
+  }
+  std::fputs(json.c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,46 @@
+#!/bin/sh
+# Benchmark runner: produces the repo's perf-trajectory artifacts.
+#
+#   bench/run_bench.sh [BENCH_BIN_DIR] [JSON_OUT]
+#
+#   BENCH_BIN_DIR  directory with the built bench binaries
+#                  (default: build/bench)
+#   JSON_OUT       where to write the throughput metrics JSON
+#                  (default: BENCH_micro.json in the repo root)
+#
+# Runs, in order:
+#   1. bench_json         -> JSON_OUT (uniform get / insert / update / YCSB-A)
+#   2. micro_gbench       -> BENCH_gbench.json next to JSON_OUT (if built)
+#   3. fig10_scalability  -> BENCH_fig10.txt next to JSON_OUT
+#
+# Scale knobs (see bench/common.h): MT_BENCH_KEYS, MT_BENCH_THREADS,
+# MT_BENCH_SECS. CI/container defaults keep the run under a few minutes.
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+bin_dir=${1:-"$repo_root/build/bench"}
+json_out=${2:-"$repo_root/BENCH_micro.json"}
+out_dir=$(cd "$(dirname "$json_out")" && pwd)
+
+if [ ! -x "$bin_dir/bench_json" ]; then
+    echo "run_bench.sh: $bin_dir/bench_json not built (cmake --build build)" >&2
+    exit 1
+fi
+
+echo "== bench_json -> $json_out"
+"$bin_dir/bench_json" "$json_out"
+
+if [ -x "$bin_dir/micro_gbench" ]; then
+    echo "== micro_gbench -> $out_dir/BENCH_gbench.json"
+    "$bin_dir/micro_gbench" --benchmark_format=json \
+        --benchmark_out="$out_dir/BENCH_gbench.json" \
+        --benchmark_out_format=json >/dev/null
+else
+    echo "== micro_gbench not built (Google Benchmark missing); skipping"
+fi
+
+echo "== fig10_scalability -> $out_dir/BENCH_fig10.txt"
+"$bin_dir/fig10_scalability" | tee "$out_dir/BENCH_fig10.txt"
+
+echo "== done; headline metrics:"
+cat "$json_out"

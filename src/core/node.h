@@ -140,10 +140,13 @@ class alignas(kCacheLineSize) BorderNode : public NodeBase<C> {
 
   uint64_t slice(int slot) const { return keyslice_[slot].load(std::memory_order_relaxed); }
   uint8_t keylenx(int slot) const { return keylenx_[slot].load(std::memory_order_relaxed); }
-  uint64_t lv(int slot) const { return lv_[slot].load(std::memory_order_relaxed); }
-  NodeBase<C>* layer(int slot) const {
-    return reinterpret_cast<NodeBase<C>*>(lv_[slot].load(std::memory_order_acquire));
-  }
+  // Acquire, not relaxed: lv may hold a pointer (a Row boxed by the kvstore
+  // layer, or a layer root) whose pointee the caller dereferences. The
+  // acquire pairs with set_lv's release so the pointee's initialization is
+  // visible — dependency ordering would do on real hardware, but the C++
+  // model (and TSan) requires the pairing. Free on x86/ARM loads.
+  uint64_t lv(int slot) const { return lv_[slot].load(std::memory_order_acquire); }
+  NodeBase<C>* layer(int slot) const { return reinterpret_cast<NodeBase<C>*>(lv(slot)); }
 
   void set_slice(int slot, uint64_t s) { keyslice_[slot].store(s, std::memory_order_relaxed); }
   void set_keylenx(int slot, uint8_t kx) { keylenx_[slot].store(kx, std::memory_order_release); }

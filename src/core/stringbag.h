@@ -28,7 +28,9 @@
 
 namespace masstree {
 
-class StringBag {
+// alignas keeps sizeof a multiple of 8 so the refs() array that directly
+// follows the header is properly aligned for std::atomic<uint64_t>.
+class alignas(8) StringBag {
  public:
   // Builds an empty bag with room for `data_capacity` suffix bytes across
   // `width` slots.

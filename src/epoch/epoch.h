@@ -84,7 +84,30 @@ class EpochManager {
 
   uint64_t current_epoch() const { return epoch_.load(std::memory_order_acquire); }
 
-  void advance() { epoch_.fetch_add(1, std::memory_order_acq_rel); }
+  // Gated advance (Fraser-style): the epoch may move from E to E+1 only once
+  // every in-guard thread has published E. This gate is what makes epoch
+  // comparison imply a happens-before edge: a reader seen at epoch >= E+1
+  // entered through an advance that itself acquire-read every slot at E —
+  // including, transitively, the retiring thread's guard exit — so it cannot
+  // still hold references unlinked before that exit. An unconditional
+  // fetch_add would let a reader "pass" a retirement it never synchronized
+  // with (a ThreadSanitizer-visible use-after-free window on object reuse).
+  // Returns true if the epoch moved.
+  bool advance() {
+    // Scanner side of the Dekker pattern (see min_active_epoch).
+    full_fence();
+    uint64_t cur = epoch_.load(std::memory_order_acquire);
+    for (const auto& slot : slots_) {
+      if (!slot.in_use.load(std::memory_order_acquire)) {
+        continue;
+      }
+      uint64_t a = slot.active.load(std::memory_order_acquire);
+      if (a != 0 && a != cur) {
+        return false;  // someone is still inside an older epoch
+      }
+    }
+    return epoch_.compare_exchange_strong(cur, cur + 1, std::memory_order_acq_rel);
+  }
 
   // Claims a free slot. Thread-safe; aborts if more than kMaxThreads threads
   // register simultaneously.
@@ -120,6 +143,11 @@ class EpochManager {
   // Smallest epoch any in-critical-section thread has published, or
   // current_epoch() if all threads are quiescent.
   uint64_t min_active_epoch() const {
+    // EpochGuard entry is store(active) + full fence + protected loads; this
+    // scan is the other side of that Dekker pattern and needs its own full
+    // fence before reading the slots, or (on non-TSO hardware) a just-entered
+    // reader could be invisible here while also missing the prior unlinks.
+    full_fence();
     uint64_t min = current_epoch();
     for (const auto& slot : slots_) {
       if (!slot.in_use.load(std::memory_order_acquire)) {
@@ -146,8 +174,12 @@ class EpochManager {
     }
   }
 
-  // Free limbo entries whose epoch is strictly below every active thread's
-  // published epoch. Returns the number reclaimed.
+  // Free limbo entries retired at least two epochs below every active
+  // thread's published epoch. One epoch is not enough: a reader active at
+  // e+1 may have entered before the retiring thread's unlink became visible;
+  // the gated advance to e+2 cannot happen until that reader (and the
+  // retiring guard) exit, which is the happens-before edge the free needs.
+  // Returns the number reclaimed.
   size_t reclaim(EpochSlot& slot) {
     if (slot.limbo.empty()) {
       return 0;
@@ -156,7 +188,7 @@ class EpochManager {
     size_t kept = 0, freed = 0;
     for (size_t i = 0; i < slot.limbo.size(); ++i) {
       LimboEntry& e = slot.limbo[i];
-      if (e.epoch < safe_below) {
+      if (e.epoch + 1 < safe_below) {
         e.deleter(e.ptr);
         ++freed;
       } else {
@@ -196,7 +228,10 @@ class EpochGuard {
         slot_.ops_since_advance = 0;
         mgr.advance();
       }
-      slot_.active.store(mgr.current_epoch(), std::memory_order_relaxed);
+      // Release keeps the slot's store in min_active_epoch()'s release
+      // sequence even when re-entering after a quiescent 0; the full fence
+      // orders the announcement before the protected loads.
+      slot_.active.store(mgr.current_epoch(), std::memory_order_release);
       full_fence();
     }
   }

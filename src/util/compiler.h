@@ -20,19 +20,41 @@ namespace masstree {
 // Hardware cache line size on every platform we target (§6.1: 64-byte lines).
 inline constexpr size_t kCacheLineSize = 64;
 
+// ThreadSanitizer does not model (or support, see gcc -Wtsan) standalone
+// atomic_thread_fence; under TSan each fence becomes a read-modify-write with
+// the equivalent ordering on a process-global dummy, which TSan understands.
+#if defined(__SANITIZE_THREAD__)
+#define MT_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MT_TSAN 1
+#endif
+#endif
+
+#if defined(MT_TSAN)
+namespace detail {
+inline std::atomic<unsigned> tsan_fence_sync{0};
+}
+inline void thread_fence(std::memory_order order) {
+  detail::tsan_fence_sync.fetch_add(0, order);
+}
+#else
+inline void thread_fence(std::memory_order order) { std::atomic_thread_fence(order); }
+#endif
+
 // Acquire fence: order a preceding relaxed load before subsequent accesses.
 // Used after snapshotting a node version (Fig 4's stableversion).
-inline void acquire_fence() { std::atomic_thread_fence(std::memory_order_acquire); }
+inline void acquire_fence() { thread_fence(std::memory_order_acquire); }
 
 // Release fence: order preceding writes before a subsequent publishing store.
 // Used before permutation/version stores that make writer changes visible
 // (§4.6.2: "A compiler fence, and on some architectures a machine fence
 // instruction, is required between the writes of the key and value and the
 // write of the permutation").
-inline void release_fence() { std::atomic_thread_fence(std::memory_order_release); }
+inline void release_fence() { thread_fence(std::memory_order_release); }
 
 // Full barrier, used only on slow paths (e.g. epoch advancement).
-inline void full_fence() { std::atomic_thread_fence(std::memory_order_seq_cst); }
+inline void full_fence() { thread_fence(std::memory_order_seq_cst); }
 
 // Pause instruction for spin loops; keeps the sibling hyperthread productive
 // and reduces memory-order violation flushes on x86.
@@ -40,7 +62,7 @@ inline void spin_pause() {
 #if defined(__x86_64__) || defined(__i386__)
   __builtin_ia32_pause();
 #else
-  std::atomic_thread_fence(std::memory_order_seq_cst);
+  thread_fence(std::memory_order_seq_cst);
 #endif
 }
 

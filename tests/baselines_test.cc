@@ -15,11 +15,14 @@
 #include "baselines/four_tree.h"
 #include "baselines/hash_table.h"
 #include "baselines/partitioned.h"
+#include "support/test_support.h"
 #include "util/rand.h"
 #include "workload/keys.h"
 
 namespace masstree {
 namespace {
+
+namespace ts = test_support;
 
 // ------------------------- binary tree -------------------------
 
@@ -34,20 +37,14 @@ TYPED_TEST_SUITE(BinaryTreeTest, BinaryVariants);
 TYPED_TEST(BinaryTreeTest, OracleRandomKeys) {
   ThreadContext ti;
   TypeParam tree;
-  std::map<std::string, uint64_t> oracle;
-  Rng rng(5);
+  ts::Oracle oracle;
+  Rng rng = ts::seeded_rng(5);
   for (int i = 0; i < 5000; ++i) {
     std::string k = decimal_key(rng.next());
     uint64_t v = rng.next();
-    bool inserted = tree.insert(k, v, &ti.arena());
-    EXPECT_EQ(inserted, oracle.find(k) == oracle.end());
-    oracle[k] = v;
+    EXPECT_EQ(tree.insert(k, v, &ti.arena()), oracle.note_insert(k, v));
   }
-  for (const auto& [k, v] : oracle) {
-    uint64_t got;
-    ASSERT_TRUE(tree.get(k, &got)) << k;
-    ASSERT_EQ(got, v);
-  }
+  oracle.verify_all([&](const std::string& k, uint64_t* got) { return tree.get(k, got); });
   uint64_t dummy;
   EXPECT_FALSE(tree.get("not-a-decimal-key", &dummy));
 }
@@ -96,20 +93,14 @@ TEST(BinaryTreeConcurrent, ParallelInsertsAllLand) {
 TEST(FourTree, OracleRandomKeys) {
   ThreadContext ti;
   FourTree tree(ti);
-  std::map<std::string, uint64_t> oracle;
-  Rng rng(6);
+  ts::Oracle oracle;
+  Rng rng = ts::seeded_rng(6);
   for (int i = 0; i < 5000; ++i) {
     std::string k = decimal_key(rng.next());
     uint64_t v = rng.next();
-    bool inserted = tree.insert(k, v, ti);
-    EXPECT_EQ(inserted, oracle.find(k) == oracle.end()) << k;
-    oracle[k] = v;
+    EXPECT_EQ(tree.insert(k, v, ti), oracle.note_insert(k, v)) << k;
   }
-  for (const auto& [k, v] : oracle) {
-    uint64_t got;
-    ASSERT_TRUE(tree.get(k, &got)) << k;
-    ASSERT_EQ(got, v);
-  }
+  oracle.verify_all([&](const std::string& k, uint64_t* got) { return tree.get(k, got); });
 }
 
 TEST(FourTree, SameSliceKeys) {
@@ -135,16 +126,10 @@ TEST(FourTree, ConcurrentInsertGet) {
   for (int i = 0; i < 1000; ++i) {
     tree.insert("stable" + std::to_string(i), i, main_ti);
   }
-  std::atomic<bool> stop{false};
-  std::atomic<int> lost{0};
-  std::thread reader([&] {
-    Rng rng(1);
-    while (!stop.load()) {
-      uint64_t i = rng.next_range(1000), v;
-      if (!tree.get("stable" + std::to_string(i), &v) || v != i) {
-        ++lost;
-      }
-    }
+  ts::ChurnDriver reader;
+  reader.spawn(1, [&](ThreadContext&, Rng& rng) {
+    uint64_t i = rng.next_range(1000), v;
+    return tree.get("stable" + std::to_string(i), &v) && v == i;
   });
   {
     ThreadContext ti;
@@ -152,9 +137,7 @@ TEST(FourTree, ConcurrentInsertGet) {
       tree.insert(decimal_key(i), i, ti);
     }
   }
-  stop = true;
-  reader.join();
-  EXPECT_EQ(lost.load(), 0);
+  EXPECT_EQ(reader.stop_and_join(), 0);
 }
 
 // ------------------------- fast B-tree family -------------------------
@@ -168,20 +151,15 @@ TYPED_TEST_SUITE(FastBtreeTest, BtreeVariants);
 TYPED_TEST(FastBtreeTest, OracleDecimalKeys) {
   ThreadContext ti;
   TypeParam tree(ti);
-  std::map<std::string, uint64_t> oracle;
-  Rng rng(7);
+  ts::Oracle oracle;
+  Rng rng = ts::seeded_rng(7);
   for (int i = 0; i < 20000; ++i) {
     std::string k = decimal_key(rng.next());
     uint64_t v = rng.next();
-    bool inserted = tree.insert(k, v, ti);
-    EXPECT_EQ(inserted, oracle.find(k) == oracle.end()) << k;
-    oracle[k] = v;
+    EXPECT_EQ(tree.insert(k, v, ti), oracle.note_insert(k, v)) << k;
   }
-  for (const auto& [k, v] : oracle) {
-    uint64_t got;
-    ASSERT_TRUE(tree.get(k, &got, ti)) << k;
-    ASSERT_EQ(got, v);
-  }
+  oracle.verify_all(
+      [&](const std::string& k, uint64_t* got) { return tree.get(k, got, ti); });
   uint64_t dummy;
   EXPECT_FALSE(tree.get("zzzz-not-there", &dummy, ti));
 }
@@ -237,28 +215,18 @@ TEST(BtreeConcurrent, NoLostKeysUnderInserts) {
   for (int i = 0; i < kStable; ++i) {
     tree.insert("stable" + std::to_string(100000 + i), i, main_ti);
   }
-  std::atomic<bool> stop{false};
-  std::atomic<int> lost{0};
-  std::thread reader([&] {
-    ThreadContext ti;
-    Rng rng(3);
-    while (!stop.load()) {
-      uint64_t i = rng.next_range(kStable), v;
-      if (!tree.get("stable" + std::to_string(100000 + i), &v, ti) || v != i) {
-        ++lost;
-      }
-    }
+  ts::ChurnDriver reader;
+  reader.spawn(1, [&](ThreadContext& ti, Rng& rng) {
+    uint64_t i = rng.next_range(kStable), v;
+    return tree.get("stable" + std::to_string(100000 + i), &v, ti) && v == i;
   });
-  std::thread writer([&] {
+  {
     ThreadContext ti;
     for (int i = 0; i < 50000; ++i) {
       tree.insert(decimal_key(i), i, ti);
     }
-    stop = true;
-  });
-  writer.join();
-  reader.join();
-  EXPECT_EQ(lost.load(), 0);
+  }
+  EXPECT_EQ(reader.stop_and_join(), 0);
 }
 
 TEST(BtreeConcurrent, NonPermuterVariantAlsoSafe) {
@@ -269,28 +237,18 @@ TEST(BtreeConcurrent, NonPermuterVariantAlsoSafe) {
   for (int i = 0; i < 500; ++i) {
     tree.insert("fix" + std::to_string(1000 + i), i, main_ti);
   }
-  std::atomic<bool> stop{false};
-  std::atomic<int> lost{0};
-  std::thread reader([&] {
-    ThreadContext ti;
-    Rng rng(4);
-    while (!stop.load()) {
-      uint64_t i = rng.next_range(500), v;
-      if (!tree.get("fix" + std::to_string(1000 + i), &v, ti) || v != i) {
-        ++lost;
-      }
-    }
+  ts::ChurnDriver reader;
+  reader.spawn(1, [&](ThreadContext& ti, Rng& rng) {
+    uint64_t i = rng.next_range(500), v;
+    return tree.get("fix" + std::to_string(1000 + i), &v, ti) && v == i;
   });
-  std::thread writer([&] {
+  {
     ThreadContext ti;
     for (int i = 0; i < 30000; ++i) {
       tree.insert(decimal_key(777000 + i), i, ti);
     }
-    stop = true;
-  });
-  writer.join();
-  reader.join();
-  EXPECT_EQ(lost.load(), 0);
+  }
+  EXPECT_EQ(reader.stop_and_join(), 0);
 }
 
 // ------------------------- hash table -------------------------
@@ -298,18 +256,12 @@ TEST(BtreeConcurrent, NonPermuterVariantAlsoSafe) {
 TEST(HashTable, OracleAlphaKeys) {
   ThreadContext ti;
   HashTable8 table(10000, ti);
-  std::map<std::string, uint64_t> oracle;
+  ts::Oracle oracle;
   for (int i = 0; i < 10000; ++i) {
     std::string k = alpha8_key(i);
-    bool inserted = table.insert(k, i);
-    EXPECT_EQ(inserted, oracle.find(k) == oracle.end());
-    oracle[k] = i;
+    EXPECT_EQ(table.insert(k, i), oracle.note_insert(k, i));
   }
-  for (const auto& [k, v] : oracle) {
-    uint64_t got;
-    ASSERT_TRUE(table.get(k, &got));
-    ASSERT_EQ(got, v);
-  }
+  oracle.verify_all([&](const std::string& k, uint64_t* got) { return table.get(k, got); });
   uint64_t dummy;
   EXPECT_FALSE(table.get("QQQQQQQQ", &dummy));
 }

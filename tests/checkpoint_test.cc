@@ -1,0 +1,329 @@
+// Checkpoint subsystem tests (§5): part-file format round-trips, full
+// checkpoint -> restore against an oracle, log-tail replay on top of a
+// checkpoint, and recovery after torn/truncated checkpoint files or an
+// interrupted (manifest-less) checkpoint.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "checkpoint/checkpoint.h"
+#include "kvstore/store.h"
+#include "support/test_support.h"
+
+namespace masstree {
+namespace {
+
+namespace fs = std::filesystem;
+namespace ts = test_support;
+
+class TempDir {
+ public:
+  explicit TempDir(const char* tag) {
+    path_ = fs::temp_directory_path() / ("masstree-ckpt-test-" + std::string(tag));
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  std::string str() const { return path_.string(); }
+  fs::path path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+using RowOracle = std::map<std::string, std::vector<std::string>>;
+
+// Random multi-column rows over adversarial keys: shared prefixes (layer
+// creation), binary bytes, slice-boundary lengths, and 0..3 columns.
+std::string oracle_key(Rng& rng, uint64_t i) {
+  switch (i % 4) {
+    case 0:
+      return "plain" + ts::padded_key(i);
+    case 1:
+      return std::string(24, 'p') + std::to_string(i);  // three shared layers
+    case 2: {
+      std::string k = "bin";
+      for (int j = 0; j < static_cast<int>(i % 14); ++j) {
+        k.push_back(static_cast<char>(rng.next_range(3)));
+      }
+      return k + std::to_string(i);
+    }
+    default:
+      return std::string(i % 17, 'x') + std::to_string(i);
+  }
+}
+
+void fill_store(Store& store, Store::Session& s, RowOracle* oracle, int nkeys,
+                uint64_t salt) {
+  Rng rng = ts::seeded_rng(salt);
+  for (int i = 0; i < nkeys; ++i) {
+    std::string key = oracle_key(rng, i);
+    unsigned ncols = 1 + static_cast<unsigned>(rng.next_range(3));
+    std::vector<ColumnUpdate> updates;
+    std::vector<std::string> cols(ncols);
+    for (unsigned c = 0; c < ncols; ++c) {
+      cols[c].assign(rng.next_range(40), static_cast<char>('a' + (i + c) % 26));
+      cols[c] += std::to_string(rng.next());
+    }
+    for (unsigned c = 0; c < ncols; ++c) {
+      updates.push_back(ColumnUpdate{c, cols[c]});
+    }
+    store.put(key, updates, s);
+    (*oracle)[key] = std::move(cols);
+  }
+}
+
+void expect_store_matches(Store& store, const RowOracle& oracle) {
+  Store::Session s(store, 0);
+  ASSERT_EQ(store.stats().keys, oracle.size());
+  for (const auto& [key, cols] : oracle) {
+    std::vector<std::string> got;
+    ASSERT_TRUE(store.get(key, {}, &got, s)) << "missing key=" << key;
+    ASSERT_EQ(got, cols) << "wrong columns for key=" << key;
+  }
+  ASSERT_TRUE(ts::rep_ok(store.tree()));
+}
+
+// ---------------- part-file format ----------------
+
+TEST(CheckpointFormat, PartFileRoundTripsBinaryRecords) {
+  TempDir dir("format");
+  std::string path = checkpoint_part_path(dir.str(), 0);
+  {
+    CheckpointPartWriter out(path);
+    ASSERT_TRUE(out.ok());
+    out.add(std::string("k\0ey", 4), 7, {"colA", std::string("\0\1\2", 3), ""});
+    out.add("", 8, {});  // empty key, zero columns
+    out.add(std::string(300, 'L'), 9, {std::string(5000, 'v')});
+    EXPECT_EQ(out.records(), 3u);
+    out.finish();
+  }
+  auto records = read_checkpoint_part(path);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].key, std::string("k\0ey", 4));
+  EXPECT_EQ(records[0].row_version, 7u);
+  ASSERT_EQ(records[0].cols.size(), 3u);
+  EXPECT_EQ(records[0].cols[1], std::string("\0\1\2", 3));
+  EXPECT_EQ(records[0].cols[2], "");
+  EXPECT_EQ(records[1].key, "");
+  EXPECT_TRUE(records[1].cols.empty());
+  EXPECT_EQ(records[2].key, std::string(300, 'L'));
+  EXPECT_EQ(records[2].cols[0], std::string(5000, 'v'));
+}
+
+TEST(CheckpointFormat, CorruptedRecordStopsCleanly) {
+  TempDir dir("corrupt");
+  std::string path = checkpoint_part_path(dir.str(), 0);
+  {
+    CheckpointPartWriter out(path);
+    out.add("first", 1, {"v1"});
+    out.add("second", 2, {"v2"});
+    out.finish();
+  }
+  // Flip one payload byte of the second record; its CRC must reject it.
+  auto size = fs::file_size(path);
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(size) - 8);
+    f.put('!');
+  }
+  auto records = read_checkpoint_part(path);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].key, "first");
+}
+
+TEST(CheckpointFormat, ManifestRoundTripAndRejection) {
+  TempDir dir("manifest");
+  CheckpointManifest m;
+  m.start_ts_us = 123456;
+  m.version_floor = 99;
+  m.parts = 4;
+  ASSERT_TRUE(write_manifest(dir.str(), m));
+  CheckpointManifest got = read_manifest(dir.str());
+  EXPECT_TRUE(got.valid);
+  EXPECT_EQ(got.start_ts_us, 123456u);
+  EXPECT_EQ(got.version_floor, 99u);
+  EXPECT_EQ(got.parts, 4u);
+
+  EXPECT_FALSE(read_manifest(dir.str() + "/nonexistent").valid);
+  {
+    std::ofstream bad(checkpoint_manifest_path(dir.str()), std::ios::trunc);
+    bad << "not-a-masstree-checkpoint\n";
+  }
+  EXPECT_FALSE(read_manifest(dir.str()).valid);
+}
+
+// ---------------- checkpoint -> restore round-trip ----------------
+
+TEST(CheckpointRestore, RoundTripRestoresEverything) {
+  TempDir ckpt("roundtrip");
+  RowOracle oracle;
+  {
+    Store store;
+    Store::Session s(store, 0);
+    fill_store(store, s, &oracle, 4000, /*salt=*/1);
+    ASSERT_TRUE(store.checkpoint(ckpt.str(), /*nworkers=*/3));
+  }
+  Store restored;
+  Store::RecoveryResult res = restored.recover(ckpt.str(), /*log_dir=*/"", 2);
+  EXPECT_TRUE(res.used_checkpoint);
+  EXPECT_EQ(res.checkpoint_records, oracle.size());
+  EXPECT_EQ(res.log_entries_applied, 0u);
+  expect_store_matches(restored, oracle);
+}
+
+TEST(CheckpointRestore, LogTailReplaysOnTopOfCheckpoint) {
+  TempDir ckpt("tail-ckpt");
+  TempDir logs("tail-logs");
+  RowOracle oracle;
+  {
+    Store::Options opt;
+    opt.log_dir = logs.str();
+    Store store(opt);
+    Store::Session s(store, 0);
+    fill_store(store, s, &oracle, 2000, /*salt=*/2);
+    ASSERT_TRUE(store.checkpoint(ckpt.str(), 2));
+    // Post-checkpoint tail: overwrites, fresh keys, and removals, all of
+    // which must come back from the log, not the checkpoint.
+    Rng rng = ts::seeded_rng(3);
+    for (int i = 0; i < 500; ++i) {
+      std::string key = oracle_key(rng, static_cast<uint64_t>(rng.next_range(2000)));
+      if (oracle.count(key) != 0 && rng.next_range(3) == 0) {
+        store.remove(key, s);
+        oracle.erase(key);
+      } else {
+        std::string v = "tail" + std::to_string(i);
+        store.put(key, {{0, v}}, s);
+        auto& cols = oracle[key];
+        if (cols.empty()) {
+          cols.resize(1);
+        }
+        cols[0] = v;
+      }
+    }
+    store.sync_logs();
+  }
+  Store::Options opt;
+  opt.log_dir = logs.str();
+  Store restored(opt);
+  Store::RecoveryResult res = restored.recover(ckpt.str(), logs.str(), 2);
+  EXPECT_TRUE(res.used_checkpoint);
+  EXPECT_GT(res.log_entries_applied, 0u);
+  expect_store_matches(restored, oracle);
+}
+
+// ---------------- damaged checkpoints ----------------
+
+TEST(CheckpointRestore, TruncatedPartLoadsIntactPrefixOnly) {
+  TempDir ckpt("torn");
+  RowOracle oracle;
+  {
+    Store store;
+    Store::Session s(store, 0);
+    fill_store(store, s, &oracle, 3000, /*salt=*/4);
+    ASSERT_TRUE(store.checkpoint(ckpt.str(), 2));
+  }
+  // Tear part 0 mid-record, as a crashed disk would.
+  std::string part0 = checkpoint_part_path(ckpt.str(), 0);
+  auto size = fs::file_size(part0);
+  ASSERT_GT(size, 100u);
+  fs::resize_file(part0, size / 2 + 3);
+
+  Store restored;
+  Store::RecoveryResult res = restored.recover(ckpt.str(), "", 2);
+  EXPECT_TRUE(res.used_checkpoint);
+  EXPECT_LT(res.checkpoint_records, oracle.size());
+  EXPECT_GT(res.checkpoint_records, 0u);
+  // Every record that did load must be intact — correct columns, no garbage.
+  Store::Session s(restored, 0);
+  size_t seen = 0;
+  restored.getrange(
+      "", ~size_t{0}, Store::kAllColumns,
+      [&](std::string_view k, std::string_view, const Row* row) {
+        ++seen;
+        auto it = oracle.find(std::string(k));
+        EXPECT_NE(it, oracle.end()) << "recovered key not in oracle";
+        if (it != oracle.end()) {
+          EXPECT_EQ(row->ncols(), it->second.size());
+          for (unsigned c = 0; c < row->ncols() && c < it->second.size(); ++c) {
+            EXPECT_EQ(row->col(c), it->second[c]);
+          }
+        }
+        return true;
+      },
+      s);
+  EXPECT_EQ(seen, res.checkpoint_records);
+  EXPECT_TRUE(ts::rep_ok(restored.tree()));
+}
+
+TEST(CheckpointRestore, InterruptedCheckpointIsInvisible) {
+  TempDir ckpt("no-manifest");
+  RowOracle oracle;
+  {
+    Store store;
+    Store::Session s(store, 0);
+    fill_store(store, s, &oracle, 500, /*salt=*/5);
+    ASSERT_TRUE(store.checkpoint(ckpt.str(), 2));
+  }
+  // A checkpoint that never finished has parts but no MANIFEST.
+  fs::remove(checkpoint_manifest_path(ckpt.str()));
+  Store restored;
+  Store::RecoveryResult res = restored.recover(ckpt.str(), "", 2);
+  EXPECT_FALSE(res.used_checkpoint);
+  EXPECT_EQ(res.checkpoint_records, 0u);
+  EXPECT_EQ(restored.stats().keys, 0u);
+}
+
+TEST(CheckpointRestore, CheckpointRunsConcurrentlyWithWrites) {
+  // §5: checkpoints proceed while normal puts continue. The checkpoint must
+  // capture a superset of pre-checkpoint state and never a torn row.
+  TempDir ckpt("concurrent");
+  Store store;
+  Store::Session s(store, 0);
+  RowOracle stable;
+  fill_store(store, s, &stable, 1500, /*salt=*/6);
+
+  test_support::ChurnDriver churn;
+  std::atomic<uint64_t> churn_i{0};
+  std::atomic<unsigned> next_worker{1};
+  churn.spawn_with_setup(2, [&](ThreadContext&, Rng&) {
+    // One Session per thread (distinct worker ids), built once — the loop
+    // body must spend its time racing the checkpoint, not re-registering
+    // epoch slots.
+    auto ws = std::make_shared<Store::Session>(store, next_worker.fetch_add(1));
+    return [&, ws] {
+      uint64_t i = churn_i.fetch_add(1);
+      store.put("churn/" + ts::padded_key(i), {{0, "c" + std::to_string(i)}}, *ws);
+      return true;
+    };
+  });
+  bool ok = store.checkpoint(ckpt.str(), 3);
+  churn.stop_and_join();
+  ASSERT_TRUE(ok);
+
+  Store restored;
+  Store::RecoveryResult res = restored.recover(ckpt.str(), "", 2);
+  EXPECT_TRUE(res.used_checkpoint);
+  EXPECT_GE(res.checkpoint_records, stable.size());
+  // All stable rows must be present and exact.
+  Store::Session rs(restored, 0);
+  for (const auto& [key, cols] : stable) {
+    std::vector<std::string> got;
+    ASSERT_TRUE(restored.get(key, {}, &got, rs)) << key;
+    ASSERT_EQ(got, cols) << key;
+  }
+  EXPECT_TRUE(ts::rep_ok(restored.tree()));
+}
+
+}  // namespace
+}  // namespace masstree

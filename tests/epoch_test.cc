@@ -57,6 +57,11 @@ TEST(Epoch, RetireFreedWhenQuiescent) {
     EpochGuard g(*s);
     mgr.retire(*s, new int(7), &CountingDeleter);
   }
+  // Two-epoch grace period: one advance past the retire epoch is not enough
+  // (a reader entering at retire+1 may predate the unlink's visibility).
+  mgr.advance();
+  EXPECT_EQ(mgr.reclaim(*s), 0u);
+  EXPECT_EQ(g_deleted.load(), 0);
   mgr.advance();
   EXPECT_EQ(mgr.reclaim(*s), 1u);
   EXPECT_EQ(g_deleted.load(), 1);

@@ -1,0 +1,37 @@
+#include "support/test_support.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace masstree {
+namespace test_support {
+
+uint64_t base_seed() {
+  static std::once_flag once;
+  static uint64_t seed = 0;
+  std::call_once(once, [] {
+    const char* env = ::getenv("MT_TEST_SEED");
+    seed = env != nullptr ? ::strtoull(env, nullptr, 0) : 0xC0FFEE0Dull;
+    std::printf("[test_support] base seed = 0x%llx (override with MT_TEST_SEED)\n",
+                static_cast<unsigned long long>(seed));
+  });
+  return seed;
+}
+
+Rng seeded_rng(uint64_t salt) {
+  // splitmix the salt so nearby salts land in unrelated streams.
+  uint64_t z = salt + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return Rng(base_seed() ^ (z ^ (z >> 31)));
+}
+
+std::string padded_key(uint64_t i, const char* fmt) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), fmt, static_cast<unsigned long long>(i));
+  return buf;
+}
+
+}  // namespace test_support
+}  // namespace masstree

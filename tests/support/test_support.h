@@ -1,0 +1,433 @@
+// Shared test-support library: deterministic RNG seeding, std::map oracle
+// diffing, a concurrent-churn driver, and the check_rep() structural
+// invariant walker for Masstree. Extracted from the per-suite boilerplate so
+// every test exercises the same, strictest version of each harness.
+
+#ifndef MASSTREE_TESTS_SUPPORT_TEST_SUPPORT_H_
+#define MASSTREE_TESTS_SUPPORT_TEST_SUPPORT_H_
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/tree.h"
+#include "util/rand.h"
+
+namespace masstree {
+namespace test_support {
+
+// ---------------------------------------------------------------------------
+// Deterministic seeding.
+//
+// Every randomized test derives its Rng from base_seed() xor a per-use salt.
+// The default base seed is fixed, so runs are reproducible; set MT_TEST_SEED
+// to explore other deterministic universes (the chosen seed is logged once so
+// a CI failure can be replayed exactly).
+uint64_t base_seed();
+Rng seeded_rng(uint64_t salt);
+
+// ---------------------------------------------------------------------------
+// Key helpers shared across suites.
+std::string padded_key(uint64_t i, const char* fmt = "%010llu");
+
+// ---------------------------------------------------------------------------
+// Oracle diffing: a std::map shadow model with the repeated
+// "EXPECT insert-newness / verify every key" loops in one place.
+class Oracle {
+ public:
+  using Map = std::map<std::string, uint64_t>;
+
+  // Record an insert/update; returns whether the key was new. Callers
+  // EXPECT_EQ this against the structure under test.
+  bool note_insert(const std::string& key, uint64_t value) {
+    bool fresh = map_.find(key) == map_.end();
+    map_[key] = value;
+    return fresh;
+  }
+
+  // Record a removal; returns whether the key was present.
+  bool note_remove(const std::string& key) { return map_.erase(key) > 0; }
+
+  bool contains(const std::string& key) const { return map_.count(key) > 0; }
+  size_t size() const { return map_.size(); }
+  const Map& map() const { return map_; }
+
+  // Verify every oracle key is present with the right value.
+  // `get(key, &value)` must behave like Tree::get.
+  template <typename GetFn>
+  void verify_all(GetFn&& get, const char* context = "") const {
+    for (const auto& [k, v] : map_) {
+      uint64_t got = 0;
+      ASSERT_TRUE(get(k, &got)) << context << " missing key=" << k;
+      ASSERT_EQ(got, v) << context << " wrong value for key=" << k;
+    }
+  }
+
+ private:
+  Map map_;
+};
+
+// Full-state equivalence of a Masstree against an oracle: point lookups for
+// every key, one complete ordered scan, and a key-count cross-check.
+template <typename C>
+void check_tree_matches_oracle(const BasicTree<C>& tree, const Oracle& oracle,
+                               ThreadContext& ti, const char* context = "") {
+  oracle.verify_all(
+      [&](const std::string& k, uint64_t* v) { return tree.get(k, v, ti); }, context);
+  std::vector<std::pair<std::string, uint64_t>> scanned;
+  tree.scan(
+      "", ~size_t{0},
+      [&](std::string_view k, uint64_t v) {
+        scanned.emplace_back(std::string(k), v);
+        return true;
+      },
+      ti);
+  ASSERT_EQ(scanned.size(), oracle.size()) << context;
+  auto it = oracle.map().begin();
+  for (size_t i = 0; i < scanned.size(); ++i, ++it) {
+    ASSERT_EQ(scanned[i].first, it->first) << context << " scan position " << i;
+    ASSERT_EQ(scanned[i].second, it->second) << context << " scan position " << i;
+  }
+  ASSERT_EQ(tree.collect_stats().keys, oracle.size()) << context;
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent-churn driver.
+//
+// Spawns reader/verifier threads that run `body(ti, rng)` in a loop until
+// stopped, counting the iterations where body returns false. The writer side
+// runs inline in the test; stop_and_join() returns the failure count.
+//
+//   ChurnDriver churn;
+//   churn.spawn(2, [&](ThreadContext& ti, Rng& rng) { return check(...); });
+//   ... mutate the structure ...
+//   EXPECT_EQ(churn.stop_and_join(), 0);
+class ChurnDriver {
+ public:
+  using Body = std::function<bool(ThreadContext&, Rng&)>;
+
+  ChurnDriver() = default;
+  ChurnDriver(const ChurnDriver&) = delete;
+  ChurnDriver& operator=(const ChurnDriver&) = delete;
+  ~ChurnDriver() { stop_and_join(); }
+
+  void spawn(int nthreads, Body body) {
+    spawn_with_setup(nthreads, [body](ThreadContext& ti, Rng& rng) {
+      return [body, &ti, &rng] { return body(ti, rng); };
+    });
+  }
+
+  // Like spawn(), but `setup(ti, rng)` runs once per thread and returns the
+  // iteration body — for workloads that need per-thread state beyond the
+  // provided context (e.g. a Store::Session) built once, not per iteration.
+  using Setup = std::function<std::function<bool()>(ThreadContext&, Rng&)>;
+  void spawn_with_setup(int nthreads, Setup setup) {
+    if (threads_.empty()) {
+      // Fresh round: a driver reused after stop_and_join() must not hand new
+      // threads an already-set stop flag (they would exit without running)
+      // or inherit the previous round's failure count.
+      stop_.store(false, std::memory_order_release);
+      failures_.store(0, std::memory_order_relaxed);
+    }
+    for (int t = 0; t < nthreads; ++t) {
+      uint64_t salt = 0x434855524Eull + threads_.size();  // "CHURN" + index
+      threads_.emplace_back([this, setup, salt] {
+        ThreadContext ti;
+        Rng rng = seeded_rng(salt);
+        std::function<bool()> body = setup(ti, rng);
+        while (!stop_.load(std::memory_order_acquire)) {
+          if (!body()) {
+            failures_.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+  }
+
+  // Signal stop, join every thread, and return the accumulated failures.
+  int stop_and_join() {
+    stop_.store(true, std::memory_order_release);
+    for (auto& th : threads_) {
+      th.join();
+    }
+    threads_.clear();
+    return failures_.load();
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::atomic<int> failures_{0};
+  std::vector<std::thread> threads_;
+};
+
+// ---------------------------------------------------------------------------
+// check_rep(): quiescent structural-invariant walker (test-time analogue of
+// masstree-beta's check()). Verifies, over every trie layer:
+//
+//   * version sanity: reachable nodes are neither locked, dirty, nor deleted;
+//     each layer's true root carries the root flag;
+//   * permutation consistency: the 15 subfields are a permutation of 0..14
+//     and nkeys <= width;
+//   * keyslice ordering: border entries strictly increase by
+//     (slice, keylenx ord), with at most one "key continues" entry per slice;
+//   * interior separators strictly increase, children are non-null, child
+//     parent pointers point back, and every reachable slice respects the
+//     [lo, hi) bounds induced by the separators and split lowkeys;
+//   * border linked list: the left-to-right DFS order of border nodes matches
+//     the next/prev chain;
+//   * keylenx values are legal and never the transient UNSTABLE marker;
+//   * suffixed slots have a suffix bag;
+//   * layer links resolve (via parent chasing, §4.6.4) to a live root.
+//
+// Returns the list of violations (empty = healthy). Use rep_ok() in tests.
+template <typename C>
+std::vector<std::string> check_rep(const BasicTree<C>& tree);
+
+// gtest-friendly wrapper: prints every violation on failure.
+template <typename C>
+::testing::AssertionResult rep_ok(const BasicTree<C>& tree) {
+  std::vector<std::string> violations = check_rep(tree);
+  if (violations.empty()) {
+    return ::testing::AssertionSuccess();
+  }
+  ::testing::AssertionResult res = ::testing::AssertionFailure();
+  res << "check_rep found " << violations.size() << " violation(s):";
+  for (const auto& v : violations) {
+    res << "\n  " << v;
+  }
+  return res;
+}
+
+// ------------------------- implementation -------------------------
+
+namespace detail {
+
+template <typename C>
+class RepWalker {
+ public:
+  using Node = NodeBase<C>;
+  using Border = BorderNode<C>;
+  using Interior = InteriorNode<C>;
+
+  std::vector<std::string> run(const BasicTree<C>& tree) {
+    walk_layer(tree.root_for_testing(), /*depth=*/0, "root");
+    return std::move(violations_);
+  }
+
+ private:
+  static constexpr uint64_t kNoBound = ~uint64_t{0};
+
+  void fail(const std::string& where, const std::string& what) {
+    if (violations_.size() < 64) {
+      violations_.push_back(where + ": " + what);
+    }
+  }
+
+  // Climb parent pointers from a stored (possibly stale, §4.6.4) layer link
+  // to the layer's true root.
+  Node* resolve_root(Node* n, const std::string& where) {
+    int hops = 0;
+    while (n != nullptr && !n->version().load().is_root()) {
+      if (++hops > 64) {
+        fail(where, "layer root unreachable after 64 parent hops");
+        return nullptr;
+      }
+      Node* p = n->parent();
+      if (p == nullptr) {
+        fail(where, "non-root layer entry with null parent");
+        return nullptr;
+      }
+      n = p;
+    }
+    return n;
+  }
+
+  void walk_layer(Node* entry, int depth, const std::string& where) {
+    if (depth > 64) {
+      fail(where, "layer nesting deeper than 64");
+      return;
+    }
+    Node* root = resolve_root(entry, where);
+    if (root == nullptr) {
+      fail(where, "layer has no root");
+      return;
+    }
+    std::vector<const Border*> borders;
+    walk_node(root, depth, kNoBound, kNoBound, where, &borders);
+    check_border_chain(borders, where);
+  }
+
+  // lo inclusive (kNoBound = -inf), hi exclusive (kNoBound = +inf).
+  void walk_node(Node* n, int depth, uint64_t lo, uint64_t hi, const std::string& where,
+                 std::vector<const Border*>* borders) {
+    // A corrupted child pointer cycling back to an ancestor must become a
+    // reported violation, not a stack overflow.
+    if (!visited_.insert(n).second) {
+      fail(where, "node reachable twice (cycle or shared subtree)");
+      return;
+    }
+    VersionValue v = n->version().load();
+    if (v.locked() || v.dirty()) {
+      fail(where, "reachable node is locked/dirty in a quiescent tree");
+    }
+    if (v.deleted()) {
+      fail(where, "reachable node is marked deleted");
+      return;
+    }
+    if (n->is_border()) {
+      walk_border(n->as_border(), depth, lo, hi, where);
+      borders->push_back(n->as_border());
+      return;
+    }
+    const Interior* in = n->as_interior();
+    int nk = in->nkeys();
+    if (nk < 0 || nk > Interior::kWidth) {
+      fail(where, "interior nkeys out of range: " + std::to_string(nk));
+      return;
+    }
+    for (int i = 1; i < nk; ++i) {
+      if (in->key(i - 1) >= in->key(i)) {
+        fail(where, "interior separators not strictly increasing at " + std::to_string(i));
+      }
+    }
+    for (int i = 0; i <= nk; ++i) {
+      Node* child = in->child(i);
+      std::string cw = where + "/i" + std::to_string(i);
+      if (child == nullptr) {
+        fail(cw, "null child pointer");
+        continue;
+      }
+      if (child->parent() != n) {
+        fail(cw, "child's parent pointer does not point back");
+      }
+      if (child->version().load().is_root()) {
+        fail(cw, "non-root node carries the root flag");
+      }
+      uint64_t clo = i == 0 ? lo : in->key(i - 1);
+      uint64_t chi = i == nk ? hi : in->key(i);
+      walk_node(child, depth, clo, chi, cw, borders);
+    }
+  }
+
+  void walk_border(const Border* b, int depth, uint64_t lo, uint64_t hi,
+                   const std::string& where) {
+    Permuter perm = b->permutation();
+    // Permutation consistency: count nibble in range, subfields a permutation.
+    if (perm.size() < 0 || perm.size() > Border::kWidth) {
+      fail(where, "permutation nkeys out of range: " + std::to_string(perm.size()));
+      return;
+    }
+    std::set<int> slots;
+    for (int i = 0; i < Permuter::kMaxWidth; ++i) {
+      int s = perm.get(i);
+      if (s < 0 || s >= Permuter::kMaxWidth || !slots.insert(s).second) {
+        fail(where, "permutation subfields are not a permutation of 0..14");
+        return;
+      }
+    }
+    // Keyslice ordering + per-slot checks.
+    bool have_prev = false;
+    uint64_t prev_slice = 0;
+    int prev_ord = 0;
+    for (int i = 0; i < perm.size(); ++i) {
+      int slot = perm.get(i);
+      uint64_t slice = b->slice(slot);
+      uint8_t kx = b->keylenx(slot);
+      std::string sw = where + "/s" + std::to_string(slot);
+      if (kx > kKeylenxUnstableLayer) {
+        fail(sw, "illegal keylenx " + std::to_string(kx));
+        continue;
+      }
+      if (keylenx_is_unstable(kx)) {
+        fail(sw, "UNSTABLE keylenx in a quiescent tree");
+        continue;
+      }
+      int ord = keylenx_ord(kx);
+      if (have_prev &&
+          (slice < prev_slice || (slice == prev_slice && ord <= prev_ord))) {
+        std::ostringstream os;
+        os << "entries not strictly increasing by (slice, ord): "
+           << std::hex << prev_slice << std::dec << "/" << prev_ord << " then "
+           << std::hex << slice << std::dec << "/" << ord;
+        fail(where, os.str());
+      }
+      have_prev = true;
+      prev_slice = slice;
+      prev_ord = ord;
+      if (lo != kNoBound && slice < lo) {
+        fail(sw, "slice below the subtree's lower bound");
+      }
+      if (hi != kNoBound && slice >= hi) {
+        fail(sw, "slice at or above the subtree's upper bound");
+      }
+      if (keylenx_has_suffix(kx)) {
+        if (b->suffixes() == nullptr) {
+          fail(sw, "suffixed slot but no suffix bag");
+        } else if (b->suffixes()->get(slot).empty()) {
+          // A zero-length suffix would mean the key ends at the slice
+          // boundary, which is keylenx 8, not the suffix encoding.
+          fail(sw, "suffixed slot with empty suffix");
+        }
+      }
+      if (keylenx_is_layer(kx)) {
+        Node* sub = const_cast<Border*>(b)->layer(slot);
+        if (sub == nullptr) {
+          fail(sw, "layer link is null");
+        } else {
+          walk_layer(sub, depth + 1, sw);
+        }
+      }
+    }
+  }
+
+  // The left-to-right DFS order of border nodes must match the next/prev
+  // chain, and lowkeys must strictly increase along it. (A border's contents
+  // may legitimately dip below its own immutable lowkey: deleting a parent's
+  // leftmost child hands the dead range to the RIGHT sibling, §4.6.5.)
+  void check_border_chain(const std::vector<const Border*>& borders,
+                          const std::string& where) {
+    for (size_t i = 0; i < borders.size(); ++i) {
+      const Border* b = borders[i];
+      const Border* expect_next = i + 1 < borders.size() ? borders[i + 1] : nullptr;
+      if (b->next() != expect_next) {
+        fail(where, "border next-chain does not match tree order at position " +
+                        std::to_string(i));
+      }
+      const Border* expect_prev = i == 0 ? nullptr : borders[i - 1];
+      if (b->prev() != expect_prev) {
+        fail(where, "border prev-chain does not match tree order at position " +
+                        std::to_string(i));
+      }
+      // The leftmost border never gets an explicit lowkey (it stays at the
+      // 0 "-inf" sentinel) and split separators are always > 0, so strict
+      // ordering must hold from the very first pair.
+      if (i >= 1 && borders[i - 1]->lowkey() >= b->lowkey()) {
+        fail(where, "border lowkeys not strictly increasing at position " +
+                        std::to_string(i));
+      }
+    }
+  }
+
+  std::vector<std::string> violations_;
+  std::set<const void*> visited_;
+};
+
+}  // namespace detail
+
+template <typename C>
+std::vector<std::string> check_rep(const BasicTree<C>& tree) {
+  return detail::RepWalker<C>().run(tree);
+}
+
+}  // namespace test_support
+}  // namespace masstree
+
+#endif  // MASSTREE_TESTS_SUPPORT_TEST_SUPPORT_H_

@@ -1,7 +1,9 @@
 // Concurrency tests for the §4.4–§4.6 protocols. The correctness condition
 // is the paper's "no lost keys": get(k) returns a correct value regardless of
 // concurrent writers; a get racing a put may return the old or new value but
-// never garbage, and keys never disappear during splits/removes.
+// never garbage, and keys never disappear during splits/removes. Reader-side
+// verification runs on the shared ChurnDriver; after every test the tree is
+// quiescent and check_rep() audits the structure it left behind.
 
 #include <gtest/gtest.h>
 
@@ -11,16 +13,14 @@
 #include <vector>
 
 #include "core/tree.h"
+#include "support/test_support.h"
 #include "util/rand.h"
 
 namespace masstree {
 namespace {
 
-std::string PaddedKey(uint64_t i, const char* fmt = "%010llu") {
-  char buf[32];
-  snprintf(buf, sizeof(buf), fmt, static_cast<unsigned long long>(i));
-  return buf;
-}
+namespace ts = test_support;
+using ts::padded_key;
 
 // Readers continuously look up keys that are guaranteed present while writers
 // insert fresh keys, forcing splits underneath the readers.
@@ -32,41 +32,24 @@ TEST(TreeConcurrent, NoLostKeysDuringInserts) {
 
   for (int i = 0; i < kStable; ++i) {
     uint64_t old;
-    tree.insert("stable" + PaddedKey(i), i + 1, &old, main_ti);
+    tree.insert("stable" + padded_key(i), i + 1, &old, main_ti);
   }
 
-  std::atomic<bool> stop{false};
-  std::atomic<int> lost{0};
-  std::vector<std::thread> threads;
-
-  for (int t = 0; t < 2; ++t) {
-    threads.emplace_back([&, t] {
-      ThreadContext ti;
-      Rng rng(1000 + t);
-      while (!stop.load(std::memory_order_acquire)) {
-        uint64_t i = rng.next_range(kStable);
-        uint64_t v = 0;
-        if (!tree.get("stable" + PaddedKey(i), &v, ti) || v != i + 1) {
-          ++lost;
-        }
-      }
-    });
-  }
+  ts::ChurnDriver churn;
+  churn.spawn(2, [&](ThreadContext& ti, Rng& rng) {
+    uint64_t i = rng.next_range(kStable);
+    uint64_t v = 0;
+    return tree.get("stable" + padded_key(i), &v, ti) && v == i + 1;
+  });
   {
-    std::thread writer([&] {
-      ThreadContext ti;
-      for (int i = 0; i < kChurn; ++i) {
-        uint64_t old;
-        tree.insert("churn" + PaddedKey(i * 2654435761u % 100000000), i, &old, ti);
-      }
-      stop = true;
-    });
-    writer.join();
+    ThreadContext ti;
+    for (int i = 0; i < kChurn; ++i) {
+      uint64_t old;
+      tree.insert("churn" + padded_key(i * 2654435761u % 100000000), i, &old, ti);
+    }
   }
-  for (auto& th : threads) {
-    th.join();
-  }
-  EXPECT_EQ(lost.load(), 0);
+  EXPECT_EQ(churn.stop_and_join(), 0);
+  EXPECT_TRUE(ts::rep_ok(tree));
 }
 
 // Concurrent inserters over disjoint key ranges: every key must land.
@@ -82,7 +65,7 @@ TEST(TreeConcurrent, DisjointInserters) {
       ThreadContext ti;
       for (int i = 0; i < kPerThread; ++i) {
         uint64_t old;
-        ASSERT_TRUE(tree.insert(PaddedKey(static_cast<uint64_t>(t) * kPerThread + i),
+        ASSERT_TRUE(tree.insert(padded_key(static_cast<uint64_t>(t) * kPerThread + i),
                                 t * 1000000 + i, &old, ti));
       }
     });
@@ -94,12 +77,13 @@ TEST(TreeConcurrent, DisjointInserters) {
     for (int i = 0; i < kPerThread; ++i) {
       uint64_t v;
       ASSERT_TRUE(
-          tree.get(PaddedKey(static_cast<uint64_t>(t) * kPerThread + i), &v, main_ti));
+          tree.get(padded_key(static_cast<uint64_t>(t) * kPerThread + i), &v, main_ti));
       ASSERT_EQ(v, static_cast<uint64_t>(t * 1000000 + i));
     }
   }
   TreeStats st = tree.collect_stats();
   EXPECT_EQ(st.keys, static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_TRUE(ts::rep_ok(tree));
 }
 
 // Concurrent inserters racing on the SAME keys: exactly one insert per key
@@ -117,7 +101,7 @@ TEST(TreeConcurrent, RacingInsertsSameKeys) {
       int my_wins = 0;
       for (int i = 0; i < kKeys; ++i) {
         uint64_t old;
-        if (tree.insert(PaddedKey(i), 100 + t, &old, ti)) {
+        if (tree.insert(padded_key(i), 100 + t, &old, ti)) {
           ++my_wins;
         }
       }
@@ -130,9 +114,10 @@ TEST(TreeConcurrent, RacingInsertsSameKeys) {
   EXPECT_EQ(wins.load(), kKeys);
   for (int i = 0; i < kKeys; ++i) {
     uint64_t v;
-    ASSERT_TRUE(tree.get(PaddedKey(i), &v, main_ti));
+    ASSERT_TRUE(tree.get(padded_key(i), &v, main_ti));
     ASSERT_TRUE(v >= 100 && v <= 102);
   }
+  EXPECT_TRUE(ts::rep_ok(tree));
 }
 
 // The §4.6.5 race: get(k1) vs remove(k1) + put(k2) reusing the slot. The get
@@ -145,39 +130,30 @@ TEST(TreeConcurrent, RemoveReinsertSlotReuse) {
   for (int i = 0; i < 8; ++i) {
     keys.push_back("slot" + std::to_string(i));
   }
-  std::atomic<bool> stop{false};
-  std::atomic<int> corruption{0};
 
-  std::thread mutator([&] {
+  ts::ChurnDriver readers;
+  readers.spawn(1, [&](ThreadContext& ti, Rng& rng) {
+    uint64_t idx = rng.next_range(keys.size());
+    uint64_t v;
+    // Value encodes the key index; cross-talk means slot-reuse corruption.
+    return !(tree.get(keys[idx], &v, ti) && (v >> 32) != idx);
+  });
+  {
     ThreadContext ti;
-    Rng rng(5);
+    Rng rng = ts::seeded_rng(5);
     for (int round = 0; round < 30000; ++round) {
-      const std::string& k = keys[rng.next_range(keys.size())];
+      uint64_t idx = rng.next_range(keys.size());
+      const std::string& k = keys[idx];
       uint64_t old;
-      // Value encodes the key index so readers can detect cross-talk.
-      uint64_t idx = static_cast<uint64_t>(&k - &keys[0]);
       if (rng.next() & 1) {
-        tree.insert(k, (idx << 32) | round, &old, ti);
+        tree.insert(k, (idx << 32) | static_cast<unsigned>(round), &old, ti);
       } else {
         tree.remove(k, &old, ti);
       }
     }
-    stop = true;
-  });
-  std::thread reader([&] {
-    ThreadContext ti;
-    Rng rng(6);
-    while (!stop.load(std::memory_order_acquire)) {
-      uint64_t idx = rng.next_range(keys.size());
-      uint64_t v;
-      if (tree.get(keys[idx], &v, ti) && (v >> 32) != idx) {
-        ++corruption;  // returned a value written for a different key
-      }
-    }
-  });
-  mutator.join();
-  reader.join();
-  EXPECT_EQ(corruption.load(), 0);
+  }
+  EXPECT_EQ(readers.stop_and_join(), 0);
+  EXPECT_TRUE(ts::rep_ok(tree));
 }
 
 // Layer-creation race: one thread builds ever-deeper shared-prefix keys while
@@ -191,21 +167,12 @@ TEST(TreeConcurrent, LayerCreationKeepsKeysVisible) {
     uint64_t old;
     tree.insert(anchor, 777, &old, main_ti);
   }
-  std::atomic<bool> stop{false};
-  std::atomic<int> lost{0};
 
-  std::vector<std::thread> readers;
-  for (int t = 0; t < 2; ++t) {
-    readers.emplace_back([&] {
-      ThreadContext ti;
-      while (!stop.load(std::memory_order_acquire)) {
-        uint64_t v = 0;
-        if (!tree.get(anchor, &v, ti) || v != 777) {
-          ++lost;
-        }
-      }
-    });
-  }
+  ts::ChurnDriver readers;
+  readers.spawn(2, [&](ThreadContext& ti, Rng&) {
+    uint64_t v = 0;
+    return tree.get(anchor, &v, ti) && v == 777;
+  });
   {
     ThreadContext ti;
     uint64_t old;
@@ -216,11 +183,8 @@ TEST(TreeConcurrent, LayerCreationKeepsKeysVisible) {
       tree.insert(k, i, &old, ti);
     }
   }
-  stop = true;
-  for (auto& th : readers) {
-    th.join();
-  }
-  EXPECT_EQ(lost.load(), 0);
+  EXPECT_EQ(readers.stop_and_join(), 0);
+  EXPECT_TRUE(ts::rep_ok(tree));
 }
 
 // Scans running against concurrent inserts must stay sorted, never
@@ -231,47 +195,42 @@ TEST(TreeConcurrent, ScanUnderChurn) {
   constexpr int kStable = 3000;
   for (int i = 0; i < kStable; ++i) {
     uint64_t old;
-    tree.insert("s" + PaddedKey(i), 1, &old, main_ti);
+    tree.insert("s" + padded_key(i), 1, &old, main_ti);
   }
-  std::atomic<bool> stop{false};
-  std::atomic<int> errors{0};
 
-  std::thread scanner([&] {
-    ThreadContext ti;
-    while (!stop.load(std::memory_order_acquire)) {
-      std::string last;
-      int stable_seen = 0;
-      bool first = true;
-      tree.scan(
-          "", 1u << 30,
-          [&](std::string_view k, uint64_t) {
-            if (!first && std::string_view(last) >= k) {
-              ++errors;  // order violation or duplicate
-            }
-            last.assign(k);
-            first = false;
-            if (k.substr(0, 1) == "s") {
-              ++stable_seen;
-            }
-            return true;
-          },
-          ti);
-      if (stable_seen != kStable) {
-        ++errors;  // lost a key that was present throughout
-      }
-    }
+  ts::ChurnDriver scanner;
+  scanner.spawn(1, [&](ThreadContext& ti, Rng&) {
+    std::string last;
+    int stable_seen = 0;
+    bool first = true;
+    bool ordered = true;
+    tree.scan(
+        "", 1u << 30,
+        [&](std::string_view k, uint64_t) {
+          if (!first && std::string_view(last) >= k) {
+            ordered = false;  // order violation or duplicate
+          }
+          last.assign(k);
+          first = false;
+          if (k.substr(0, 1) == "s") {
+            ++stable_seen;
+          }
+          return true;
+        },
+        ti);
+    // Losing a key that was present throughout also fails the iteration.
+    return ordered && stable_seen == kStable;
   });
   {
     ThreadContext ti;
-    Rng rng(77);
+    Rng rng = ts::seeded_rng(77);
     for (int i = 0; i < 20000; ++i) {
       uint64_t old;
-      tree.insert("c" + PaddedKey(rng.next()), i, &old, ti);  // "c" < "s"
+      tree.insert("c" + padded_key(rng.next()), i, &old, ti);  // "c" < "s"
     }
   }
-  stop = true;
-  scanner.join();
-  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(scanner.stop_and_join(), 0);
+  EXPECT_TRUE(ts::rep_ok(tree));
 }
 
 // Full mixed workload: inserts, updates, removes, gets, scans, and
@@ -289,13 +248,13 @@ TEST(TreeConcurrent, MixedWorkloadStress) {
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
       ThreadContext ti;
-      Rng rng(31337 + t);
+      Rng rng = ts::seeded_rng(31337 + t);
       // Shadow model of this thread's own keys (disjoint from others).
       std::vector<int64_t> mine(kSpace, -1);
       for (int op = 0; op < kOps; ++op) {
         uint64_t i = rng.next_range(kSpace);
         // Long keys with shared prefixes exercise multiple layers.
-        std::string key = "worker" + std::to_string(t) + "/item/" + PaddedKey(i);
+        std::string key = "worker" + std::to_string(t) + "/item/" + padded_key(i);
         int action = static_cast<int>(rng.next_range(10));
         uint64_t old;
         if (action < 5) {
@@ -323,7 +282,7 @@ TEST(TreeConcurrent, MixedWorkloadStress) {
       }
       // Final verification of every owned key.
       for (int i = 0; i < kSpace; ++i) {
-        std::string key = "worker" + std::to_string(t) + "/item/" + PaddedKey(i);
+        std::string key = "worker" + std::to_string(t) + "/item/" + padded_key(i);
         uint64_t v;
         bool found = tree.get(key, &v, ti);
         if (found != (mine[i] >= 0) || (found && v != static_cast<uint64_t>(mine[i]))) {
@@ -337,6 +296,7 @@ TEST(TreeConcurrent, MixedWorkloadStress) {
   }
   EXPECT_EQ(failures.load(), 0);
   tree.run_maintenance(main_ti);
+  EXPECT_TRUE(ts::rep_ok(tree));
 }
 
 // Node-deletion protocol: concurrent removals emptying whole subtrees while
@@ -347,20 +307,15 @@ TEST(TreeConcurrent, MassRemovalUnderReaders) {
   constexpr int kKeys = 30000;
   for (int i = 0; i < kKeys; ++i) {
     uint64_t old;
-    tree.insert(PaddedKey(i), i, &old, main_ti);
+    tree.insert(padded_key(i), i, &old, main_ti);
   }
-  std::atomic<bool> stop{false};
   std::atomic<int> wrong{0};
-  std::thread reader([&] {
-    ThreadContext ti;
-    Rng rng(11);
-    while (!stop.load(std::memory_order_acquire)) {
-      uint64_t i = rng.next_range(kKeys);
-      uint64_t v;
-      if (tree.get(PaddedKey(i), &v, ti) && v != i) {
-        ++wrong;
-      }
-    }
+
+  ts::ChurnDriver reader;
+  reader.spawn(1, [&](ThreadContext& ti, Rng& rng) {
+    uint64_t i = rng.next_range(kKeys);
+    uint64_t v;
+    return !(tree.get(padded_key(i), &v, ti) && v != i);
   });
   {
     std::vector<std::thread> removers;
@@ -369,7 +324,7 @@ TEST(TreeConcurrent, MassRemovalUnderReaders) {
         ThreadContext ti;
         for (int i = t; i < kKeys; i += 2) {
           uint64_t old;
-          bool removed = tree.remove(PaddedKey(i), &old, ti);
+          bool removed = tree.remove(padded_key(i), &old, ti);
           if (!removed || old != static_cast<uint64_t>(i)) {
             ++wrong;
           }
@@ -380,10 +335,10 @@ TEST(TreeConcurrent, MassRemovalUnderReaders) {
       th.join();
     }
   }
-  stop = true;
-  reader.join();
+  EXPECT_EQ(reader.stop_and_join(), 0);
   EXPECT_EQ(wrong.load(), 0);
   EXPECT_EQ(tree.collect_stats().keys, 0u);
+  EXPECT_TRUE(ts::rep_ok(tree));
 }
 
 // §6.2's retry-rate observation: with concurrent inserts, split-caused
@@ -391,20 +346,19 @@ TEST(TreeConcurrent, MassRemovalUnderReaders) {
 TEST(TreeConcurrent, RetryRatesShape) {
   ThreadContext main_ti;
   Tree tree(main_ti);
-  std::atomic<uint64_t> root_retries{0}, local_retries{0}, ops{0};
+  std::atomic<uint64_t> root_retries{0}, ops{0};
   std::vector<std::thread> threads;
   for (int t = 0; t < 2; ++t) {
     threads.emplace_back([&, t] {
       ThreadContext ti;
-      Rng rng(t + 1);
+      Rng rng = ts::seeded_rng(t + 1);
       for (int i = 0; i < 50000; ++i) {
         uint64_t old;
-        tree.insert(PaddedKey(rng.next_range(10000000)), i, &old, ti);
+        tree.insert(padded_key(rng.next_range(10000000)), i, &old, ti);
         uint64_t v;
-        tree.get(PaddedKey(rng.next_range(10000000)), &v, ti);
+        tree.get(padded_key(rng.next_range(10000000)), &v, ti);
       }
       root_retries += ti.counters().get(Counter::kGetRetryFromRoot);
-      local_retries += ti.counters().get(Counter::kGetRetryLocal);
       ops += 100000;
     });
   }

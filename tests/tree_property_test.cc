@@ -2,6 +2,7 @@
 // families, validated against std::map oracles. Each key family stresses a
 // different structural path — trie layering (§4.1), same-slice grouping
 // (§4.2), suffix storage, split boundaries, removal cascades (§4.6.5).
+// Every 1000 random ops the check_rep() walker audits the full structure.
 
 #include <gtest/gtest.h>
 
@@ -11,10 +12,13 @@
 #include <vector>
 
 #include "core/tree.h"
+#include "support/test_support.h"
 #include "util/rand.h"
 
 namespace masstree {
 namespace {
+
+namespace ts = test_support;
 
 // A key family is a deterministic index -> key mapping.
 struct KeyFamily {
@@ -73,8 +77,8 @@ TEST_P(TreePropertyTest, RandomOpsMatchOracle) {
   const KeyFamily& fam = GetParam();
   ThreadContext ti;
   Tree tree(ti);
-  std::map<std::string, uint64_t> oracle;
-  Rng rng(0xFACE + fam.space);
+  ts::Oracle oracle;
+  Rng rng = ts::seeded_rng(0xFACE + fam.space);
 
   for (int op = 0; op < 30000; ++op) {
     uint64_t i = rng.next_range(fam.space);
@@ -87,23 +91,21 @@ TEST_P(TreePropertyTest, RandomOpsMatchOracle) {
         uint64_t v = rng.next();
         uint64_t old;
         bool inserted = tree.insert(key, v, &old, ti);
-        bool expect_new = oracle.find(key) == oracle.end();
-        ASSERT_EQ(inserted, expect_new) << fam.name << " key=" << key;
-        oracle[key] = v;
+        ASSERT_EQ(inserted, oracle.note_insert(key, v)) << fam.name << " key=" << key;
         break;
       }
       case 4:
       case 5: {  // remove
         uint64_t old;
         bool removed = tree.remove(key, &old, ti);
-        ASSERT_EQ(removed, oracle.erase(key) > 0) << fam.name << " key=" << key;
+        ASSERT_EQ(removed, oracle.note_remove(key)) << fam.name << " key=" << key;
         break;
       }
       default: {  // get
         uint64_t v;
         bool found = tree.get(key, &v, ti);
-        auto it = oracle.find(key);
-        ASSERT_EQ(found, it != oracle.end()) << fam.name << " key=" << key;
+        auto it = oracle.map().find(key);
+        ASSERT_EQ(found, it != oracle.map().end()) << fam.name << " key=" << key;
         if (found) {
           ASSERT_EQ(v, it->second) << fam.name << " key=" << key;
         }
@@ -113,32 +115,17 @@ TEST_P(TreePropertyTest, RandomOpsMatchOracle) {
     if ((op & 4095) == 0) {
       tree.run_maintenance(ti);
     }
+    // Structural audit: every 1000 ops, walk the whole tree's invariants
+    // (keyslice ordering, permutation consistency, layer links, ...).
+    if ((op + 1) % 1000 == 0) {
+      ASSERT_TRUE(ts::rep_ok(tree)) << fam.name << " after op " << op;
+    }
   }
 
-  // Full-state check: every oracle key present with the right value, and a
-  // complete scan returns exactly the oracle in order.
-  for (const auto& [k, v] : oracle) {
-    uint64_t got;
-    ASSERT_TRUE(tree.get(k, &got, ti)) << fam.name << " key=" << k;
-    ASSERT_EQ(got, v);
-  }
-  std::vector<std::pair<std::string, uint64_t>> scanned;
-  tree.scan(
-      "", ~size_t{0},
-      [&](std::string_view k, uint64_t v) {
-        scanned.emplace_back(std::string(k), v);
-        return true;
-      },
-      ti);
-  ASSERT_EQ(scanned.size(), oracle.size()) << fam.name;
-  auto it = oracle.begin();
-  for (size_t i = 0; i < scanned.size(); ++i, ++it) {
-    ASSERT_EQ(scanned[i].first, it->first) << fam.name << " position " << i;
-    ASSERT_EQ(scanned[i].second, it->second);
-  }
-
-  // Structural sanity: stats agree with the oracle count.
-  ASSERT_EQ(tree.collect_stats().keys, oracle.size()) << fam.name;
+  // Full-state check: every oracle key present with the right value, a
+  // complete scan returning exactly the oracle in order, and matching stats.
+  ts::check_tree_matches_oracle(tree, oracle, ti, fam.name);
+  ASSERT_TRUE(ts::rep_ok(tree)) << fam.name;
 }
 
 TEST_P(TreePropertyTest, InsertAllRemoveAllRepeatedly) {
@@ -148,25 +135,24 @@ TEST_P(TreePropertyTest, InsertAllRemoveAllRepeatedly) {
   // Three grow/shrink cycles: removal cascades + layer GC + reinsertion into
   // reclaimed structure.
   for (int round = 0; round < 3; ++round) {
-    std::map<std::string, uint64_t> oracle;
+    ts::Oracle oracle;
     for (uint64_t i = 0; i < fam.space; ++i) {
       std::string k = fam.make(i);
       uint64_t old;
       tree.insert(k, i + round, &old, ti);
-      oracle[k] = i + round;
+      oracle.note_insert(k, i + round);
     }
     ASSERT_EQ(tree.collect_stats().keys, oracle.size());
-    for (const auto& [k, v] : oracle) {
-      uint64_t got;
-      ASSERT_TRUE(tree.get(k, &got, ti));
-      ASSERT_EQ(got, v);
-    }
-    for (const auto& [k, v] : oracle) {
+    oracle.verify_all([&](const std::string& k, uint64_t* v) { return tree.get(k, v, ti); },
+                      fam.name);
+    ASSERT_TRUE(ts::rep_ok(tree)) << fam.name << " full, round " << round;
+    for (const auto& [k, v] : oracle.map()) {
       uint64_t old;
       ASSERT_TRUE(tree.remove(k, &old, ti)) << fam.name << " round " << round;
     }
     tree.run_maintenance(ti);
     ASSERT_EQ(tree.collect_stats().keys, 0u) << fam.name << " round " << round;
+    ASSERT_TRUE(ts::rep_ok(tree)) << fam.name << " empty, round " << round;
   }
 }
 
@@ -290,7 +276,7 @@ TEST(TreeInvariants, RandomFillFactorReasonable) {
   // Random inserts land around the classical ~70% B-tree utilization.
   ThreadContext ti;
   Tree tree(ti);
-  Rng rng(3);
+  Rng rng = ts::seeded_rng(3);
   uint64_t old;
   for (int i = 0; i < 100000; ++i) {
     tree.insert(std::to_string(rng.next()), i, &old, ti);
@@ -308,7 +294,7 @@ TEST(TreeInvariants, UpdateNeverChangesShape) {
     tree.insert("k" + std::to_string(i), i, &old, ti);
   }
   TreeStats before = tree.collect_stats();
-  Rng rng(9);
+  Rng rng = ts::seeded_rng(9);
   for (int i = 0; i < 50000; ++i) {
     tree.insert("k" + std::to_string(rng.next_range(10000)), rng.next(), &old, ti);
   }
