@@ -6,8 +6,10 @@
 //
 // Mixed insert+get run; reports per-million retry rates from the hot-path
 // counters (split-caused root retries must be orders of magnitude rarer than
-// local insert retries).
+// local insert retries). Interleaved multiget batches report the same rates
+// for the §4.8 pipelined path (Counter::kMultigetRetry / kMultigetBatches).
 
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -25,7 +27,9 @@ int main() {
   ThreadContext setup;
   Tree tree(setup);
   uint64_t per_thread = e.keys;
+  constexpr size_t kBatch = 16;
   std::atomic<uint64_t> root_retries{0}, local_retries{0}, forwards{0}, splits{0}, gets{0};
+  std::atomic<uint64_t> mg_retries{0}, mg_batches{0}, mg_gets{0};
 
   std::vector<std::thread> threads;
   for (unsigned t = 0; t < e.threads; ++t) {
@@ -33,15 +37,33 @@ int main() {
       ThreadContext ti;
       Rng rng(91 + t);
       uint64_t old, v;
+      std::string batch_keys[kBatch];
+      Tree::GetRequest reqs[kBatch];
+      size_t pending = 0;
+      uint64_t mg_ops = 0;
       for (uint64_t i = 0; i < per_thread; ++i) {
         tree.insert(decimal_key(rng.next()), i, &old, ti);
         tree.get(decimal_key(rng.next()), &v, ti);
+        // Accumulate keys into a batch; every kBatch iterations run the
+        // pipelined path so its retries are measured under the same churn.
+        batch_keys[pending] = decimal_key(rng.next());
+        reqs[pending] = Tree::GetRequest{batch_keys[pending], 0, false};
+        if (++pending == kBatch) {
+          tree.multiget(std::span<Tree::GetRequest>(reqs, kBatch), ti);
+          mg_ops += kBatch;
+          pending = 0;
+        }
       }
+      // multiget's cursors report retries via kMultigetRetry only, so the
+      // kGet* rates below stay pure point-get.
       root_retries += ti.counters().get(Counter::kGetRetryFromRoot);
       local_retries += ti.counters().get(Counter::kGetRetryLocal);
       forwards += ti.counters().get(Counter::kGetForward);
       splits += ti.counters().get(Counter::kPutSplit);
       gets += per_thread;
+      mg_retries += ti.counters().get(Counter::kMultigetRetry);
+      mg_batches += ti.counters().get(Counter::kMultigetBatches);
+      mg_gets += mg_ops;
     });
   }
   for (auto& th : threads) {
@@ -64,5 +86,12 @@ int main() {
                      : static_cast<double>(local_retries.load()) /
                            static_cast<double>(root_retries.load());
   std::printf("local/root retry ratio:       %8.2f\n", ratio);
+
+  double mg_per_m =
+      mg_gets.load() == 0 ? 0.0 : 1e6 / static_cast<double>(mg_gets.load());
+  std::printf("multiget batches:             %llu (batch=%zu)\n",
+              static_cast<unsigned long long>(mg_batches.load()), kBatch);
+  std::printf("multiget retries / M gets:    %8.2f   (pipelined cursors, §4.8)\n",
+              static_cast<double>(mg_retries.load()) * mg_per_m);
   return 0;
 }

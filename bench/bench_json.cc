@@ -3,13 +3,15 @@
 //   bench_json [output.json]
 //
 // Measures the headline Masstree throughputs every PR must not regress —
-// uniform point gets, fresh-key inserts, uniform updates, and a YCSB-A-style
-// 50/50 get/update mix over a Zipfian (theta=0.99, scrambled) popularity
-// distribution — and writes them as one JSON object (stdout if no path).
-// Workload scale follows the MT_BENCH_* environment knobs of bench/common.h.
+// uniform point gets, software-pipelined batched gets (multiget, §4.8),
+// fresh-key inserts, uniform updates, and a YCSB-A-style 50/50 get/update mix
+// over a Zipfian (theta=0.99, scrambled) popularity distribution — and
+// writes them as one JSON object (stdout if no path). Workload scale follows
+// the MT_BENCH_* environment knobs of bench/common.h.
 
 #include <cstdio>
 #include <cstring>
+#include <span>
 #include <string>
 
 #include "bench/common.h"
@@ -80,6 +82,28 @@ int main(int argc, char** argv) {
         return ops;
       });
 
+  // Batched gets through the §4.8 software-pipelined multiget: same uniform
+  // key distribution as the get phase, issued kMultigetBatch keys at a time
+  // so the cursors' DRAM fetches overlap.
+  constexpr size_t kMultigetBatch = 16;
+  double multiget_mops =
+      timed_mops(e.threads, e.secs, [&](unsigned t, const std::atomic<bool>& stop) {
+        thread_local ThreadContext ti;
+        Rng rng(500 + t);
+        uint64_t ops = 0;
+        std::string keybuf[kMultigetBatch];
+        Tree::GetRequest reqs[kMultigetBatch];
+        while (!stop.load(std::memory_order_relaxed)) {
+          for (size_t i = 0; i < kMultigetBatch; ++i) {
+            keybuf[i] = decimal_key(rng.next_range(loaded));
+            reqs[i] = Tree::GetRequest{keybuf[i], 0, false};
+          }
+          tree.multiget(std::span<Tree::GetRequest>(reqs, kMultigetBatch), ti);
+          ops += kMultigetBatch;
+        }
+        return ops;
+      });
+
   // YCSB-A: 50% reads, 50% updates, Zipfian key popularity (§7).
   double ycsb_a_mops =
       timed_mops(e.threads, e.secs, [&](unsigned t, const std::atomic<bool>& stop) {
@@ -116,6 +140,8 @@ int main(int argc, char** argv) {
   add("  \"metrics\": {\n");
   add("    \"insert_mops\": %.4f,\n", insert_mops);
   add("    \"get_uniform_mops\": %.4f,\n", get_uniform_mops);
+  add("    \"multiget_mops\": %.4f,\n", multiget_mops);
+  add("    \"multiget_batch\": %zu,\n", kMultigetBatch);
   add("    \"update_uniform_mops\": %.4f,\n", update_mops);
   add("    \"ycsb_a_zipfian_mops\": %.4f\n", ycsb_a_mops);
   add("  }\n");

@@ -30,6 +30,20 @@ fi
 echo "== bench_json -> $json_out"
 "$bin_dir/bench_json" "$json_out"
 
+# The batched-read path must be measured on every run: assert the
+# multiget_mops column is present and non-zero (CI's bench smoke relies on
+# this check).
+mg=$(sed -n 's/.*"multiget_mops": \([0-9.]*\).*/\1/p' "$json_out")
+if [ -z "$mg" ]; then
+    echo "run_bench.sh: multiget_mops missing from $json_out" >&2
+    exit 1
+fi
+if [ "$(printf '%s\n' "$mg" | awk '{ print ($1 > 0) ? "ok" : "zero" }')" != "ok" ]; then
+    echo "run_bench.sh: multiget_mops is zero in $json_out" >&2
+    exit 1
+fi
+echo "== multiget_mops = $mg (present and non-zero)"
+
 if [ -x "$bin_dir/micro_gbench" ]; then
     echo "== micro_gbench -> $out_dir/BENCH_gbench.json"
     "$bin_dir/micro_gbench" --benchmark_format=json \

@@ -7,9 +7,11 @@
 //      same." — linear vs binary in-node search, get workload.
 //  (2) PALM-style parallel (batched) lookup: "Our implementation of this
 //      technique did not improve performance on our 48-core AMD machine, but
-//      on a 24-core Intel machine, throughput rose by up to 34%." — batches
-//      of 16 gets whose root-to-border paths are prefetched before any get
-//      executes.
+//      on a 24-core Intel machine, throughput rose by up to 34%." — the
+//      cursor-pipelined multiget() at a sweep of batch sizes, plus the legacy
+//      prefetch_for()+get() scheme for comparison.
+
+#include <span>
 
 #include "bench/common.h"
 #include "core/tree.h"
@@ -59,11 +61,40 @@ int main() {
     }
     linear = run_gets(e, tree);
 
-    // ---- (2) batched lookup on the same loaded tree ----
+    // ---- (2a) software-pipelined multiget, batch-size ablation ----
+    // Each worker issues one multiget() per batch; the engine round-robins
+    // the in-flight cursors and prefetches every cursor's next node before
+    // touching any of them.
+    std::printf("multiget batch-size ablation (plain gets: %7.3f Mops):\n", linear);
+    constexpr size_t kMaxBatch = 32;
+    for (size_t batch : {size_t{2}, size_t{4}, size_t{8}, size_t{16}, size_t{32}}) {
+      double mops =
+          timed_mops(e.threads, e.secs, [&](unsigned t, const std::atomic<bool>& stop) {
+            thread_local ThreadContext ti;
+            Rng rng(22 + t);
+            uint64_t ops = 0;
+            std::string keys[kMaxBatch];
+            Tree::GetRequest reqs[kMaxBatch];
+            while (!stop.load(std::memory_order_relaxed)) {
+              for (size_t i = 0; i < batch; ++i) {
+                keys[i] = decimal_key(rng.next_range(e.keys));
+                reqs[i] = Tree::GetRequest{keys[i], 0, false};
+              }
+              tree.multiget(std::span<Tree::GetRequest>(reqs, batch), ti);
+              ops += batch;
+            }
+            return ops;
+          });
+      std::printf("  batch %2zu:                %7.3f Mops -> %+.1f%% "
+                  "(paper: 0%% AMD, +34%% Intel)\n",
+                  batch, mops, 100.0 * (mops - linear) / linear);
+    }
+
+    // ---- (2b) legacy scheme: prefetch every path, then get sequentially ----
     double batched =
         timed_mops(e.threads, e.secs, [&](unsigned t, const std::atomic<bool>& stop) {
           thread_local ThreadContext ti;
-          Rng rng(22 + t);
+          Rng rng(23 + t);
           uint64_t ops = 0, v;
           std::string keys[16];
           while (!stop.load(std::memory_order_relaxed)) {
@@ -80,8 +111,8 @@ int main() {
           }
           return ops;
         });
-    std::printf("batched lookup (16-deep):  plain %7.3f Mops, batched %7.3f Mops -> "
-                "%+.1f%% (paper: 0%% AMD, +34%% Intel)\n",
+    std::printf("legacy prefetch_for (16):  plain %7.3f Mops, batched %7.3f Mops -> "
+                "%+.1f%%\n",
                 linear, batched, 100.0 * (batched - linear) / linear);
   }
   {

@@ -1,0 +1,357 @@
+// LookupCursor — the single copy of Masstree's read-side traversal logic
+// (Figure 6's hand-over-hand descent, Figure 7's border stabilize/forward
+// loop, §4.6.3's layer descent), refactored into a resumable state machine.
+//
+// Before this existed the descend/forward protocol was written out three
+// times (get, the locked writers' locate step, and scan's border location).
+// Now there is one implementation with two drivers:
+//
+//   * full-lookup mode (the key constructor): resolves a whole key to a
+//     value, descending trie layers and restarting from the tree root when a
+//     layer dies. BasicTree::get() runs one cursor to completion;
+//     BasicTree::multiget() round-robins a window of them.
+//   * border-location mode (the slice constructor): descends one layer for a
+//     single slice and stops at the responsible border node — the
+//     reach_border() step shared by scan and the locked writers.
+//
+// States (one DRAM-touch of work per step, so a batch engine can overlap the
+// fetches of many concurrent lookups, §4.8 / PALM):
+//
+//   kLayerEntry   (re)enter a layer: ascend stale/retired entry points to the
+//                 layer's true root (§4.6.4); also the layer-descend landing
+//                 state after following a next_layer link
+//   kDescend      one hand-over-hand hop through an interior node
+//   kBorder       border examination: search, suffix compare, validate,
+//                 B-link forward (Figure 7)
+//   kDone         result available
+//
+// Between steps, prefetch() issues the cache-line fetches for exactly the
+// memory the next step() will touch — the pending child node, or the border's
+// suffix StringBag when a long key is about to be compared. step() never
+// writes shared memory; all synchronization is the §4.5 version validation.
+
+#ifndef MASSTREE_CORE_CURSOR_H_
+#define MASSTREE_CORE_CURSOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+#include "core/node.h"
+#include "core/stringbag.h"
+#include "key/key.h"
+#include "util/counters.h"
+#include "util/prefetch.h"
+
+namespace masstree {
+
+template <typename C>
+class LookupCursor {
+ public:
+  using Node = NodeBase<C>;
+  using Border = BorderNode<C>;
+  using Interior = InteriorNode<C>;
+
+  enum class State : uint8_t {
+    kLayerEntry,
+    kDescend,
+    kBorder,
+    kDone,
+  };
+
+  enum class Status : uint8_t {
+    kInProgress,
+    kFound,      // full-lookup mode: key present, value() valid
+    kNotFound,   // full-lookup mode: key absent
+    kAtBorder,   // border-location mode: border()/border_version() valid
+    kDeadLayer,  // border-location mode: the entered layer was removed
+  };
+
+  // How many suffix-bag bytes prefetch() pulls: the header + packed refs of a
+  // width-15 bag plus the start of the string data, without a dependent load
+  // of the bag's actual capacity.
+  static constexpr size_t kSuffixPrefetchBytes = 4 * kCacheLineSize;
+
+  // Full-lookup cursor. `treeroot` is the tree's layer-0 root pointer,
+  // reloaded whenever the lookup must restart from the very top.
+  LookupCursor(const std::atomic<Node*>& treeroot, std::string_view key)
+      : treeroot_(&treeroot),
+        key_(key),
+        root_(treeroot.load(std::memory_order_acquire)),
+        slice_(key_.slice()),
+        ord_(search_ord()) {}
+
+  // Border-location cursor: find the border responsible for `slice` in the
+  // layer entered at `entry`. Never examines border contents.
+  LookupCursor(Node* entry, uint64_t slice)
+      : treeroot_(nullptr), root_(entry), slice_(slice) {}
+
+  // Issue the prefetches for the memory the next step() will touch. Harmless
+  // if racy — it only prefetches.
+  void prefetch() const {
+    if constexpr (!C::kPrefetch) {
+      return;
+    }
+    switch (state_) {
+      case State::kLayerEntry:
+        if (root_ != nullptr) {
+          prefetch_object(root_, sizeof(Border));
+        }
+        break;
+      case State::kDescend:
+        prefetch_object(child_, sizeof(Border));
+        break;
+      case State::kBorder:
+        // The node's own lines were fetched when the descent adopted it; the
+        // remaining cold object is the suffix bag a long-key compare reads.
+        if (key_.has_suffix()) {
+          const StringBag* bag = n_->as_border()->suffixes();
+          if (bag != nullptr) {
+            prefetch_object(bag, kSuffixPrefetchBytes);
+          }
+        }
+        break;
+      case State::kDone:
+        break;
+    }
+  }
+
+  // Advance by roughly one DRAM touch. Returns kInProgress until the cursor
+  // reaches a terminal state. `ctrs` (nullable) receives the retry/forward
+  // event counts the old monolithic get() maintained.
+  Status step(ThreadCounters* ctrs) {
+    switch (state_) {
+      case State::kLayerEntry:
+        return step_layer_entry(ctrs);
+      case State::kDescend:
+        return step_descend(ctrs);
+      case State::kBorder:
+        return step_border(ctrs);
+      case State::kDone:
+        break;
+    }
+    return result_;
+  }
+
+  // Synchronous driver: prefetch-then-step to completion.
+  Status run(ThreadCounters* ctrs) {
+    for (;;) {
+      prefetch();
+      Status s = step(ctrs);
+      if (s != Status::kInProgress) {
+        return s;
+      }
+    }
+  }
+
+  State state() const { return state_; }
+  bool found() const { return result_ == Status::kFound; }
+  uint64_t value() const { return value_; }
+  // Number of retry events (local revalidations + restarts) this lookup ate;
+  // multiget aggregates these into Counter::kMultigetRetry.
+  uint32_t retries() const { return retries_; }
+
+  // Border-location results (valid after kAtBorder).
+  Border* border() const { return n_->as_border(); }
+  VersionValue border_version() const { return v_; }
+  // The observed true root of the current layer; callers keep it so retries
+  // skip forwarding chains (reach_border's in-out root parameter).
+  Node* layer_root() const { return root_; }
+
+ private:
+  int search_ord() const {
+    return key_.has_suffix() ? 9 : static_cast<int>(key_.length_in_slice());
+  }
+
+  static void count(ThreadCounters* ctrs, Counter which) {
+    if (ctrs != nullptr) {
+      ctrs->inc(which);
+    }
+  }
+
+  Status finish(bool found, uint64_t lv) {
+    state_ = State::kDone;
+    value_ = lv;
+    result_ = found ? Status::kFound : Status::kNotFound;
+    return result_;
+  }
+
+  // The layer this cursor is in has been removed entirely. Border-location
+  // callers handle that themselves; full lookups restart from layer 0.
+  Status dead_layer(ThreadCounters* ctrs) {
+    if (treeroot_ == nullptr) {
+      state_ = State::kDone;
+      result_ = Status::kDeadLayer;
+      return result_;
+    }
+    count(ctrs, Counter::kGetRetryFromRoot);
+    ++retries_;
+    key_.unshift_all();
+    slice_ = key_.slice();
+    ord_ = search_ord();
+    root_ = treeroot_->load(std::memory_order_acquire);
+    state_ = State::kLayerEntry;
+    return Status::kInProgress;
+  }
+
+  // Touches root_: stabilize it and ascend stale/retired entry points —
+  // deleted nodes forward through parent(); live non-roots climb until the
+  // true root (§4.6.4's lazily updated layer roots).
+  Status step_layer_entry(ThreadCounters* ctrs) {
+    Node* n = root_;
+    if (n == nullptr) {
+      return dead_layer(ctrs);
+    }
+    VersionValue v = n->version().stable();
+    while (v.deleted() || !v.is_root()) {
+      Node* p = n->parent();
+      if (p == nullptr) {
+        if (v.deleted()) {
+          return dead_layer(ctrs);  // this layer was removed entirely
+        }
+        // Root flag observed clear before the new parent store; reload.
+        spin_pause();
+        v = n->version().stable();
+        continue;
+      }
+      n = p;
+      v = n->version().stable();
+    }
+    root_ = n;
+    return arrive(n, v);
+  }
+
+  // Touches child_ (the node prefetch() announced): hand-over-hand
+  // validation against the parent we came from (Figure 6).
+  Status step_descend(ThreadCounters*) {
+    VersionValue cv = child_->version().stable();
+    if (!n_->version().changed_since(v_)) {
+      return arrive(child_, cv);
+    }
+    VersionValue v2 = n_->version().stable();
+    if (v2.vsplit() != v_.vsplit() || v2.deleted()) {
+      state_ = State::kLayerEntry;  // split: retry from the layer root
+      return Status::kInProgress;
+    }
+    v_ = v2;  // plain insert: retry from this node
+    return select_child();
+  }
+
+  // Adopt a node the descent just validated its way into.
+  Status arrive(Node* n, VersionValue v) {
+    n_ = n;
+    v_ = v;
+    if (v.is_border()) {
+      if (treeroot_ == nullptr) {
+        state_ = State::kDone;
+        result_ = Status::kAtBorder;
+        return result_;
+      }
+      state_ = State::kBorder;
+      return Status::kInProgress;
+    }
+    return select_child();
+  }
+
+  // At interior n_ (already in cache) with stable v_: pick the child the next
+  // step will touch. Loops only over hot re-reads of n_.
+  Status select_child() {
+    for (;;) {
+      if (v_.deleted()) {
+        root_ = n_;  // re-entry ascends through the forwarding parent pointer
+        state_ = State::kLayerEntry;
+        return Status::kInProgress;
+      }
+      Interior* in = n_->as_interior();
+      child_ = in->child(in->child_index(slice_));
+      if (child_ != nullptr) {
+        state_ = State::kDescend;
+        return Status::kInProgress;
+      }
+      // Torn read during a concurrent reshape; re-stabilize and retry.
+      v_ = n_->version().stable();
+    }
+  }
+
+  // Figure 7's forward loop: search the border, validate, follow the B-link
+  // chain right when the key's range moved, descend layers, spin across the
+  // §4.6.3 UNSTABLE window.
+  Status step_border(ThreadCounters* ctrs) {
+    for (;;) {
+      if (v_.deleted()) {
+        root_ = n_;  // re-entry follows the forwarding pointer
+        state_ = State::kLayerEntry;
+        return Status::kInProgress;
+      }
+      Border* n = n_->as_border();
+      Permuter perm = n->permutation();
+      int pos;
+      int slot = n->find(perm, slice_, ord_, &pos);
+      uint8_t kx = 0;
+      uint64_t lv = 0;
+      bool suffix_eq = false;
+      if (slot >= 0) {
+        kx = n->keylenx(slot);
+        lv = n->lv(slot);
+        if (keylenx_has_suffix(kx)) {
+          StringBag* bag = n->suffixes();
+          suffix_eq = bag != nullptr && bag->get(slot) == key_.suffix();
+        }
+      }
+      if (n->version().changed_since(v_)) {
+        // Stabilize, then chase the B-link chain right if the key's range
+        // moved (Figure 7's while loop).
+        v_ = n->version().stable();
+        count(ctrs, Counter::kGetRetryLocal);
+        ++retries_;
+        Border* nx = n->next();
+        while (!v_.deleted() && nx != nullptr && slice_ >= nx->lowkey()) {
+          n = nx;
+          v_ = n->version().stable();
+          nx = n->next();
+          count(ctrs, Counter::kGetForward);
+        }
+        n_ = n;
+        continue;
+      }
+      if (slot < 0) {
+        return finish(false, 0);
+      }
+      if (kx <= 8) {
+        return finish(true, lv);
+      }
+      if (keylenx_has_suffix(kx)) {
+        return finish(suffix_eq, lv);
+      }
+      if (keylenx_is_layer(kx)) {
+        // Layer descend (§4.6.3): advance the key one slice and re-enter at
+        // the sub-layer's stored root.
+        root_ = reinterpret_cast<Node*>(lv);
+        key_.shift();
+        slice_ = key_.slice();
+        ord_ = search_ord();
+        state_ = State::kLayerEntry;
+        return Status::kInProgress;
+      }
+      // UNSTABLE: a layer is being created under this slot; spin (§4.6.3).
+      spin_pause();
+    }
+  }
+
+  const std::atomic<Node*>* treeroot_;  // null in border-location mode
+  Key key_;
+  Node* root_ = nullptr;   // current layer's entry point / observed true root
+  Node* n_ = nullptr;      // current node (stable version v_)
+  Node* child_ = nullptr;  // pending hop target in kDescend
+  uint64_t slice_ = 0;
+  int ord_ = 0;
+  VersionValue v_;
+  uint64_t value_ = 0;
+  uint32_t retries_ = 0;
+  State state_ = State::kLayerEntry;
+  Status result_ = Status::kInProgress;
+};
+
+}  // namespace masstree
+
+#endif  // MASSTREE_CORE_CURSOR_H_

@@ -1,13 +1,21 @@
 // Masstree: a trie with fanout 2^64 whose nodes are width-15 B+-trees (§4).
 //
 // Get/scan never write shared memory; they validate per-node version words
-// (Figure 6's hand-over-hand descent, Figure 7's B-link forwarding). Writers
-// lock only the nodes they change; inserts publish through the permutation
-// (§4.6.2), splits move keys strictly to the right under `splitting` marks
-// (§4.6.4, Figure 5), and layer creation uses the UNSTABLE→LAYER two-phase
-// publish (§4.6.3). Removed slots bump vinsert when reused (§4.6.5), empty
-// nodes are frozen, unlinked, and epoch-reclaimed, and empty sub-layers are
-// cleaned by deferred maintenance tasks.
+// (Figure 6's hand-over-hand descent, Figure 7's B-link forwarding). The
+// read-side traversal exists exactly once, as the resumable LookupCursor
+// state machine in core/cursor.h (states: layer-entry, descend-to-border,
+// border stabilize/forward, done): get() runs one cursor to completion,
+// multiget() round-robins a window of in-flight cursors and prefetches each
+// cursor's next node before touching any of them (§4.8 / PALM software
+// pipelining), and reach_border() — the border-location step shared by scan
+// and the locked writers — is the same machine stopped at its border.
+//
+// Writers lock only the nodes they change; inserts publish through the
+// permutation (§4.6.2), splits move keys strictly to the right under
+// `splitting` marks (§4.6.4, Figure 5), and layer creation uses the
+// UNSTABLE→LAYER two-phase publish (§4.6.3). Removed slots bump vinsert when
+// reused (§4.6.5), empty nodes are frozen, unlinked, and epoch-reclaimed, and
+// empty sub-layers are cleaned by deferred maintenance tasks.
 //
 // The tree stores opaque 64-bit values; ownership of what they point at stays
 // with the caller (the kvstore layer stores Row pointers and epoch-retires
@@ -19,10 +27,13 @@
 #include <cassert>
 #include <cstdint>
 #include <mutex>
+#include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "core/cursor.h"
 #include "core/node.h"
 #include "util/counters.h"
 
@@ -66,93 +77,93 @@ class BasicTree {
   ~BasicTree() { destroy_subtree(root_.load(std::memory_order_acquire)); }
 
   // --------------------------------------------------------------------
-  // get(k) — Figure 7.
+  // get(k) — Figures 6/7, via one LookupCursor run to completion.
   bool get(std::string_view k, uint64_t* value, ThreadContext& ti) const {
     EpochGuard guard(ti.slot());
-    Key key(k);
-    Node* root = root_.load(std::memory_order_acquire);
-    for (;;) {
-      uint64_t slice = key.slice();
-      int ord = search_ord(key);
-      Border* n;
-      VersionValue v;
-      if (!reach_border(root, slice, &n, &v)) {
-        ti.counters().inc(Counter::kGetRetryFromRoot);
-        key.unshift_all();
-        root = root_.load(std::memory_order_acquire);
-        continue;
+    LookupCursor<C> cur(root_, k);
+    if (cur.run(&ti.counters()) != LookupCursor<C>::Status::kFound) {
+      return false;
+    }
+    *value = cur.value();
+    return true;
+  }
+
+  // --------------------------------------------------------------------
+  // multiget — software-pipelined batched lookup (§4.8 / PALM).
+  //
+  // Round-robins up to kMultigetWindow in-flight LookupCursors: each round
+  // first issues prefetch() for every cursor's next node, then steps each
+  // cursor once, so the batch overlaps its DRAM fetches and a batch of B gets
+  // costs ~max-depth DRAM latencies instead of B×depth. One epoch guard spans
+  // the batch; completed slots immediately refill from the remaining
+  // requests. Results land in the requests themselves (value is untouched for
+  // missing keys). Returns the number of keys found.
+  struct GetRequest {
+    std::string_view key;
+    uint64_t value = 0;
+    bool found = false;
+  };
+
+  static constexpr size_t kMultigetWindow = 16;
+
+  size_t multiget(std::span<GetRequest> reqs, ThreadContext& ti) const {
+    if (reqs.empty()) {
+      return 0;
+    }
+    using Cursor = LookupCursor<C>;
+    EpochGuard guard(ti.slot());
+    ThreadCounters* ctrs = &ti.counters();
+    ctrs->inc(Counter::kMultigetBatches);
+    const size_t nslots = reqs.size() < kMultigetWindow ? reqs.size() : kMultigetWindow;
+    std::optional<Cursor> cur[kMultigetWindow];
+    size_t req_of[kMultigetWindow];
+    size_t next_req = 0;
+    size_t live = 0;
+    size_t nfound = 0;
+    uint64_t retry_sum = 0;
+    for (size_t i = 0; i < nslots; ++i) {
+      cur[i].emplace(root_, reqs[next_req].key);
+      req_of[i] = next_req++;
+      ++live;
+    }
+    while (live > 0) {
+      // Issue every in-flight cursor's prefetch before touching any node so
+      // the whole window's fetches are outstanding at once.
+      for (size_t i = 0; i < nslots; ++i) {
+        if (cur[i]) {
+          cur[i]->prefetch();
+        }
       }
-      bool restart_layer = false;
-      Node* deeper = nullptr;
-      bool found = false;
-      uint64_t out = 0;
-      for (;;) {  // forward loop
-        if (v.deleted()) {
-          root = n;  // reach_border follows the forwarding pointer
-          restart_layer = true;
-          break;
-        }
-        Permuter perm = n->permutation();
-        int pos;
-        int slot = n->find(perm, slice, ord, &pos);
-        uint8_t kx = 0;
-        uint64_t lv = 0;
-        bool suffix_eq = false;
-        if (slot >= 0) {
-          kx = n->keylenx(slot);
-          lv = n->lv(slot);
-          if (keylenx_has_suffix(kx)) {
-            StringBag* bag = n->suffixes();
-            suffix_eq = bag != nullptr && bag->get(slot) == key.suffix();
-          }
-        }
-        if (n->version().changed_since(v)) {
-          // Stabilize, then chase the B-link chain right if the key's range
-          // moved (Figure 7's while loop).
-          v = n->version().stable();
-          ti.counters().inc(Counter::kGetRetryLocal);
-          Border* nx = n->next();
-          while (!v.deleted() && nx != nullptr && slice >= nx->lowkey()) {
-            n = nx;
-            v = n->version().stable();
-            nx = n->next();
-            ti.counters().inc(Counter::kGetForward);
-          }
+      for (size_t i = 0; i < nslots; ++i) {
+        if (!cur[i]) {
           continue;
         }
-        if (slot < 0) {
-          break;  // NOTFOUND
+        // Null counters: batch-path retries are reported via
+        // kMultigetRetry below, keeping the kGet* rates pure point-get.
+        typename Cursor::Status st = cur[i]->step(nullptr);
+        if (st == Cursor::Status::kInProgress) {
+          continue;
         }
-        if (kx <= 8) {
-          out = lv;
-          found = true;
-          break;
+        GetRequest& rq = reqs[req_of[i]];
+        rq.found = st == Cursor::Status::kFound;
+        if (rq.found) {
+          rq.value = cur[i]->value();
+          ++nfound;
         }
-        if (keylenx_has_suffix(kx)) {
-          found = suffix_eq;
-          out = lv;
-          break;
+        retry_sum += cur[i]->retries();
+        if (next_req < reqs.size()) {
+          cur[i].emplace(root_, reqs[next_req].key);
+          req_of[i] = next_req++;
+        } else {
+          cur[i].reset();
+          --live;
         }
-        if (keylenx_is_layer(kx)) {
-          deeper = reinterpret_cast<Node*>(lv);
-          break;
-        }
-        // UNSTABLE: a layer is being created under this slot; spin (§4.6.3).
-        spin_pause();
       }
-      if (restart_layer) {
-        continue;
-      }
-      if (deeper != nullptr) {
-        root = deeper;
-        key.shift();
-        continue;
-      }
-      if (found) {
-        *value = out;
-      }
-      return found;
     }
+    if (retry_sum != 0) {
+      ctrs->inc(Counter::kMultigetRetry, retry_sum);
+    }
+    return nfound;
   }
 
   // --------------------------------------------------------------------
@@ -548,10 +559,12 @@ class BasicTree {
 
   Node* root_for_testing() const { return root_.load(std::memory_order_acquire); }
 
-  // Software-pipelined batched-lookup support (§4.8 / PALM): issue the
-  // prefetches along one key's root-to-border path without version
-  // validation, so a batch of gets overlaps its DRAM fetches. Harmless if
-  // racy — it only prefetches.
+  // Legacy batched-lookup support (§4.8 / PALM): issue the prefetches along
+  // one key's root-to-border path without version validation, so a batch of
+  // gets overlaps its DRAM fetches. Harmless if racy — it only prefetches.
+  // Superseded by multiget()'s cursor pipeline, which interleaves validated
+  // descents instead of walking every path twice; kept for the §4.8 ablation
+  // and for callers that batch at a distance from the gets themselves.
   void prefetch_for(std::string_view k) const {
     if constexpr (!C::kPrefetch) {
       return;
@@ -563,6 +576,14 @@ class BasicTree {
       prefetch_node(n);
       VersionValue v = n->version().load();
       if (v.is_border() || v.deleted()) {
+        if (v.is_border() && key.has_suffix()) {
+          // Without this, a long key's suffix compare after the descent still
+          // eats a cold DRAM miss on the suffix bag.
+          const StringBag* bag = n->as_border()->suffixes();
+          if (bag != nullptr) {
+            prefetch_object(bag, LookupCursor<C>::kSuffixPrefetchBytes);
+          }
+        }
         return;
       }
       const Interior* in = n->as_interior();
@@ -600,62 +621,17 @@ class BasicTree {
   // Finds the border node responsible for `slice` in the layer whose root is
   // reachable from `root` (in-out: updated to the true root so retries skip
   // forwarding chains). Returns false if the walk dead-ends on a retired
-  // layer, in which case the caller restarts from layer 0.
+  // layer, in which case the caller restarts from layer 0. This is a
+  // border-location LookupCursor run synchronously — the same descent the
+  // read path pipelines one step at a time.
   static bool reach_border(Node*& root, uint64_t slice, Border** out, VersionValue* vout) {
-  retry:
-    Node* n = root;
-    if (n == nullptr) {
+    LookupCursor<C> cur(root, slice);
+    if (cur.run(nullptr) == LookupCursor<C>::Status::kDeadLayer) {
       return false;
     }
-    prefetch_node(n);
-    VersionValue v = n->version().stable();
-    // Ascend stale/retired entry points: deleted nodes forward through
-    // parent(); live non-roots climb until the true root (§4.6.4's lazily
-    // updated layer roots).
-    while (v.deleted() || !v.is_root()) {
-      Node* p = n->parent();
-      if (p == nullptr) {
-        if (v.deleted()) {
-          return false;  // this layer was removed entirely
-        }
-        // Root flag observed clear before the new parent store; reload.
-        spin_pause();
-        v = n->version().stable();
-        continue;
-      }
-      n = p;
-      v = n->version().stable();
-    }
-    root = n;
-    // Descend with hand-over-hand validation.
-    while (!v.is_border()) {
-      if (v.deleted()) {
-        root = n;
-        goto retry;
-      }
-      Interior* in = n->as_interior();
-      int ci = in->child_index(slice);
-      Node* child = in->child(ci);
-      if (child == nullptr) {
-        // Torn read during a concurrent reshape; re-stabilize and retry.
-        v = n->version().stable();
-        continue;
-      }
-      prefetch_node(child);
-      VersionValue cv = child->version().stable();
-      if (!in->version().changed_since(v)) {
-        n = child;
-        v = cv;
-        continue;
-      }
-      VersionValue v2 = n->version().stable();
-      if (v2.vsplit() != v.vsplit() || v2.deleted()) {
-        goto retry;  // split: retry from the root
-      }
-      v = v2;  // plain insert: retry from this node
-    }
-    *out = n->as_border();
-    *vout = v;
+    root = cur.layer_root();
+    *out = cur.border();
+    *vout = cur.border_version();
     return true;
   }
 

@@ -13,6 +13,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -95,18 +96,42 @@ class Store {
     if (!tree_->get(key, &lv, s.ti_)) {
       return false;
     }
-    const Row* row = Row::from_slot(lv);
     out->clear();
-    if (cols.empty()) {
-      for (unsigned i = 0; i < row->ncols(); ++i) {
-        out->emplace_back(row->col(i));
-      }
-    } else {
-      for (unsigned c : cols) {
-        out->emplace_back(row->col(c));
-      }
-    }
+    extract_columns(Row::from_slot(lv), cols, out);
     return true;
+  }
+
+  // Batched getc (§4.8): one software-pipelined tree multiget for the whole
+  // key batch, then column extraction while a single EpochGuard keeps every
+  // fetched row alive. `cols` selects the columns returned for each key
+  // (empty = all columns). (*out)[i] corresponds to keys[i]; missing keys get
+  // found == false. Returns the number of keys found.
+  struct MultigetResult {
+    bool found = false;
+    std::vector<std::string> columns;
+  };
+
+  size_t multiget(std::span<const std::string_view> keys, const std::vector<unsigned>& cols,
+                  std::vector<MultigetResult>* out, Session& s) const {
+    out->assign(keys.size(), MultigetResult{});
+    if (keys.empty()) {
+      return 0;
+    }
+    EpochGuard guard(s.ti_.slot());
+    std::vector<Tree::GetRequest> reqs(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      reqs[i].key = keys[i];
+    }
+    size_t nfound = tree_->multiget(std::span<Tree::GetRequest>(reqs), s.ti_);
+    for (size_t i = 0; i < reqs.size(); ++i) {
+      if (!reqs[i].found) {
+        continue;
+      }
+      MultigetResult& res = (*out)[i];
+      res.found = true;
+      extract_columns(Row::from_slot(reqs[i].value), cols, &res.columns);
+    }
+    return nfound;
   }
 
   // putc(k, v): atomic multi-column put (§4.7). Returns true if the key was
@@ -351,6 +376,21 @@ class Store {
   uint64_t current_version() const { return version_counter_.load(std::memory_order_relaxed); }
 
  private:
+  // Shared getc column selection: empty `cols` = every column of the row.
+  // Callers must hold an epoch guard keeping `row` alive.
+  static void extract_columns(const Row* row, const std::vector<unsigned>& cols,
+                              std::vector<std::string>* out) {
+    if (cols.empty()) {
+      for (unsigned c = 0; c < row->ncols(); ++c) {
+        out->emplace_back(row->col(c));
+      }
+    } else {
+      for (unsigned c : cols) {
+        out->emplace_back(row->col(c));
+      }
+    }
+  }
+
   uint64_t next_version() {
     return version_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
   }

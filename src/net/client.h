@@ -25,12 +25,19 @@ namespace masstree {
 
 class Client {
  public:
+  // One entry of a multiget batch result.
+  struct BatchGet {
+    bool found = false;
+    std::vector<std::string> columns;
+  };
+
   struct Result {
     NetStatus status = NetStatus::kNotFound;
     NetOp op = NetOp::kPing;
     bool inserted = false;                          // puts
     std::vector<std::string> columns;               // gets
     std::vector<std::pair<std::string, std::string>> scan_items;  // scans
+    std::vector<BatchGet> batch;                    // multigets, one per key
   };
 
   explicit Client(uint16_t port, const char* host = "127.0.0.1") {
@@ -80,6 +87,20 @@ class Client {
   void ping() {
     netwire::encode_ping(&batch_);
     ops_.push_back(NetOp::kPing);
+  }
+  // One op carrying a whole batch of gets: a single round-trip drives the
+  // server's software-pipelined multiget (§4.8). `cols` selects the columns
+  // returned for every key (empty = all). Batches over kMaxMultigetBatch are
+  // rejected by the server with NetStatus::kRejected; batches that do not
+  // even fit the wire's u16 count (where the server could no longer parse,
+  // let alone reject) are refused here.
+  void multiget(const std::vector<std::string_view>& keys,
+                const std::vector<uint16_t>& cols = {}) {
+    if (keys.size() > 0xFFFF || cols.size() > 0xFFFF) {
+      throw std::length_error("Client: multiget batch exceeds the wire's u16 count");
+    }
+    netwire::encode_multiget(&batch_, keys, cols);
+    ops_.push_back(NetOp::kMultiGet);
   }
 
   size_t pending() const { return ops_.size(); }
@@ -146,6 +167,37 @@ class Client {
           }
           break;
         }
+        case NetOp::kMultiGet:
+          if (res.status == NetStatus::kOk) {
+            uint16_t count;
+            if (!r.read(&count)) {
+              throw std::runtime_error("Client: bad multiget response");
+            }
+            res.batch.resize(count);
+            for (uint16_t i = 0; i < count; ++i) {
+              uint8_t found;
+              if (!r.read(&found)) {
+                throw std::runtime_error("Client: bad multiget response");
+              }
+              res.batch[i].found = found != 0;
+              if (found == 0) {
+                continue;
+              }
+              uint16_t ncols;
+              if (!r.read(&ncols)) {
+                throw std::runtime_error("Client: bad multiget response");
+              }
+              for (uint16_t c = 0; c < ncols; ++c) {
+                uint32_t len;
+                std::string_view data;
+                if (!r.read(&len) || !r.read_bytes(len, &data)) {
+                  throw std::runtime_error("Client: bad multiget response");
+                }
+                res.batch[i].columns.emplace_back(data);
+              }
+            }
+          }
+          break;
         case NetOp::kRemove:
         case NetOp::kPing:
           break;

@@ -7,18 +7,24 @@
 //
 // Frame: u32 body_len | body. Request body: ops back to back.
 //   op:  u8 opcode
-//     kGet:    u32 klen key | u16 ncols (u16 col)*      (ncols=0 -> all)
-//     kPut:    u32 klen key | u16 ncols (u16 col u32 len bytes)*
-//     kRemove: u32 klen key
-//     kScan:   u32 klen key | u32 limit | u16 col       (col 0xFFFF -> col 0)
-//     kPing:   (empty)
+//     kGet:      u32 klen key | u16 ncols (u16 col)*      (ncols=0 -> all)
+//     kPut:      u32 klen key | u16 ncols (u16 col u32 len bytes)*
+//     kRemove:   u32 klen key
+//     kScan:     u32 klen key | u32 limit | u16 col       (col 0xFFFF -> col 0)
+//     kPing:     (empty)
+//     kMultiGet: u16 ncols (u16 col)* | u16 count | count x (u32 klen key)
+//                — one op carrying a whole batch of gets (§4.8); the column
+//                selection applies to every key. Batches larger than
+//                kMaxMultigetBatch are rejected.
 // Response body: one result per op.
-//   u8 status (0 = ok, 1 = not found)
-//     kGet ok:  u16 ncols (u32 len bytes)*
-//     kPut:     u8 inserted
-//     kRemove:  -
-//     kScan:    u32 count (u32 klen key u32 vlen value)*
-//     kPing:    -
+//   u8 status (0 = ok, 1 = not found, 2 = rejected)
+//     kGet ok:      u16 ncols (u32 len bytes)*
+//     kPut:         u8 inserted
+//     kRemove:      -
+//     kScan:        u32 count (u32 klen key u32 vlen value)*
+//     kPing:        -
+//     kMultiGet ok: u16 count | count x (u8 found | found: u16 ncols
+//                   (u32 len bytes)*); rejected: no payload
 
 #ifndef MASSTREE_NET_PROTO_H_
 #define MASSTREE_NET_PROTO_H_
@@ -38,12 +44,20 @@ enum class NetOp : uint8_t {
   kRemove = 3,
   kScan = 4,
   kPing = 5,
+  kMultiGet = 6,
 };
 
 enum class NetStatus : uint8_t {
   kOk = 0,
   kNotFound = 1,
+  kRejected = 2,  // well-formed but refused (e.g. oversized multiget batch)
 };
+
+// Upper bound on keys per kMultiGet op. One multiget holds an epoch guard
+// across the whole batch server-side, so unbounded batches would stall
+// memory reclamation; clients should split larger batches into several ops
+// in the same frame.
+inline constexpr size_t kMaxMultigetBatch = 1024;
 
 namespace netwire {
 
@@ -124,6 +138,20 @@ inline void encode_scan(std::string* out, std::string_view key, uint32_t limit, 
 
 inline void encode_ping(std::string* out) {
   put_raw<uint8_t>(out, static_cast<uint8_t>(NetOp::kPing));
+}
+
+inline void encode_multiget(std::string* out, const std::vector<std::string_view>& keys,
+                            const std::vector<uint16_t>& cols) {
+  put_raw<uint8_t>(out, static_cast<uint8_t>(NetOp::kMultiGet));
+  put_raw<uint16_t>(out, static_cast<uint16_t>(cols.size()));
+  for (uint16_t c : cols) {
+    put_raw<uint16_t>(out, c);
+  }
+  put_raw<uint16_t>(out, static_cast<uint16_t>(keys.size()));
+  for (std::string_view k : keys) {
+    put_raw<uint32_t>(out, static_cast<uint32_t>(k.size()));
+    out->append(k);
+  }
 }
 
 // Frame helpers: prepend the length prefix.

@@ -25,6 +25,7 @@
 #include <atomic>
 #include <cstring>
 #include <mutex>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -34,6 +35,16 @@
 #include "net/proto.h"
 
 namespace masstree {
+
+// Backends that provide Store's batched-read entry point get the pipelined
+// kMultiGet path; others fall back to sequential gets.
+template <typename S>
+concept HasMultiget =
+    requires(const S& s, std::vector<std::string_view>& keys,
+             const std::vector<unsigned>& cols,
+             std::vector<typename S::MultigetResult>& out, typename S::Session& sess) {
+      s.multiget(std::span<const std::string_view>(keys), cols, &out, sess);
+    };
 
 // The server is a template so alternative backends (§6.3 benches a binary
 // tree behind the same network + logging stack) can reuse it; any type with
@@ -304,6 +315,70 @@ class BasicServer {
             netwire::put_raw<uint8_t>(&resp, 0);
             break;
           }
+          case NetOp::kMultiGet: {
+            uint16_t ncols;
+            if (!r.read(&ncols)) {
+              return resp;
+            }
+            std::vector<unsigned> cols;
+            for (uint16_t i = 0; i < ncols; ++i) {
+              uint16_t c;
+              if (!r.read(&c)) {
+                return resp;
+              }
+              cols.push_back(c);
+            }
+            uint16_t count;
+            if (!r.read(&count)) {
+              return resp;
+            }
+            std::vector<std::string_view> keys(count);
+            for (uint16_t i = 0; i < count; ++i) {
+              uint32_t klen;
+              if (!r.read(&klen) || !r.read_bytes(klen, &keys[i])) {
+                return resp;
+              }
+            }
+            if (count > kMaxMultigetBatch) {
+              // Parsed (so the rest of the frame stays decodable) but
+              // refused: a batch this large would pin an epoch too long.
+              netwire::put_raw<uint8_t>(&resp, static_cast<uint8_t>(NetStatus::kRejected));
+              break;
+            }
+            netwire::put_raw<uint8_t>(&resp, 0);
+            netwire::put_raw<uint16_t>(&resp, count);
+            // The pipelined batch path when the backend provides it; plain
+            // sequential gets for §6.3-style alternative backends.
+            if constexpr (HasMultiget<StoreT>) {
+              std::vector<typename StoreT::MultigetResult> out;
+              server.store_.multiget(std::span<const std::string_view>(keys), cols, &out,
+                                     session);
+              for (uint16_t i = 0; i < count; ++i) {
+                netwire::put_raw<uint8_t>(&resp, out[i].found ? 1 : 0);
+                if (out[i].found) {
+                  netwire::put_raw<uint16_t>(&resp,
+                                             static_cast<uint16_t>(out[i].columns.size()));
+                  for (const auto& v : out[i].columns) {
+                    netwire::put_raw<uint32_t>(&resp, static_cast<uint32_t>(v.size()));
+                    resp.append(v);
+                  }
+                }
+              }
+            } else {
+              for (uint16_t i = 0; i < count; ++i) {
+                bool found = server.store_.get(keys[i], cols, &cols_out, session);
+                netwire::put_raw<uint8_t>(&resp, found ? 1 : 0);
+                if (found) {
+                  netwire::put_raw<uint16_t>(&resp, static_cast<uint16_t>(cols_out.size()));
+                  for (const auto& v : cols_out) {
+                    netwire::put_raw<uint32_t>(&resp, static_cast<uint32_t>(v.size()));
+                    resp.append(v);
+                  }
+                }
+              }
+            }
+            break;
+          }
           default:
             return resp;  // unknown op: stop parsing this frame
         }
@@ -357,6 +432,11 @@ class BasicServer {
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> ops_served_{0};
 };
+
+// If Store::multiget ever drifts away from the concept, the server would
+// silently degrade kMultiGet to sequential gets — make that a compile error
+// for the canonical backend instead.
+static_assert(HasMultiget<Store>);
 
 using Server = BasicServer<Store>;
 

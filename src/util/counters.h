@@ -27,6 +27,8 @@ enum class Counter : unsigned {
   kSlotReuse,              // insert reused a removed slot (vinsert bump, §4.6.5)
   kEpochReclaims,          // objects freed by epoch GC
   kMaintenanceTasks,       // deferred empty-layer cleanups run
+  kMultigetBatches,        // multiget batches executed (§4.8 pipeline)
+  kMultigetRetry,          // retry events eaten by multiget cursors
   kNumCounters,
 };
 

@@ -129,6 +129,85 @@ TEST_F(NetTest, ScanOverNetwork) {
   EXPECT_EQ(res[0].scan_items[4].first, "s014");
 }
 
+TEST_F(NetTest, MultiGetRoundTrip) {
+  Client c(server_->port());
+  for (int i = 0; i < 30; ++i) {
+    c.put("mg" + std::to_string(i),
+          {{0, "a" + std::to_string(i)}, {1, "b" + std::to_string(i)}});
+  }
+  c.flush();
+
+  // Mixed hits and misses, all columns: one op, one round trip.
+  std::vector<std::string> keys;
+  for (int i = 0; i < 40; ++i) {  // 30..39 are partial misses
+    keys.push_back("mg" + std::to_string(i));
+  }
+  std::vector<std::string_view> views(keys.begin(), keys.end());
+  c.multiget(views);
+  auto res = c.flush();
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_EQ(res[0].status, NetStatus::kOk);
+  ASSERT_EQ(res[0].batch.size(), 40u);
+  for (int i = 0; i < 40; ++i) {
+    if (i < 30) {
+      ASSERT_TRUE(res[0].batch[i].found) << i;
+      ASSERT_EQ(res[0].batch[i].columns.size(), 2u) << i;
+      EXPECT_EQ(res[0].batch[i].columns[0], "a" + std::to_string(i));
+      EXPECT_EQ(res[0].batch[i].columns[1], "b" + std::to_string(i));
+    } else {
+      EXPECT_FALSE(res[0].batch[i].found) << i;
+      EXPECT_TRUE(res[0].batch[i].columns.empty()) << i;
+    }
+  }
+
+  // Column selection applies to every key in the batch.
+  c.multiget(views, {1});
+  res = c.flush();
+  ASSERT_EQ(res[0].batch.size(), 40u);
+  ASSERT_EQ(res[0].batch[7].columns.size(), 1u);
+  EXPECT_EQ(res[0].batch[7].columns[0], "b7");
+}
+
+TEST_F(NetTest, MultiGetEmptyBatch) {
+  Client c(server_->port());
+  c.multiget({});
+  auto res = c.flush();
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_EQ(res[0].status, NetStatus::kOk);
+  EXPECT_TRUE(res[0].batch.empty());
+}
+
+TEST_F(NetTest, MultiGetOversizedBatchRejected) {
+  Client c(server_->port());
+  c.put("present", {{0, "v"}});
+  c.flush();
+
+  std::vector<std::string> keys(kMaxMultigetBatch + 1, "present");
+  std::vector<std::string_view> views(keys.begin(), keys.end());
+  c.multiget(views);
+  c.ping();  // the frame must stay decodable past the rejected op
+  auto res = c.flush();
+  ASSERT_EQ(res.size(), 2u);
+  EXPECT_EQ(res[0].status, NetStatus::kRejected);
+  EXPECT_TRUE(res[0].batch.empty());
+  EXPECT_EQ(res[1].status, NetStatus::kOk);
+
+  // Exactly at the cap is accepted.
+  views.pop_back();
+  c.multiget(views);
+  res = c.flush();
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_EQ(res[0].status, NetStatus::kOk);
+  ASSERT_EQ(res[0].batch.size(), kMaxMultigetBatch);
+  EXPECT_TRUE(res[0].batch.front().found);
+  EXPECT_TRUE(res[0].batch.back().found);
+
+  // Beyond the wire's u16 count the server could not even parse the batch to
+  // reject it, so the client refuses to encode it.
+  std::vector<std::string_view> huge(0x10000, "present");
+  EXPECT_THROW(c.multiget(huge), std::length_error);
+}
+
 TEST_F(NetTest, ManyClientsConcurrently) {
   constexpr int kClients = 6, kOps = 300;
   std::vector<std::thread> threads;

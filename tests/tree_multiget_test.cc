@@ -1,0 +1,229 @@
+// multiget (§4.8 software-pipelined batched lookup) tests: oracle-diffing
+// against sequential gets over mixed short/suffix/layer-deep keys and partial
+// misses, cursor counter bookkeeping, and a ChurnDriver reader-vs-writer
+// stress run (this suite is in the tier-2 TSan lane).
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/tree.h"
+#include "support/test_support.h"
+#include "util/rand.h"
+
+namespace masstree {
+namespace {
+
+using test_support::ChurnDriver;
+using test_support::Oracle;
+using test_support::seeded_rng;
+
+// Run multiget over `keys` and assert every result (found flag and value)
+// matches a sequential tree.get of the same key.
+void expect_matches_sequential(const Tree& tree, const std::vector<std::string>& keys,
+                               ThreadContext& ti, const char* context) {
+  std::vector<Tree::GetRequest> reqs(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    reqs[i].key = keys[i];
+  }
+  size_t nfound = tree.multiget(std::span<Tree::GetRequest>(reqs), ti);
+  size_t expect_found = 0;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    uint64_t v = 0;
+    bool found = tree.get(keys[i], &v, ti);
+    ASSERT_EQ(reqs[i].found, found) << context << " key=" << keys[i];
+    if (found) {
+      ASSERT_EQ(reqs[i].value, v) << context << " key=" << keys[i];
+      ++expect_found;
+    }
+  }
+  ASSERT_EQ(nfound, expect_found) << context;
+}
+
+// A key mix that exercises every cursor state: short keys (end inside the
+// first slice), exact-8-byte keys, suffixed keys, and keys sharing long
+// prefixes so the tree grows multiple trie layers.
+std::vector<std::string> mixed_keys(int n) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < n; ++i) {
+    std::string num = std::to_string(i);
+    keys.push_back(num);                                  // short
+    keys.push_back("eight_" + std::string(2 - (num.size() > 2), '0') + num);  // ~8 bytes
+    keys.push_back("suffixed-key-" + num);                // suffix in the bag
+    keys.push_back(std::string(24, 'L') + num);           // shared 3-slice prefix
+    keys.push_back("deep" + std::string(40, 'p') + num);  // 5+ layers deep
+  }
+  return keys;
+}
+
+TEST(TreeMultiget, EmptyBatch) {
+  ThreadContext ti;
+  Tree tree(ti);
+  std::vector<Tree::GetRequest> reqs;
+  EXPECT_EQ(tree.multiget(std::span<Tree::GetRequest>(reqs), ti), 0u);
+}
+
+TEST(TreeMultiget, MixedKeysMatchSequentialGets) {
+  ThreadContext ti;
+  Tree tree(ti);
+  Oracle oracle;
+  std::vector<std::string> keys = mixed_keys(60);
+  uint64_t old;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    // Only even positions are inserted, so every batch has partial misses.
+    if (i % 2 == 0) {
+      EXPECT_EQ(tree.insert(keys[i], i * 31 + 7, &old, ti),
+                oracle.note_insert(keys[i], i * 31 + 7));
+    }
+  }
+  // Missing keys near hits: prefixes/extensions that descend the same paths.
+  keys.push_back("suffixed-key-");
+  keys.push_back(std::string(24, 'L'));
+  keys.push_back("deep" + std::string(40, 'p'));
+  keys.push_back("absent-entirely");
+  keys.push_back("");
+
+  // Batch sizes below, at, and crossing the in-flight window.
+  for (size_t batch : {size_t{1}, size_t{5}, Tree::kMultigetWindow,
+                       Tree::kMultigetWindow + 1, size_t{37}, keys.size()}) {
+    for (size_t start = 0; start + batch <= keys.size(); start += batch) {
+      std::vector<std::string> slice(keys.begin() + start, keys.begin() + start + batch);
+      expect_matches_sequential(tree, slice, ti, "mixed");
+    }
+  }
+
+  // The oracle agrees with what multiget reports for every inserted key.
+  std::vector<Tree::GetRequest> reqs(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    reqs[i].key = keys[i];
+  }
+  tree.multiget(std::span<Tree::GetRequest>(reqs), ti);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(reqs[i].found, oracle.contains(keys[i])) << keys[i];
+    if (reqs[i].found) {
+      ASSERT_EQ(reqs[i].value, oracle.map().at(keys[i])) << keys[i];
+    }
+  }
+}
+
+TEST(TreeMultiget, DuplicateKeysInOneBatch) {
+  ThreadContext ti;
+  Tree tree(ti);
+  uint64_t old;
+  tree.insert("dup", 99, &old, ti);
+  std::vector<Tree::GetRequest> reqs(Tree::kMultigetWindow * 2);
+  for (auto& r : reqs) {
+    r.key = "dup";
+  }
+  EXPECT_EQ(tree.multiget(std::span<Tree::GetRequest>(reqs), ti), reqs.size());
+  for (const auto& r : reqs) {
+    EXPECT_TRUE(r.found);
+    EXPECT_EQ(r.value, 99u);
+  }
+}
+
+TEST(TreeMultiget, LargeRandomBatchAgainstOracle) {
+  ThreadContext ti;
+  Tree tree(ti);
+  Oracle oracle;
+  Rng rng = seeded_rng(0x4D47);  // "MG"
+  uint64_t old;
+  for (int i = 0; i < 4000; ++i) {
+    std::string k = test_support::padded_key(rng.next_range(6000));
+    uint64_t v = rng.next();
+    tree.insert(k, v, &old, ti);
+    oracle.note_insert(k, v);
+  }
+  std::vector<std::string> query;
+  for (int i = 0; i < 1000; ++i) {
+    query.push_back(test_support::padded_key(rng.next_range(8000)));  // ~25% misses
+  }
+  expect_matches_sequential(tree, query, ti, "random");
+  EXPECT_TRUE(test_support::rep_ok(tree));
+}
+
+TEST(TreeMultiget, BatchCountersAdvance) {
+  ThreadContext ti;
+  Tree tree(ti);
+  uint64_t old;
+  tree.insert("counter-key", 1, &old, ti);
+  uint64_t before = ti.counters().get(Counter::kMultigetBatches);
+  Tree::GetRequest req{"counter-key", 0, false};
+  tree.multiget(std::span<Tree::GetRequest>(&req, 1), ti);
+  EXPECT_EQ(ti.counters().get(Counter::kMultigetBatches), before + 1);
+}
+
+// Reader-vs-writer stress: reader threads run multiget batches mixing a
+// stable key set (inserted up front, never touched again) with a volatile
+// set the main thread concurrently inserts/removes/splits. Stable keys must
+// always be found with their exact value; volatile keys may be present or
+// absent, but a found value must be one the writer actually stored.
+TEST(TreeMultiget, ChurnReadersVsWriter) {
+  ThreadContext ti;
+  Tree tree(ti);
+  uint64_t old;
+
+  constexpr int kStable = 400;
+  constexpr int kVolatile = 400;
+  auto stable_key = [](int i) { return "stable-" + std::to_string(i) + "-suffix-bytes"; };
+  auto volatile_key = [](int i) {
+    return std::string(16, 'v') + std::to_string(i);  // shared prefix: layer churn
+  };
+  auto volatile_value = [](int i, uint64_t round) { return (round << 16) | unsigned(i); };
+  for (int i = 0; i < kStable; ++i) {
+    tree.insert(stable_key(i), 1000 + i, &old, ti);
+  }
+
+  ChurnDriver churn;
+  churn.spawn(3, [&](ThreadContext& rti, Rng& rng) {
+    std::string keys[Tree::kMultigetWindow];
+    Tree::GetRequest reqs[Tree::kMultigetWindow];
+    int stable_at[Tree::kMultigetWindow];
+    int volatile_at[Tree::kMultigetWindow];
+    for (size_t i = 0; i < Tree::kMultigetWindow; ++i) {
+      if (rng.next() & 1) {
+        int s = static_cast<int>(rng.next_range(kStable));
+        keys[i] = stable_key(s);
+        stable_at[i] = s;
+        volatile_at[i] = -1;
+      } else {
+        int v = static_cast<int>(rng.next_range(kVolatile));
+        keys[i] = volatile_key(v);
+        stable_at[i] = -1;
+        volatile_at[i] = v;
+      }
+      reqs[i] = Tree::GetRequest{keys[i], 0, false};
+    }
+    tree.multiget(std::span<Tree::GetRequest>(reqs, Tree::kMultigetWindow), rti);
+    for (size_t i = 0; i < Tree::kMultigetWindow; ++i) {
+      if (stable_at[i] >= 0) {
+        if (!reqs[i].found ||
+            reqs[i].value != 1000u + static_cast<uint64_t>(stable_at[i])) {
+          return false;
+        }
+      } else if (reqs[i].found &&
+                 (reqs[i].value & 0xFFFFu) != static_cast<uint64_t>(volatile_at[i])) {
+        return false;  // a found value must be one the writer stored for it
+      }
+    }
+    return true;
+  });
+
+  for (uint64_t round = 1; round <= 60; ++round) {
+    for (int i = 0; i < kVolatile; ++i) {
+      tree.insert(volatile_key(i), volatile_value(i, round), &old, ti);
+    }
+    for (int i = 0; i < kVolatile; i += 2) {
+      tree.remove(volatile_key(i), &old, ti);
+    }
+    tree.run_maintenance(ti);
+    ti.reclaim();
+  }
+  EXPECT_EQ(churn.stop_and_join(), 0);
+  EXPECT_TRUE(test_support::rep_ok(tree));
+}
+
+}  // namespace
+}  // namespace masstree
