@@ -7,7 +7,11 @@
 // Mixed insert+get run; reports per-million retry rates from the hot-path
 // counters (split-caused root retries must be orders of magnitude rarer than
 // local insert retries). Interleaved multiget batches report the same rates
-// for the §4.8 pipelined path (Counter::kMultigetRetry / kMultigetBatches).
+// for the §4.8 pipelined path (Counter::kMultigetRetry / kMultigetBatches),
+// and interleaved range scans report the ScanCursor's chain-walk health under
+// the same churn: node snapshots vs snapshot retries vs reach_border
+// re-descents (kScanNodes / kScanRetries / kScanRedescents). Chain walking
+// is working iff re-descents stay a small fraction of node visits.
 
 #include <span>
 #include <thread>
@@ -30,6 +34,7 @@ int main() {
   constexpr size_t kBatch = 16;
   std::atomic<uint64_t> root_retries{0}, local_retries{0}, forwards{0}, splits{0}, gets{0};
   std::atomic<uint64_t> mg_retries{0}, mg_batches{0}, mg_gets{0};
+  std::atomic<uint64_t> sc_pairs{0}, sc_nodes{0}, sc_retries{0}, sc_redescents{0};
 
   std::vector<std::thread> threads;
   for (unsigned t = 0; t < e.threads; ++t) {
@@ -41,6 +46,7 @@ int main() {
       Tree::GetRequest reqs[kBatch];
       size_t pending = 0;
       uint64_t mg_ops = 0;
+      uint64_t scan_pairs = 0;
       for (uint64_t i = 0; i < per_thread; ++i) {
         tree.insert(decimal_key(rng.next()), i, &old, ti);
         tree.get(decimal_key(rng.next()), &v, ti);
@@ -53,6 +59,20 @@ int main() {
           mg_ops += kBatch;
           pending = 0;
         }
+        // Every 64 iterations run one short range scan, so the cursor's
+        // chain-walk/retry/re-descent rates are measured under the same
+        // split churn as the point ops.
+        if ((i & 63) == 0) {
+          uint64_t sink = 0;
+          scan_pairs += tree.scan_batch(
+              decimal_key(rng.next()), 100,
+              [&](std::string_view k, uint64_t lv) {
+                sink += lv + k.size();
+                return true;
+              },
+              ti);
+          asm volatile("" : : "r"(sink) : "memory");
+        }
       }
       // multiget's cursors report retries via kMultigetRetry only, so the
       // kGet* rates below stay pure point-get.
@@ -64,6 +84,10 @@ int main() {
       mg_retries += ti.counters().get(Counter::kMultigetRetry);
       mg_batches += ti.counters().get(Counter::kMultigetBatches);
       mg_gets += mg_ops;
+      sc_pairs += scan_pairs;
+      sc_nodes += ti.counters().get(Counter::kScanNodes);
+      sc_retries += ti.counters().get(Counter::kScanRetries);
+      sc_redescents += ti.counters().get(Counter::kScanRedescents);
     });
   }
   for (auto& th : threads) {
@@ -93,5 +117,17 @@ int main() {
               static_cast<unsigned long long>(mg_batches.load()), kBatch);
   std::printf("multiget retries / M gets:    %8.2f   (pipelined cursors, §4.8)\n",
               static_cast<double>(mg_retries.load()) * mg_per_m);
+
+  double per_knode = sc_nodes.load() == 0
+                         ? 0.0
+                         : 1e3 / static_cast<double>(sc_nodes.load());
+  std::printf("scan pairs emitted:           %llu (len=100 interleaved scans)\n",
+              static_cast<unsigned long long>(sc_pairs.load()));
+  std::printf("scan node snapshots:          %llu\n",
+              static_cast<unsigned long long>(sc_nodes.load()));
+  std::printf("scan retries / K nodes:       %8.2f   (snapshot re-validations)\n",
+              static_cast<double>(sc_retries.load()) * per_knode);
+  std::printf("scan redescents / K nodes:    %8.2f   (chain walk must dominate)\n",
+              static_cast<double>(sc_redescents.load()) * per_knode);
   return 0;
 }

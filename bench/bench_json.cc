@@ -4,8 +4,10 @@
 //
 // Measures the headline Masstree throughputs every PR must not regress —
 // uniform point gets, software-pipelined batched gets (multiget, §4.8),
-// fresh-key inserts, uniform updates, and a YCSB-A-style 50/50 get/update mix
-// over a Zipfian (theta=0.99, scrambled) popularity distribution — and
+// snapshot-batched range scans (getrange §3, scan_mops as pairs/s at
+// scan_len), fresh-key inserts, uniform updates, and a YCSB-A-style 50/50
+// get/update mix over a Zipfian (theta=0.99, scrambled) popularity
+// distribution — and
 // writes them as one JSON object (stdout if no path). Workload scale follows
 // the MT_BENCH_* environment knobs of bench/common.h.
 
@@ -104,6 +106,29 @@ int main(int argc, char** argv) {
         return ops;
       });
 
+  // Range scans (§3 getrange) through the snapshot-batched ScanCursor:
+  // random start keys, kScanLen pairs per scan, scan_batch's next-border
+  // prefetch on. Reported as pairs/second.
+  constexpr size_t kScanLen = 100;
+  double scan_mops =
+      timed_mops(e.threads, e.secs, [&](unsigned t, const std::atomic<bool>& stop) {
+        thread_local ThreadContext ti;
+        Rng rng(600 + t);
+        uint64_t pairs = 0, sink = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          pairs += tree.scan_batch(
+              decimal_key(rng.next_range(loaded)), kScanLen,
+              [&](std::string_view k, uint64_t v) {
+                sink += v + k.size();
+                return true;
+              },
+              ti);
+        }
+        // Keep the emitted pairs observable so the scan isn't optimized out.
+        asm volatile("" : : "r"(sink) : "memory");
+        return pairs;
+      });
+
   // YCSB-A: 50% reads, 50% updates, Zipfian key popularity (§7).
   double ycsb_a_mops =
       timed_mops(e.threads, e.secs, [&](unsigned t, const std::atomic<bool>& stop) {
@@ -142,6 +167,8 @@ int main(int argc, char** argv) {
   add("    \"get_uniform_mops\": %.4f,\n", get_uniform_mops);
   add("    \"multiget_mops\": %.4f,\n", multiget_mops);
   add("    \"multiget_batch\": %zu,\n", kMultigetBatch);
+  add("    \"scan_mops\": %.4f,\n", scan_mops);
+  add("    \"scan_len\": %zu,\n", kScanLen);
   add("    \"update_uniform_mops\": %.4f,\n", update_mops);
   add("    \"ycsb_a_zipfian_mops\": %.4f\n", ycsb_a_mops);
   add("  }\n");

@@ -44,6 +44,19 @@ if [ "$(printf '%s\n' "$mg" | awk '{ print ($1 > 0) ? "ok" : "zero" }')" != "ok"
 fi
 echo "== multiget_mops = $mg (present and non-zero)"
 
+# Same for the range-scan path: scan_mops must be present and non-zero so the
+# snapshot-batched getrange fast path stays measured on every run.
+sc=$(sed -n 's/.*"scan_mops": \([0-9.]*\).*/\1/p' "$json_out")
+if [ -z "$sc" ]; then
+    echo "run_bench.sh: scan_mops missing from $json_out" >&2
+    exit 1
+fi
+if [ "$(printf '%s\n' "$sc" | awk '{ print ($1 > 0) ? "ok" : "zero" }')" != "ok" ]; then
+    echo "run_bench.sh: scan_mops is zero in $json_out" >&2
+    exit 1
+fi
+echo "== scan_mops = $sc (present and non-zero)"
+
 if [ -x "$bin_dir/micro_gbench" ]; then
     echo "== micro_gbench -> $out_dir/BENCH_gbench.json"
     "$bin_dir/micro_gbench" --benchmark_format=json \
@@ -55,6 +68,15 @@ fi
 
 echo "== fig10_scalability -> $out_dir/BENCH_fig10.txt"
 "$bin_dir/fig10_scalability" | tee "$out_dir/BENCH_fig10.txt"
+
+# Range-scan sweep (legacy vs cursor vs batch at lengths 10/100/1000) plus the
+# allocation-free steady-state check — sec3_scan exits non-zero if the chain
+# walk ever allocates per node visit.
+echo "== sec3_scan -> $out_dir/BENCH_sec3_scan.txt"
+# No pipe to tee here: the pipeline would return tee's status and swallow
+# sec3_scan's enforcement exit code under plain POSIX sh.
+"$bin_dir/sec3_scan" > "$out_dir/BENCH_sec3_scan.txt"
+cat "$out_dir/BENCH_sec3_scan.txt"
 
 echo "== done; headline metrics:"
 cat "$json_out"

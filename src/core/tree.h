@@ -9,6 +9,9 @@
 // cursor's next node before touching any of them (§4.8 / PALM software
 // pipelining), and reach_border() — the border-location step shared by scan
 // and the locked writers — is the same machine stopped at its border.
+// scan()/scan_batch() drive the resumable ScanCursor (also core/cursor.h):
+// whole-border-node snapshots chain-walked along next() pointers,
+// allocation- and re-descent-free in steady state.
 //
 // Writers lock only the nodes they change; inserts publish through the
 // permutation (§4.6.2), splits move keys strictly to the right under
@@ -350,10 +353,39 @@ class BasicTree {
 
   // --------------------------------------------------------------------
   // getrange / scan (§3): calls emit(key, value) for up to `limit` pairs with
-  // key >= first, in lexicographic order, until emit returns false. Not
+  // key >= first, in lexicographic order, until emit returns false. Pairs
+  // from one border node form an atomic snapshot; the scan as a whole is not
   // atomic with respect to concurrent inserts/removes.
+  //
+  // Thin driver over ScanCursor (core/cursor.h): one border-node snapshot per
+  // batch, chain-walked via next() pointers, allocation- and descent-free in
+  // steady state.
   template <typename F>
   size_t scan(std::string_view first, size_t limit, F&& emit, ThreadContext& ti) const {
+    return scan_drive(first, limit, emit, ti, /*prefetch=*/false);
+  }
+
+  // scan(), software-pipelined: issues the prefetch for the next border node
+  // (and its suffix StringBag) before emitting the current snapshot's pairs,
+  // so the chain walk's next DRAM fetch overlaps with emission (§4.8's
+  // overlap-the-fetches argument applied to the range-read path).
+  template <typename F>
+  size_t scan_batch(std::string_view first, size_t limit, F&& emit, ThreadContext& ti) const {
+    return scan_drive(first, limit, emit, ti, /*prefetch=*/true);
+  }
+
+  // The cursor itself, for callers that manage epochs/batches directly (the
+  // kvstore layer streams column extraction from batches and detaches between
+  // epoch guards; see ScanCursor's driving-protocol comment).
+  ScanCursor<C> scan_cursor(std::string_view first) const {
+    return ScanCursor<C>(root_, first);
+  }
+
+  // Pre-cursor scan implementation, kept verbatim as the ablation baseline
+  // for bench/sec3_scan (re-locates the border for every frame re-entry and
+  // heap-allocates per-entry suffix copies; the cursor exists to beat it).
+  template <typename F>
+  size_t scan_legacy(std::string_view first, size_t limit, F&& emit, ThreadContext& ti) const {
     if (limit == 0) {
       return 0;
     }
@@ -594,6 +626,58 @@ class BasicTree {
  private:
   static int search_ord(const Key& key) {
     return key.has_suffix() ? 9 : static_cast<int>(key.length_in_slice());
+  }
+
+  // Shared scan()/scan_batch() driver: one epoch guard for the whole range,
+  // one ScanCursor run batch by batch. `prefetch` turns on the next-border
+  // lookahead that overlaps the chain walk's DRAM fetch with emission.
+  //
+  // The cursor is a per-thread resident, reset per call, so repeated scans
+  // reuse warm buffers and a short scan performs zero heap allocations;
+  // nested scans (an emit callback scanning again) fall back to a
+  // stack-local cursor rather than corrupting the resident one.
+  template <typename F>
+  size_t scan_drive(std::string_view first, size_t limit, F& emit, ThreadContext& ti,
+                    bool prefetch) const {
+    if (limit == 0) {
+      return 0;
+    }
+    EpochGuard guard(ti.slot());
+    thread_local ScanCursor<C> resident;
+    thread_local bool resident_busy = false;
+    if (!resident_busy) {
+      resident_busy = true;
+      struct Lease {
+        bool* busy;
+        ~Lease() { *busy = false; }
+      } lease{&resident_busy};
+      resident.reset(root_, first);
+      return drive_cursor(resident, limit, emit, ti, prefetch);
+    }
+    ScanCursor<C> cur(root_, first);
+    return drive_cursor(cur, limit, emit, ti, prefetch);
+  }
+
+  template <typename F>
+  static size_t drive_cursor(ScanCursor<C>& cur, size_t limit, F& emit, ThreadContext& ti,
+                             bool prefetch) {
+    size_t emitted = 0;
+    for (;;) {
+      size_t n = cur.next_batch(&ti.counters(), limit - emitted);
+      if (n == 0) {
+        return emitted;
+      }
+      if (prefetch) {
+        cur.prefetch_pending();
+      }
+      for (size_t i = 0; i < n; ++i) {
+        bool keep_going = emit(cur.key(i), cur.value(i));
+        ++emitted;
+        if (!keep_going || emitted >= limit) {
+          return emitted;
+        }
+      }
+    }
   }
 
   // Follow parent pointers from a (possibly stale) layer root to the current

@@ -182,18 +182,45 @@ class Store {
   // getrangec(k, n): up to n pairs starting at or after `key`, one selected
   // column each (or the whole row when col == kAllColumns). Not atomic with
   // respect to concurrent puts (§3).
+  //
+  // Streams column extraction straight from ScanCursor batches: border-node
+  // snapshots are chain-walked allocation-free, and the epoch guard is
+  // re-acquired every kGetrangeChunk pairs (cursor detach/re-attach) so an
+  // arbitrarily long range read never stalls memory reclamation — the same
+  // bounded-epoch discipline the checkpointer uses.
   static constexpr unsigned kAllColumns = ~0u;
+  static constexpr size_t kGetrangeChunk = 1024;
 
   template <typename F>
   size_t getrange(std::string_view key, size_t n, unsigned col, F&& emit, Session& s) const {
-    EpochGuard guard(s.ti_.slot());
-    return tree_->scan(
-        key, n,
-        [&](std::string_view k, uint64_t lv) {
-          const Row* row = Row::from_slot(lv);
-          return emit(k, col == kAllColumns ? std::string_view() : row->col(col), row);
-        },
-        s.ti_);
+    size_t emitted = 0;
+    ScanCursor<Tree::Config> cur = tree_->scan_cursor(key);
+    bool stop = false;
+    while (!stop && emitted < n) {
+      EpochGuard guard(s.ti_.slot());
+      size_t in_guard = 0;
+      while (!stop && emitted < n && in_guard < kGetrangeChunk) {
+        size_t cnt = cur.next_batch(&s.ti_.counters(), n - emitted);
+        if (cnt == 0) {
+          stop = true;
+          break;
+        }
+        cur.prefetch_pending();
+        in_guard += cnt;
+        for (size_t i = 0; i < cnt && emitted < n; ++i) {
+          const Row* row = Row::from_slot(cur.value(i));
+          bool keep_going =
+              emit(cur.key(i), col == kAllColumns ? std::string_view() : row->col(col), row);
+          ++emitted;
+          if (!keep_going) {
+            stop = true;
+            break;
+          }
+        }
+      }
+      cur.detach();  // the guard is about to drop; forget node pointers
+    }
+    return emitted;
   }
 
   // ------------------------------------------------------------------

@@ -80,7 +80,15 @@ class Client {
     netwire::encode_remove(&batch_, key);
     ops_.push_back(NetOp::kRemove);
   }
+  // Range scan of up to `limit` pairs from the first key at or after `key`.
+  // The server refuses limits above kMaxScanLimit with NetStatus::kRejected
+  // (one op must not stream an unbounded range into one response frame), so
+  // the client fails fast on them instead of wasting the round trip; page
+  // longer ranges by re-issuing from the last returned key.
   void scan(std::string_view key, uint32_t limit, uint16_t col) {
+    if (limit > kMaxScanLimit) {
+      throw std::length_error("Client: scan limit exceeds kMaxScanLimit");
+    }
     netwire::encode_scan(&batch_, key, limit, col);
     ops_.push_back(NetOp::kScan);
   }
@@ -152,6 +160,9 @@ class Client {
           break;
         }
         case NetOp::kScan: {
+          if (res.status == NetStatus::kRejected) {
+            break;  // rejected scans carry no payload
+          }
           uint32_t count;
           if (!r.read(&count)) {
             throw std::runtime_error("Client: bad scan response");

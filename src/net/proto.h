@@ -11,6 +11,11 @@
 //     kPut:      u32 klen key | u16 ncols (u16 col u32 len bytes)*
 //     kRemove:   u32 klen key
 //     kScan:     u32 klen key | u32 limit | u16 col       (col 0xFFFF -> col 0)
+//                — limits above kMaxScanLimit are rejected (kRejected, no
+//                payload): one scan streams under server-side epoch guards
+//                and into one response frame, so the wire's u32 limit must
+//                not become an unbounded memory/reclamation commitment.
+//                Clients page larger ranges by re-issuing from the last key.
 //     kPing:     (empty)
 //     kMultiGet: u16 ncols (u16 col)* | u16 count | count x (u32 klen key)
 //                — one op carrying a whole batch of gets (§4.8); the column
@@ -21,7 +26,8 @@
 //     kGet ok:      u16 ncols (u32 len bytes)*
 //     kPut:         u8 inserted
 //     kRemove:      -
-//     kScan:        u32 count (u32 klen key u32 vlen value)*
+//     kScan ok:     u32 count (u32 klen key u32 vlen value)*; rejected: no
+//                   payload
 //     kPing:        -
 //     kMultiGet ok: u16 count | count x (u8 found | found: u16 ncols
 //                   (u32 len bytes)*); rejected: no payload
@@ -58,6 +64,12 @@ enum class NetStatus : uint8_t {
 // memory reclamation; clients should split larger batches into several ops
 // in the same frame.
 inline constexpr size_t kMaxMultigetBatch = 1024;
+
+// Upper bound on a kScan op's u32 limit (mirrors kMaxMultigetBatch): an
+// unbounded limit would let one op build an arbitrarily large response frame.
+// Over-limit scans get NetStatus::kRejected; clients page longer ranges by
+// re-issuing from the last returned key.
+inline constexpr size_t kMaxScanLimit = 65536;
 
 namespace netwire {
 

@@ -293,10 +293,20 @@ class BasicServer {
                 !r.read(&col)) {
               return resp;
             }
+            if (limit > kMaxScanLimit) {
+              // Parsed (so the rest of the frame stays decodable) but
+              // refused: one scan op must not stream an unbounded range into
+              // one response frame (mirror of the kMultiGet cap).
+              netwire::put_raw<uint8_t>(&resp, static_cast<uint8_t>(NetStatus::kRejected));
+              break;
+            }
             netwire::put_raw<uint8_t>(&resp, 0);
             size_t count_pos = resp.size();
             netwire::put_raw<uint32_t>(&resp, 0);
             uint32_t count = 0;
+            // Batched encode: getrange streams whole border-node snapshots
+            // from the store's scan cursor; each emitted pair appends
+            // straight into the response body.
             server.store_.getrange(
                 key, limit, col,
                 [&](std::string_view k, std::string_view v, const Row*) {

@@ -29,6 +29,12 @@ enum class Counter : unsigned {
   kMaintenanceTasks,       // deferred empty-layer cleanups run
   kMultigetBatches,        // multiget batches executed (§4.8 pipeline)
   kMultigetRetry,          // retry events eaten by multiget cursors
+  kScanNodes,              // border-node snapshots taken by scan cursors (§3)
+  kScanRetries,            // scan snapshot re-validations (version changed mid-copy)
+  kScanRedescents,         // scan re-located a border via reach_border (deleted
+                           //   node, dead layer, or a detached cursor re-attaching)
+  kScanAllocs,             // scan-cursor buffer growth events; zero on the
+                           //   steady-state chain-walk path (the perf claim)
   kNumCounters,
 };
 

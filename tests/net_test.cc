@@ -129,6 +129,129 @@ TEST_F(NetTest, ScanOverNetwork) {
   EXPECT_EQ(res[0].scan_items[4].first, "s014");
 }
 
+TEST_F(NetTest, ScanLimitZeroAndMissingStart) {
+  Client c(server_->port());
+  for (int i = 0; i < 20; ++i) {
+    c.put("zs" + std::to_string(100 + i), {{0, std::to_string(i)}});
+  }
+  c.flush();
+
+  c.scan("zs100", 0, 0);   // limit 0: ok, empty
+  c.scan("zs1105", 3, 0);  // non-existent start: next keys at or after it
+  c.scan("zzz-none", 5, 0);  // start past every key: ok, empty
+  auto res = c.flush();
+  ASSERT_EQ(res.size(), 3u);
+  EXPECT_EQ(res[0].status, NetStatus::kOk);
+  EXPECT_TRUE(res[0].scan_items.empty());
+  EXPECT_EQ(res[1].status, NetStatus::kOk);
+  ASSERT_EQ(res[1].scan_items.size(), 3u);
+  EXPECT_EQ(res[1].scan_items[0].first, "zs111");  // first key after "zs1105"
+  EXPECT_EQ(res[2].status, NetStatus::kOk);
+  EXPECT_TRUE(res[2].scan_items.empty());
+}
+
+// Sends one already-framed request body over a fresh connection and returns
+// the response body — for wire cases the Client's own guards refuse to
+// encode.
+std::string RawRoundTrip(uint16_t port, std::string body) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  netwire::frame(&body);
+  size_t off = 0;
+  while (off < body.size()) {
+    ssize_t n = ::write(fd, body.data() + off, body.size() - off);
+    if (n <= 0) {
+      ADD_FAILURE() << "raw write failed";
+      ::close(fd);
+      return std::string();
+    }
+    off += static_cast<size_t>(n);
+  }
+  std::string in;
+  for (;;) {
+    size_t consumed = 0;
+    auto resp = netwire::try_frame(in, &consumed);
+    if (resp) {
+      std::string out(*resp);
+      ::close(fd);
+      return out;
+    }
+    char buf[4096];
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) {
+      ::close(fd);
+      return std::string();
+    }
+    in.append(buf, static_cast<size_t>(n));
+  }
+}
+
+TEST_F(NetTest, ScanOverLimitRejected) {
+  Client c(server_->port());
+  c.put("rl-key", {{0, "v"}});
+  c.flush();
+
+  // The client-side guard refuses to waste the round trip.
+  EXPECT_THROW(c.scan("rl-key", kMaxScanLimit + 1, 0), std::length_error);
+
+  // On the wire, the server rejects with kRejected and the rest of the frame
+  // stays decodable (the scan op carries no payload when rejected).
+  std::string body;
+  netwire::encode_scan(&body, "rl-key", static_cast<uint32_t>(kMaxScanLimit) + 1, 0);
+  netwire::encode_ping(&body);
+  std::string resp = RawRoundTrip(server_->port(), std::move(body));
+  ASSERT_EQ(resp.size(), 2u);  // u8 rejected | u8 ping ok
+  EXPECT_EQ(static_cast<NetStatus>(resp[0]), NetStatus::kRejected);
+  EXPECT_EQ(static_cast<NetStatus>(resp[1]), NetStatus::kOk);
+
+  // Exactly at the cap is accepted (and returns what exists).
+  c.scan("rl-key", static_cast<uint32_t>(kMaxScanLimit), 0);
+  auto res = c.flush();
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_EQ(res[0].status, NetStatus::kOk);
+  ASSERT_EQ(res[0].scan_items.size(), 1u);
+  EXPECT_EQ(res[0].scan_items[0].first, "rl-key");
+}
+
+TEST_F(NetTest, ScanCrossesBorderSplits) {
+  // Enough keys that the range spans many split-produced border nodes; the
+  // server streams the whole range from one cursor in one response.
+  Client c(server_->port());
+  constexpr int kKeys = 600;
+  for (int i = 0; i < kKeys; ++i) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "w%05d", i);
+    c.put(buf, {{0, std::to_string(i)}});
+    if (c.pending() == 128) {
+      c.flush();
+    }
+  }
+  c.flush();
+
+  c.scan("w", kKeys + 50, 0);
+  auto res = c.flush();
+  ASSERT_EQ(res.size(), 1u);
+  ASSERT_EQ(res[0].scan_items.size(), static_cast<size_t>(kKeys));
+  for (int i = 0; i < kKeys; ++i) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "w%05d", i);
+    ASSERT_EQ(res[0].scan_items[i].first, buf) << i;
+    ASSERT_EQ(res[0].scan_items[i].second, std::to_string(i)) << i;
+  }
+
+  // A window strictly inside the range, starting between two keys.
+  c.scan("w00123a", 10, 0);
+  res = c.flush();
+  ASSERT_EQ(res[0].scan_items.size(), 10u);
+  EXPECT_EQ(res[0].scan_items[0].first, "w00124");
+  EXPECT_EQ(res[0].scan_items[9].first, "w00133");
+}
+
 TEST_F(NetTest, MultiGetRoundTrip) {
   Client c(server_->port());
   for (int i = 0; i < 30; ++i) {

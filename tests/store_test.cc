@@ -84,6 +84,54 @@ TEST(Store, GetRange) {
   EXPECT_EQ(got[4].first, "row014");
 }
 
+TEST(Store, GetRangeCrossesEpochChunkBoundary) {
+  // getrange re-acquires its epoch guard (cursor detach/re-attach) every
+  // kGetrangeChunk pairs; a range several chunks long must come back exactly
+  // once each, in order, across every seam.
+  Store store;
+  Store::Session s(store, 0);
+  constexpr size_t kKeys = Store::kGetrangeChunk * 2 + 700;
+  for (size_t i = 0; i < kKeys; ++i) {
+    char buf[24];
+    snprintf(buf, sizeof(buf), "ck%06zu", i * 3);
+    store.put(buf, {{0, std::to_string(i)}}, s);
+  }
+  std::vector<std::pair<std::string, std::string>> got;
+  size_t n = store.getrange(
+      "ck",  kKeys + 10, 0,
+      [&](std::string_view k, std::string_view col, const Row*) {
+        got.emplace_back(std::string(k), std::string(col));
+        return true;
+      },
+      s);
+  ASSERT_EQ(n, kKeys);
+  ASSERT_EQ(got.size(), kKeys);
+  for (size_t i = 0; i < kKeys; ++i) {
+    char buf[24];
+    snprintf(buf, sizeof(buf), "ck%06zu", i * 3);
+    ASSERT_EQ(got[i].first, buf) << i;
+    ASSERT_EQ(got[i].second, std::to_string(i)) << i;
+  }
+
+  // A limit landing exactly on the chunk seam, and one pair past it.
+  for (size_t lim : {Store::kGetrangeChunk, Store::kGetrangeChunk + 1}) {
+    got.clear();
+    n = store.getrange(
+        "ck", lim, 0,
+        [&](std::string_view k, std::string_view col, const Row*) {
+          got.emplace_back(std::string(k), std::string(col));
+          return true;
+        },
+        s);
+    ASSERT_EQ(n, lim);
+    ASSERT_EQ(got.size(), lim);
+    ASSERT_EQ(got.front().first, "ck000000");
+    char buf[24];
+    snprintf(buf, sizeof(buf), "ck%06zu", (lim - 1) * 3);
+    ASSERT_EQ(got.back().first, buf);
+  }
+}
+
 TEST(Store, AtomicMultiColumnPutUnderReaders) {
   // §4.7: "a concurrent get will see either all or none of a put's column
   // modifications". Writer alternates (i, i); readers must never see a
