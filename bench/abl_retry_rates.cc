@@ -13,12 +13,14 @@
 // re-descents (kScanNodes / kScanRetries / kScanRedescents). Chain walking
 // is working iff re-descents stay a small fraction of node visits.
 
+#include <filesystem>
 #include <span>
 #include <thread>
 #include <vector>
 
 #include "bench/common.h"
 #include "core/tree.h"
+#include "kvstore/store.h"
 #include "util/rand.h"
 #include "workload/keys.h"
 
@@ -129,5 +131,76 @@ int main() {
               static_cast<double>(sc_retries.load()) * per_knode);
   std::printf("scan redescents / K nodes:    %8.2f   (chain walk must dominate)\n",
               static_cast<double>(sc_redescents.load()) * per_knode);
-  return 0;
+
+  // ---- §5 logging counters under a put-heavy churn mix ----
+  // 50% put / 25% remove / 25% get over a shared key space, per-session log
+  // shards on: the wait-free append path's health is three numbers — every
+  // write logged (kLogAppends), zero steady-state allocations (kLogAllocs
+  // after the warmup reset), and stalls (a producer outran its logging
+  // thread) rare enough to be a curiosity, not a cost.
+  std::string log_dir =
+      std::filesystem::temp_directory_path().string() + "/abl-retry-logs";
+  std::filesystem::remove_all(log_dir);
+  Store::Options sopt;
+  sopt.log_dir = log_dir;
+  std::atomic<uint64_t> log_appends{0}, log_stalls{0}, log_allocs{0}, log_writes{0};
+  {
+    Store store(sopt);
+    std::vector<std::thread> churn;
+    for (unsigned t = 0; t < e.threads; ++t) {
+      churn.emplace_back([&, t] {
+        Store::Session s(store, t);
+        Rng rng(7000 + t);
+        std::vector<std::string> out;
+        // Warmup claims the shard (two arena-half allocations), then the
+        // counters reset so steady state is measured alone.
+        for (int i = 0; i < 1024; ++i) {
+          store.put(decimal_key(rng.next_range(e.keys)), {{0, "churn!!!"}}, s);
+        }
+        s.ti().counters().reset();
+        uint64_t writes = 0;
+        for (uint64_t i = 0; i < per_thread / 4; ++i) {
+          uint64_t k = rng.next_range(e.keys);
+          switch (rng.next() & 3) {
+            case 0:
+            case 1:
+              store.put(decimal_key(k), {{0, "churn!!!"}}, s);
+              ++writes;
+              break;
+            case 2:
+              if (store.remove(decimal_key(k), s)) {
+                ++writes;
+              }
+              break;
+            default:
+              store.get(decimal_key(k), {}, &out, s);
+          }
+        }
+        log_appends += s.ti().counters().get(Counter::kLogAppends);
+        log_stalls += s.ti().counters().get(Counter::kLogStalls);
+        log_allocs += s.ti().counters().get(Counter::kLogAllocs);
+        log_writes += writes;
+      });
+    }
+    for (auto& th : churn) {
+      th.join();
+    }
+    Store::LogTotals lt = store.log_totals();
+    double per_m_app = log_appends.load() == 0
+                           ? 0.0
+                           : 1e6 / static_cast<double>(log_appends.load());
+    std::printf("log appends (kLogAppends):    %llu (one per put/remove: %llu writes)\n",
+                static_cast<unsigned long long>(log_appends.load()),
+                static_cast<unsigned long long>(log_writes.load()));
+    std::printf("log stalls / M appends:       %8.2f   (kLogStalls: full double-buffer)\n",
+                static_cast<double>(log_stalls.load()) * per_m_app);
+    std::printf("log allocs, steady state:     %8llu   (kLogAllocs: must be 0)\n",
+                static_cast<unsigned long long>(log_allocs.load()));
+    std::printf("log flush bytes:              %llu (kLogFlushBytes across %llu group "
+                "commits)\n",
+                static_cast<unsigned long long>(lt.flush_bytes),
+                static_cast<unsigned long long>(lt.flushes));
+  }
+  std::filesystem::remove_all(log_dir);
+  return log_allocs.load() == 0 ? 0 : 1;
 }

@@ -57,6 +57,30 @@ if [ "$(printf '%s\n' "$sc" | awk '{ print ($1 > 0) ? "ok" : "zero" }')" != "ok"
 fi
 echo "== scan_mops = $sc (present and non-zero)"
 
+# The §5 write-side persistence path: put_logged_mops must be present and
+# non-zero, and log_overhead_pct must be present and finite — which requires
+# a non-zero unlogged denominator (the bench emits 0.0 only when the
+# denominator degenerates, and a dead logged path would read as ~100).
+pl=$(sed -n 's/.*"put_logged_mops": \([0-9.]*\).*/\1/p' "$json_out")
+if [ -z "$pl" ]; then
+    echo "run_bench.sh: put_logged_mops missing from $json_out" >&2
+    exit 1
+fi
+if [ "$(printf '%s\n' "$pl" | awk '{ print ($1 > 0) ? "ok" : "zero" }')" != "ok" ]; then
+    echo "run_bench.sh: put_logged_mops is zero in $json_out" >&2
+    exit 1
+fi
+ov=$(sed -n 's/.*"log_overhead_pct": \(-\{0,1\}[0-9.]*\).*/\1/p' "$json_out")
+if [ -z "$ov" ]; then
+    echo "run_bench.sh: log_overhead_pct missing from $json_out" >&2
+    exit 1
+fi
+if [ "$(printf '%s\n' "$ov" | awk '{ print ($1 > -1000 && $1 < 1000) ? "ok" : "bad" }')" != "ok" ]; then
+    echo "run_bench.sh: log_overhead_pct not finite in $json_out: $ov" >&2
+    exit 1
+fi
+echo "== put_logged_mops = $pl, log_overhead_pct = $ov (present and finite)"
+
 if [ -x "$bin_dir/micro_gbench" ]; then
     echo "== micro_gbench -> $out_dir/BENCH_gbench.json"
     "$bin_dir/micro_gbench" --benchmark_format=json \

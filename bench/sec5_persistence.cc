@@ -1,19 +1,68 @@
-// §5 persistence numbers: checkpoint write time, recovery time, and put
-// throughput while a checkpoint runs concurrently.
+// §5 persistence numbers: the cost of logging, checkpoint write time,
+// recovery time, and put throughput while a checkpoint runs concurrently.
 //
-// Paper: "It takes Masstree 58 seconds to create a checkpoint of 140 million
-// key-value pairs (9.1 GB of data in total), and 38 seconds to recover from
-// that checkpoint. ... When run concurrently with a checkpoint, a put-only
-// workload achieves 72% of its ordinary throughput due to disk contention."
-// Shape targets: recovery faster than checkpointing; concurrent checkpoint
-// costs a sizable minority of put throughput.
+// Paper: "Maintaining logs costs 9% in throughput for a typical put-heavy
+// workload"; "It takes Masstree 58 seconds to create a checkpoint of 140
+// million key-value pairs (9.1 GB of data in total), and 38 seconds to
+// recover from that checkpoint. ... When run concurrently with a checkpoint,
+// a put-only workload achieves 72% of its ordinary throughput due to disk
+// contention." Shape targets: logging-on ≥ 90% of logging-off (the <10%
+// claim), recovery faster than checkpointing, concurrent checkpoint costs a
+// sizable minority of put throughput.
+//
+// This binary also enforces the write path's allocation discipline: after
+// warmup (shard claimed, arena halves allocated) the append fast path must
+// never allocate — Counter::kLogAllocs must stay zero or the process exits
+// non-zero, same contract as sec3_scan's kScanAllocs gate.
 
+#include <algorithm>
 #include <filesystem>
 
 #include "bench/common.h"
 #include "kvstore/store.h"
 #include "util/rand.h"
 #include "workload/keys.h"
+
+namespace {
+
+// Uniform fresh-key put workload with a per-thread warmup that claims the
+// session's log shard (allocating its two arena halves), then a counter
+// reset so the timed window measures the steady state. Returns Mops;
+// accumulates post-warmup counter totals.
+double put_workload(masstree::Store& store, const masstree::bench::Env& e,
+                    std::atomic<uint64_t>& next, std::atomic<uint64_t>* steady_allocs,
+                    std::atomic<uint64_t>* appends, std::atomic<uint64_t>* stalls) {
+  using namespace masstree;
+  return bench::timed_mops(e.threads, e.secs, [&](unsigned t, const std::atomic<bool>& stop) {
+    Store::Session s(store, t);
+    uint64_t ops = 0;
+    uint64_t warm = next.fetch_add(2048, std::memory_order_relaxed);
+    for (uint64_t i = warm; i < warm + 2048; ++i) {
+      store.put(decimal_key(i), {{0, "12345678"}}, s);
+      ++ops;
+    }
+    s.ti().counters().reset();  // warmup done: steady state starts here
+    while (!stop.load(std::memory_order_relaxed)) {
+      uint64_t chunk = next.fetch_add(128, std::memory_order_relaxed);
+      for (uint64_t i = chunk; i < chunk + 128; ++i) {
+        store.put(decimal_key(i), {{0, "12345678"}}, s);
+        ++ops;
+      }
+    }
+    if (steady_allocs != nullptr) {
+      steady_allocs->fetch_add(s.ti().counters().get(Counter::kLogAllocs));
+    }
+    if (appends != nullptr) {
+      appends->fetch_add(s.ti().counters().get(Counter::kLogAppends));
+    }
+    if (stalls != nullptr) {
+      stalls->fetch_add(s.ti().counters().get(Counter::kLogStalls));
+    }
+    return ops;
+  });
+}
+
+}  // namespace
 
 int main() {
   using namespace masstree;
@@ -32,44 +81,49 @@ int main() {
   opt.log_dir = log_dir;
   opt.log_partitions = 4;
 
-  // ---- baseline put throughput (logging on) ----
-  double put_mops;
-  {
-    Store store(opt);
-    std::atomic<uint64_t> next{0};
-    put_mops = timed_mops(e.threads, e.secs, [&](unsigned t, const std::atomic<bool>& stop) {
-      Store::Session s(store, t);
-      uint64_t ops = 0;
-      while (!stop.load(std::memory_order_relaxed)) {
-        uint64_t chunk = next.fetch_add(128, std::memory_order_relaxed);
-        for (uint64_t i = chunk; i < chunk + 128; ++i) {
-          store.put(decimal_key(i), {{0, "12345678"}}, s);
-          ++ops;
-        }
+  // ---- logging cost: alternate off/on, best of two runs each ----
+  // Alternation equalizes allocator warm-up (Flow arenas are global, so
+  // whichever config runs first would otherwise pay the cold-arena tax into
+  // the comparison), and best-of-two filters scheduler interference on
+  // small shared boxes.
+  double nolog_mops = 0.0, put_mops = 0.0;
+  std::atomic<uint64_t> steady_allocs{0}, appends{0}, stalls{0};
+  uint64_t flush_bytes = 0;
+  int log_errno = 0;
+  for (int rep = 0; rep < 2; ++rep) {
+    {
+      Store store;
+      std::atomic<uint64_t> next{0};
+      nolog_mops = std::max(nolog_mops, put_workload(store, e, next, nullptr, nullptr, nullptr));
+    }
+    {
+      Store store(opt);
+      std::atomic<uint64_t> next{0};
+      put_mops = std::max(
+          put_mops, put_workload(store, e, next, rep == 0 ? &steady_allocs : nullptr,
+                                 rep == 0 ? &appends : nullptr, rep == 0 ? &stalls : nullptr));
+      flush_bytes += store.log_totals().flush_bytes;
+      if (log_errno == 0) {
+        log_errno = store.log_error();
       }
-      return ops;
-    });
-    std::printf("put throughput, logging on:              %7.3f Mops\n", put_mops);
+    }
+    // Unlink the logs immediately: still-dirty pages are discarded instead
+    // of bleeding writeback into the next measured phase.
+    fs::remove_all(log_dir);
   }
-
-  // ---- put throughput without logging (cost of persistence) ----
-  {
-    Store store;
-    std::atomic<uint64_t> next{0};
-    double nolog = timed_mops(e.threads, e.secs, [&](unsigned t, const std::atomic<bool>& stop) {
-      Store::Session s(store, t);
-      uint64_t ops = 0;
-      while (!stop.load(std::memory_order_relaxed)) {
-        uint64_t chunk = next.fetch_add(128, std::memory_order_relaxed);
-        for (uint64_t i = chunk; i < chunk + 128; ++i) {
-          store.put(decimal_key(i), {{0, "12345678"}}, s);
-          ++ops;
-        }
-      }
-      return ops;
-    });
-    std::printf("put throughput, logging off:             %7.3f Mops (logging costs %.0f%%)\n",
-                nolog, 100.0 * (1.0 - put_mops / nolog));
+  std::printf("put throughput, logging off:             %7.3f Mops\n", nolog_mops);
+  std::printf("put throughput, logging on:              %7.3f Mops\n", put_mops);
+  double overhead = 100.0 * (1.0 - put_mops / nolog_mops);
+  std::printf("logging overhead:                        %6.1f%%   (paper: <10%%) -> %s\n",
+              overhead, put_mops >= 0.90 * nolog_mops ? "OK" : "MISS");
+  std::printf("appends %llu, writer flush bytes %llu, full-buffer stalls %llu\n",
+              static_cast<unsigned long long>(appends.load()),
+              static_cast<unsigned long long>(flush_bytes),
+              static_cast<unsigned long long>(stalls.load()));
+  std::printf("steady-state log allocations:            %llu (must be 0)\n",
+              static_cast<unsigned long long>(steady_allocs.load()));
+  if (log_errno != 0) {
+    std::printf("log error: errno %d\n", log_errno);
   }
 
   // ---- checkpoint write / recovery times ----
@@ -129,23 +183,17 @@ int main() {
       }
     });
     std::atomic<uint64_t> next{e.keys};
-    double during = timed_mops(e.threads, e.secs, [&](unsigned t, const std::atomic<bool>& stop) {
-      Store::Session s(store, t);
-      uint64_t ops = 0;
-      while (!stop.load(std::memory_order_relaxed)) {
-        uint64_t chunk = next.fetch_add(128, std::memory_order_relaxed);
-        for (uint64_t i = chunk; i < chunk + 128; ++i) {
-          store.put(decimal_key(i), {{0, "12345678"}}, s);
-          ++ops;
-        }
-      }
-      return ops;
-    });
+    double during = put_workload(store, e, next, nullptr, nullptr, nullptr);
     ckpt_running = false;
     ckpt.join();
     std::printf("put throughput during checkpoint:        %7.3f Mops = %.0f%% of ordinary "
                 "(paper: 72%%)\n",
                 during, 100.0 * during / put_mops);
+  }
+
+  if (steady_allocs.load() != 0) {
+    std::printf("FAIL: append fast path allocated in steady state\n");
+    return 1;
   }
   return 0;
 }

@@ -22,32 +22,31 @@ namespace masstree {
 namespace {
 
 // Store-shaped adapter over the +IntCmp binary tree so BasicServer can serve
-// it. Values are heap strings (single column); logging mirrors Store's.
+// it. Values are heap strings (single column); logging mirrors Store's
+// per-session shards: each session owns its own single-producer Logger.
 class BinaryStore {
  public:
   class Session {
    public:
-    Session(BinaryStore& store, unsigned worker_id)
-        : store_(store),
-          logger_(store.loggers_.empty()
-                      ? nullptr
-                      : store.loggers_[worker_id % store.loggers_.size()].get()) {}
+    Session(BinaryStore& store, unsigned) : store_(store) {
+      if (!store.log_dir_.empty()) {
+        unsigned id = store.next_log_.fetch_add(1, std::memory_order_relaxed);
+        logger_ = std::make_unique<Logger>(store.log_dir_ + "/binlog-" +
+                                           std::to_string(id) + ".bin");
+      }
+    }
     ThreadContext& ti() { return ti_; }
 
    private:
     friend class BinaryStore;
     BinaryStore& store_;
-    Logger* logger_;
+    std::unique_ptr<Logger> logger_;
     ThreadContext ti_;
   };
 
-  explicit BinaryStore(const std::string& log_dir) {
+  explicit BinaryStore(const std::string& log_dir) : log_dir_(log_dir) {
     if (!log_dir.empty()) {
       std::filesystem::create_directories(log_dir);
-      for (unsigned i = 0; i < 4; ++i) {
-        loggers_.push_back(
-            std::make_unique<Logger>(log_dir + "/binlog-" + std::to_string(i) + ".bin"));
-      }
     }
   }
 
@@ -67,7 +66,7 @@ class BinaryStore {
     bool inserted =
         tree_.insert(key, reinterpret_cast<uint64_t>(value), &s.ti_.arena());
     if (s.logger_ != nullptr) {
-      s.logger_->append_put(key, updates, 0, wall_us());
+      s.logger_->append_put(key, updates, 0);
     }
     return inserted;  // note: replaced values leak; acceptable for a bench
   }
@@ -82,7 +81,8 @@ class BinaryStore {
  private:
   friend class Session;
   BinaryTree<FlowNodeAlloc, true> tree_;  // "+IntCmp"
-  std::vector<std::unique_ptr<Logger>> loggers_;
+  std::string log_dir_;
+  std::atomic<unsigned> next_log_{0};
 };
 
 struct NetResult {

@@ -60,6 +60,24 @@ class ThreadContext {
     return epochs_->reclaim(*slot_);
   }
 
+  // RAII registration of a dedicated epoch-advancement thread (the Store's
+  // background maintenance thread holds one around its ThreadContext).
+  // While any advancer is alive, foreground EpochGuards skip their
+  // amortized all-slot advance scan; the advancer's periodic reclaim()
+  // keeps the global epoch moving instead.
+  class BackgroundAdvancer {
+   public:
+    explicit BackgroundAdvancer(ThreadContext& ti) : epochs_(&ti.epochs()) {
+      epochs_->register_background_advancer();
+    }
+    ~BackgroundAdvancer() { epochs_->unregister_background_advancer(); }
+    BackgroundAdvancer(const BackgroundAdvancer&) = delete;
+    BackgroundAdvancer& operator=(const BackgroundAdvancer&) = delete;
+
+   private:
+    EpochManager* epochs_;
+  };
+
  private:
   EpochManager* epochs_;
   Flow* flow_;

@@ -84,6 +84,22 @@ class EpochManager {
 
   uint64_t current_epoch() const { return epoch_.load(std::memory_order_acquire); }
 
+  // Dedicated background advancement (§4.6.1 / masstree-beta's maintenance
+  // thread): while at least one background advancer is registered, foreground
+  // threads skip their amortized advance() — an all-slot scan — on both the
+  // EpochGuard entry path and the retire high-water path; the background
+  // thread calls advance() on its own cadence instead. Reclamation itself
+  // stays with the owning thread (limbo lists are thread-local).
+  void register_background_advancer() {
+    background_advancers_.fetch_add(1, std::memory_order_release);
+  }
+  void unregister_background_advancer() {
+    background_advancers_.fetch_sub(1, std::memory_order_release);
+  }
+  bool has_background_advancer() const {
+    return background_advancers_.load(std::memory_order_relaxed) > 0;
+  }
+
   // Gated advance (Fraser-style): the epoch may move from E to E+1 only once
   // every in-guard thread has published E. This gate is what makes epoch
   // comparison imply a happens-before edge: a reader seen at epoch >= E+1
@@ -166,7 +182,9 @@ class EpochManager {
   void retire(EpochSlot& slot, void* ptr, void (*deleter)(void*)) {
     slot.limbo.push_back(LimboEntry{current_epoch(), ptr, deleter});
     if (slot.limbo.size() >= std::max(slot.reclaim_threshold, size_t{kLimboHighWater})) {
-      advance();
+      if (!has_background_advancer()) {
+        advance();
+      }
       reclaim(slot);
       // Back off if a long-lived reader pins the epoch: retrying a full
       // limbo scan on every retire would go quadratic during long scans.
@@ -213,6 +231,7 @@ class EpochManager {
   }
 
   std::atomic<uint64_t> epoch_{1};
+  std::atomic<int> background_advancers_{0};
   EpochSlot slots_[kMaxThreads];
 };
 
@@ -226,7 +245,9 @@ class EpochGuard {
       EpochManager& mgr = *slot_.manager;
       if (++slot_.ops_since_advance >= EpochManager::kOpsPerAdvance) {
         slot_.ops_since_advance = 0;
-        mgr.advance();
+        if (!mgr.has_background_advancer()) {
+          mgr.advance();
+        }
       }
       // Release keeps the slot's store in min_active_epoch()'s release
       // sequence even when re-entering after a quiescent 0; the full fence

@@ -11,8 +11,11 @@
 #include <sys/stat.h>
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -31,23 +34,35 @@ namespace masstree {
 class Store {
  public:
   struct Options {
-    // Directory for per-worker logs; empty disables persistence.
+    // Directory for per-session logs; empty disables persistence.
     std::string log_dir;
-    // Number of log files ("Different logs may be on different disks or SSDs
-    // for higher total log throughput").
+    // Number of logging threads; each drains the sessions assigned to it
+    // ("Different logs may be on different disks or SSDs for higher total
+    // log throughput").
     unsigned log_partitions = 4;
+    // Per-shard buffering and group-commit cadence.
     Logger::Options logger;
+    // Dedicated background maintenance & epoch-advancement thread (§4.6.1,
+    // §4.6.5): empty-layer GC and epoch advances leave the foreground write
+    // path entirely. When disabled, both piggyback on write traffic as
+    // before.
+    bool maintenance_thread = true;
+    uint64_t maintenance_interval_ms = 1;
   };
 
-  // A per-worker-thread handle: thread context + assigned log partition.
+  // A per-worker-thread handle: thread context + (lazily, on first logged
+  // write) an exclusively-owned log shard — the paper's "each query thread
+  // maintains its own log file and in-memory log buffer". The shard returns
+  // to the store's pool when the session ends.
   class Session {
    public:
-    Session(Store& store, unsigned worker_id)
-        : store_(store),
-          worker_id_(worker_id),
-          logger_(store.loggers_.empty()
-                      ? nullptr
-                      : store.loggers_[worker_id % store.loggers_.size()].get()) {}
+    Session(Store& store, unsigned worker_id) : store_(store), worker_id_(worker_id) {}
+
+    ~Session() {
+      if (log_ != nullptr) {
+        log_->release_producer();  // logging thread drains, closes, parks it
+      }
+    }
 
     ThreadContext& ti() { return ti_; }
     unsigned worker_id() const { return worker_id_; }
@@ -57,7 +72,7 @@ class Store {
     friend class Store;
     Store& store_;
     unsigned worker_id_;
-    Logger* logger_;
+    LogShard* log_ = nullptr;
     ThreadContext ti_;
   };
 
@@ -66,15 +81,31 @@ class Store {
   explicit Store(Options opt) : opt_(std::move(opt)) {
     if (!opt_.log_dir.empty()) {
       ::mkdir(opt_.log_dir.c_str(), 0755);
-      for (unsigned i = 0; i < opt_.log_partitions; ++i) {
-        loggers_.push_back(std::make_unique<Logger>(log_path(opt_.log_dir, i), opt_.logger));
+      unsigned nwriters = std::max(1u, opt_.log_partitions);
+      for (unsigned i = 0; i < nwriters; ++i) {
+        log_writers_.push_back(std::make_unique<LogWriter>(
+            LogWriter::Options{opt_.logger.flush_interval_ms, opt_.logger.fsync_on_flush},
+            &log_pool_));
+      }
+      adopt_existing_logs();
+      for (auto& w : log_writers_) {
+        w->start();
       }
     }
     ThreadContext setup_ti;
     tree_ = std::make_unique<Tree>(setup_ti);
+    if (opt_.maintenance_thread) {
+      start_maintenance();
+    }
   }
 
   ~Store() {
+    stop_maintenance();
+    // Final group commit: each logging thread drains every shard, stamps
+    // kClose completion markers, and fdatasyncs before exiting.
+    for (auto& w : log_writers_) {
+      w->stop();
+    }
     // Quiescent teardown: free every live row, then the tree itself.
     tree_->for_each_value([](uint64_t lv) { Row::deallocate(Row::from_slot(lv)); });
   }
@@ -152,8 +183,10 @@ class Store {
     if (!inserted) {
       s.ti_.retire(Row::from_slot(old_lv), Row::deallocate);
     }
-    if (s.logger_ != nullptr) {
-      s.logger_->append_put(key, updates, version, wall_us());
+    if (!log_writers_.empty()) {
+      // Wait-free fast path: encode in place into the session's own
+      // double-buffered arena — no mutex, no allocation (§5).
+      ensure_log(s)->append_put(key, updates, version);
     }
     maybe_maintain(s);
     return inserted;
@@ -171,8 +204,8 @@ class Store {
         s.ti_);
     if (removed) {
       s.ti_.retire(old_row, Row::deallocate);
-      if (s.logger_ != nullptr) {
-        s.logger_->append_remove(key, version, wall_us());
+      if (!log_writers_.empty()) {
+        ensure_log(s)->append_remove(key, version);
       }
     }
     maybe_maintain(s);
@@ -338,12 +371,15 @@ class Store {
       res.checkpoint_records = loaded.load();
     }
 
-    std::vector<std::string> paths;
-    for (unsigned i = 0; i < opt_.log_partitions; ++i) {
-      paths.push_back(log_path(log_dir, i));
-    }
+    std::vector<std::string> paths = list_log_files(log_dir);
     RecoverySet rs = load_logs(paths);
     res.cutoff_us = rs.cutoff_us;
+    // The live logs' information is consumed right here: trim each to its
+    // crash-consistent prefix and mark it complete, so it neither pins
+    // future cutoffs nor resurrects its dropped tail on a later recovery.
+    for (size_t i = 0; i < paths.size(); ++i) {
+      seal_recovered_log(paths[i], rs.logs[i], rs.cutoff_us);
+    }
     std::vector<LogEntry> plan = replay_plan(std::move(rs), since);
 
     // Parallel replay partitioned by key hash; within a partition entries
@@ -383,20 +419,51 @@ class Store {
   // ------------------------------------------------------------------
   void run_maintenance(Session& s) { tree_->run_maintenance(s.ti_); }
 
+  // Force everything appended so far to storage: each logging thread runs a
+  // full group-commit round (drain + heartbeat marker + fdatasync) begun
+  // after this call.
   void sync_logs() {
-    for (auto& l : loggers_) {
-      l->sync();
+    for (auto& w : log_writers_) {
+      w->sync();
     }
   }
 
   // Reclaim log space made redundant by a completed checkpoint (§5). Call
   // only after checkpoint() returned true; recovery then needs that
-  // checkpoint plus the post-truncation logs.
+  // checkpoint plus the post-truncation logs. Truncation runs on the
+  // logging threads at a round boundary, so it cannot shear an in-flight
+  // flush.
   void truncate_logs() {
-    for (auto& l : loggers_) {
-      l->truncate();
+    for (auto& w : log_writers_) {
+      w->truncate_all();
     }
   }
+
+  // Aggregate logging-thread statistics (and the sticky disk error, if any).
+  struct LogTotals {
+    uint64_t flush_bytes = 0;
+    uint64_t flushes = 0;
+    uint64_t syncs = 0;
+    int error = 0;
+  };
+
+  LogTotals log_totals() const {
+    LogTotals t;
+    for (const auto& w : log_writers_) {
+      t.flush_bytes += w->bytes_written();
+      t.flushes += w->flushes();
+      t.syncs += w->syncs();
+      if (t.error == 0) {
+        t.error = w->error();
+      }
+    }
+    return t;
+  }
+
+  // First sticky log-write errno (0 while healthy). A failed shard
+  // fail-stops — its file stays a clean record prefix — but the store keeps
+  // serving; callers poll this to surface the durability loss.
+  int log_error() const { return log_totals().error; }
 
   TreeStats stats() const { return tree_->collect_stats(); }
   Tree& tree() { return *tree_; }
@@ -430,10 +497,100 @@ class Store {
   }
 
   void maybe_maintain(Session& s) {
-    // Deferred empty-layer cleanups piggyback on write traffic (§4.6.5).
+    if (opt_.maintenance_thread) {
+      return;  // the background thread owns the tick; writes pay nothing
+    }
+    // Legacy piggyback: deferred empty-layer cleanups ride on write traffic
+    // (§4.6.5) when no maintenance thread is running.
     if ((maintenance_tick_.fetch_add(1, std::memory_order_relaxed) & 0xFFF) == 0) {
       tree_->run_maintenance(s.ti_);
     }
+  }
+
+  // ---- per-session log shards --------------------------------------
+  LogShard* ensure_log(Session& s) {
+    if (MT_UNLIKELY(s.log_ == nullptr)) {
+      s.log_ = claim_shard(s);
+    }
+    return s.log_;
+  }
+
+  // Slow path, once per session: reuse a parked shard (file + arenas) when
+  // one is free, otherwise create the next log-<n>.bin. Reuse bounds both
+  // file count and allocation under session churn — a reused shard's
+  // appends simply continue after its mid-file kClose marker.
+  LogShard* claim_shard(Session& s) {
+    unsigned part = s.worker_id_ % static_cast<unsigned>(log_writers_.size());
+    LogShard* shard = log_pool_.try_claim(part);
+    if (shard != nullptr) {
+      shard->reopen(&s.ti_.counters());
+      return shard;
+    }
+    std::lock_guard<std::mutex> lock(log_mu_);
+    std::string path = log_path(opt_.log_dir, next_log_file_++);
+    log_shards_.push_back(std::make_unique<LogShard>(path, opt_.logger.buffer_bytes,
+                                                     part, &s.ti_.counters(),
+                                                     /*repair_existing_tail=*/false));
+    LogShard* fresh = log_shards_.back().get();
+    log_writers_[part]->add_shard(fresh);
+    return fresh;
+  }
+
+  // Startup: open every existing log file as a parked shard (chopping any
+  // torn tail a crash left, so O_APPEND cannot bury fresh records behind
+  // bytes recovery will never reach) and park it for reuse. Files keep
+  // their on-disk live/complete state until recover() consumes them.
+  void adopt_existing_logs() {
+    for (const std::string& path : list_log_files(opt_.log_dir)) {
+      std::string name = path.substr(path.find_last_of('/') + 1);
+      unsigned idx = static_cast<unsigned>(std::strtoul(name.c_str() + 4, nullptr, 10));
+      next_log_file_ = std::max(next_log_file_, idx + 1);
+      unsigned part = idx % static_cast<unsigned>(log_writers_.size());
+      log_shards_.push_back(std::make_unique<LogShard>(path, opt_.logger.buffer_bytes,
+                                                       part, nullptr,
+                                                       /*repair_existing_tail=*/true));
+      LogShard* shard = log_shards_.back().get();
+      shard->park_adopted();
+      log_writers_[part]->add_shard(shard);
+      // A shard whose adoption already failed (tail-repair ftruncate error)
+      // never enters the reuse pool: sessions would log into a file that
+      // silently discards everything. add_shard surfaced the errno.
+      if (shard->error() == 0) {
+        log_pool_.park(shard);
+      }
+    }
+  }
+
+  // ---- background maintenance & epoch advancement ------------------
+  void start_maintenance() {
+    maint_thread_ = std::thread([this] {
+      ThreadContext ti;
+      ThreadContext::BackgroundAdvancer advancer(ti);
+      std::unique_lock<std::mutex> lock(maint_mu_);
+      while (!maint_stop_) {
+        maint_cv_.wait_for(lock, std::chrono::milliseconds(opt_.maintenance_interval_ms),
+                           [this] { return maint_stop_; });
+        if (maint_stop_) {
+          break;
+        }
+        lock.unlock();
+        tree_->run_maintenance(ti);  // deferred empty-layer GC (§4.6.5)
+        ti.reclaim();                // advance the epoch, drain own limbo
+        lock.lock();
+      }
+    });
+  }
+
+  void stop_maintenance() {
+    if (!maint_thread_.joinable()) {
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(maint_mu_);
+      maint_stop_ = true;
+    }
+    maint_cv_.notify_all();
+    maint_thread_.join();
   }
 
   // Recovery appliers: last-writer-wins by version (rows carry versions, so
@@ -487,8 +644,16 @@ class Store {
   }
 
   Options opt_;
-  std::vector<std::unique_ptr<Logger>> loggers_;
+  std::vector<std::unique_ptr<LogWriter>> log_writers_;
+  std::vector<std::unique_ptr<LogShard>> log_shards_;
+  LogShardPool log_pool_;
+  std::mutex log_mu_;          // guards log_shards_ growth + file naming
+  unsigned next_log_file_ = 0;
   std::unique_ptr<Tree> tree_;
+  std::thread maint_thread_;
+  std::mutex maint_mu_;
+  std::condition_variable maint_cv_;
+  bool maint_stop_ = false;
   std::atomic<uint64_t> version_counter_{0};
   std::atomic<uint64_t> max_version_seen_{0};
   std::atomic<uint64_t> maintenance_tick_{0};

@@ -6,17 +6,54 @@
 //  buffer and responds to the client without forcing that buffer to storage.
 //  Logging threads batch updates to take advantage of higher bulk sequential
 //  throughput, but force logs to storage at least every 200 ms for safety."
+//
+// Three pieces:
+//
+//  * LogShard — one producer's log: a double-buffered arena plus its own log
+//    file. The owning thread encodes records in place (no mutex, no
+//    allocation: Counter::kLogAllocs stays zero after the two arena halves
+//    exist) and publishes them with a release store. When the active half
+//    fills it is sealed and the producer flips to the other half, stalling
+//    (Counter::kLogStalls) only if the logging thread has not yet drained it.
+//
+//  * LogWriter — a background logging thread draining many shards: per shard
+//    it gathers the sealed halves (oldest first) plus the active half's
+//    published prefix into a single writev, then fdatasyncs — one group
+//    commit per shard per round, at least every flush_interval_ms (the
+//    paper's 200 ms safety deadline) and sooner under load (seals kick the
+//    writer; the wait shrinks adaptively while traffic is heavy).
+//
+//  * Logger — a one-shard, one-writer convenience wrapper for callers that
+//    just want "a log file" (models, baselines, tests).
+//
+// Timestamp discipline (what makes the §5 recovery cutoff sound): one shard
+// = one file = one producer, so DATA-record timestamps are monotone within
+// a file and a torn tail can only lose a suffix — never a record older than
+// a surviving one. Heartbeat markers are stamped only when a seqlock-style
+// begin/end counter pair proves the producer was quiescent for the whole
+// drain round, so a marker's timestamp never exceeds that of a record the
+// round missed (it is pinned 1us below the round's start, which may also
+// tie-break it just below an already-drained same-microsecond record —
+// harmless, since a log's last timestamp is the max over its entries). A
+// kClose marker stamped when the producer detaches makes the file
+// "complete": it contributes records to recovery without bounding the
+// cutoff (otherwise every finished session's log would pin t forever at its
+// last write).
 
 #ifndef MASSTREE_LOG_LOGGER_H_
 #define MASSTREE_LOG_LOGGER_H_
 
 #include <fcntl.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
@@ -24,149 +61,908 @@
 #include <vector>
 
 #include "log/logrecord.h"
+#include "util/compiler.h"
+#include "util/counters.h"
 #include "util/timing.h"
 
 namespace masstree {
 
+class LogWriter;
+
+// One producer's wait-free log: double-buffered arena + its own file.
+// Producer-side methods (append_*, release_producer, reopen) must be called
+// by one thread at a time (per-session ownership, or external
+// serialization); everything else is the logging thread's.
+class LogShard {
+ public:
+  LogShard(const std::string& path, size_t half_bytes, unsigned partition,
+           ThreadCounters* counters, bool repair_existing_tail)
+      : path_(path), partition_(partition), counters_(counters) {
+    // O_RDWR, not O_WRONLY: tail repair preads the existing contents. No
+    // O_APPEND — POSIX makes pwrite on an append-mode fd ignore its offset,
+    // and the logging thread positions every write itself (inside
+    // preallocated extents, so group-commit fdatasyncs stay journal-free).
+    fd_ = ::open(path.c_str(), O_CREAT | O_RDWR, 0644);
+    if (fd_ < 0) {
+      throw std::runtime_error("LogShard: cannot open " + path);
+    }
+    for (Buf& b : bufs_) {
+      b.cap = half_bytes;
+      b.data = std::make_unique<char[]>(half_bytes);
+      if (counters_ != nullptr) {
+        counters_->inc(Counter::kLogAllocs);
+      }
+    }
+    if (repair_existing_tail) {
+      chop_torn_tail();
+    }
+    off_t end = ::lseek(fd_, 0, SEEK_END);
+    write_off_ = end > 0 ? static_cast<size_t>(end) : 0;
+    prealloc_end_ = write_off_;
+  }
+
+  ~LogShard() { ::close(fd_); }
+
+  LogShard(const LogShard&) = delete;
+  LogShard& operator=(const LogShard&) = delete;
+
+  // ---- producer side -------------------------------------------------
+  // Appends return as soon as the record sits in the arena; durability
+  // arrives with the logging thread's next group commit. The record's
+  // timestamp is read here, after the begin-counter bump, which is what
+  // lets the logging thread prove marker safety (see drain_shard).
+  void append_put(std::string_view key, const std::vector<ColumnUpdate>& updates,
+                  uint64_t version) {
+    size_t need = logwire::put_record_size(key, updates);
+    if (MT_UNLIKELY(need > bufs_[0].cap)) {
+      append_jumbo(need, [&](char* dst, uint64_t ts) {
+        logwire::encode_put_to(dst, key, updates, version, ts);
+      });
+      return;
+    }
+    char* dst = reserve(need);
+    if (MT_UNLIKELY(dst == nullptr)) {
+      return;  // writer shut down underneath us: record dropped
+    }
+    begin_append(need);
+    logwire::encode_put_to(dst, key, updates, version, wall_us());
+    publish(need);
+  }
+
+  void append_remove(std::string_view key, uint64_t version) {
+    size_t need = logwire::remove_record_size(key);
+    if (MT_UNLIKELY(need > bufs_[0].cap)) {
+      append_jumbo(need, [&](char* dst, uint64_t ts) {
+        logwire::encode_remove_to(dst, key, version, ts);
+      });
+      return;
+    }
+    char* dst = reserve(need);
+    if (MT_UNLIKELY(dst == nullptr)) {
+      return;
+    }
+    begin_append(need);
+    logwire::encode_remove_to(dst, key, version, wall_us());
+    publish(need);
+  }
+
+  // Detach the producer. The logging thread drains what is left, stamps the
+  // kClose completion marker, and (when pooled) parks the shard for reuse.
+  void release_producer();
+
+  // Park an adopted (pre-existing) file without touching its contents: the
+  // logging thread leaves it alone and the pool may hand it to a future
+  // session. The file keeps its on-disk live/complete state so a recovery
+  // run before reuse still sees the truth about what the crash lost.
+  void park_adopted() { close_done_.store(true, std::memory_order_release); }
+
+  // Re-attach a new producer to a parked (closed) shard. Call only after
+  // claiming the shard from the pool; appends resume into the same file,
+  // whose mid-file kClose marker simply stops being the last record.
+  void reopen(ThreadCounters* counters) {
+    counters_ = counters;
+    cur_ = 0;
+    next_seal_seq_ = 1;
+    for (Buf& b : bufs_) {
+      b.wpos = 0;
+    }
+    // Re-derive the append offset: a recovery seal may have trimmed the
+    // file while it sat parked. The logging thread's drain path skips
+    // parked shards (and the close_done_ release below is what re-publishes
+    // the shard to it), but truncate_all DOES visit parked shards to empty
+    // their files — geom_mu_ keeps that from shearing this geometry reset.
+    {
+      std::lock_guard<std::mutex> lock(geom_mu_);
+      off_t end = ::lseek(fd_, 0, SEEK_END);
+      write_off_ = end > 0 ? static_cast<size_t>(end) : 0;
+      prealloc_end_ = write_off_;
+    }
+    released_.store(false, std::memory_order_relaxed);
+    close_done_.store(false, std::memory_order_release);
+  }
+
+  const std::string& path() const { return path_; }
+  unsigned partition() const { return partition_; }
+  // First write/fsync errno, sticky; 0 while healthy. Once set, the logging
+  // thread fail-stops this file (drains are discarded) so the on-disk
+  // content stays a clean prefix of the record stream.
+  int error() const { return error_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class LogWriter;
+
+  struct Buf {
+    std::unique_ptr<char[]> data;
+    size_t cap = 0;
+    size_t wpos = 0;                       // producer-owned append offset
+    std::atomic<size_t> published{0};      // completed bytes, producer->writer
+    std::atomic<uint64_t> seal_seq{0};     // orders two simultaneously-full halves
+    std::atomic<bool> full{false};         // sealed, awaiting drain+recycle
+    size_t drained = 0;                    // writer-owned consume offset
+  };
+
+  // Writer-owned file geometry. The logging thread pwrites at write_off_
+  // inside extents preallocated by fallocate, so a group commit's fdatasync
+  // is a pure data flush — appends that extend i_size would drag a journal
+  // commit into every sync, which on one measured box was the single
+  // largest logging cost. The zero-filled preallocated tail reads as a torn
+  // record (len 0) and is trimmed at close/adoption/recovery-seal time.
+  size_t write_off_ = 0;
+  size_t prealloc_end_ = 0;
+  size_t prealloc_chunk_ = 256 << 10;  // doubles per extend, capped at 4 MiB
+  uint64_t last_fsync_us_ = 0;         // group-commit force cadence
+  uint64_t last_mark_us_ = 0;          // heartbeat-marker pacing
+  size_t unsynced_bytes_ = 0;          // written since the last fdatasync
+  // Serializes the two geometry writers that CAN overlap: a claimant's
+  // reopen() against the logging thread's truncate round (which also empties
+  // parked files). Never taken on the append fast path.
+  std::mutex geom_mu_;
+
+  // Sever any incomplete tail left by a crash before appending: O_APPEND
+  // would otherwise land fresh records after the torn bytes, where recovery
+  // (which stops at the tear) could never see them.
+  void chop_torn_tail() {
+    off_t size = ::lseek(fd_, 0, SEEK_END);
+    if (size <= 0) {
+      return;
+    }
+    std::string data(static_cast<size_t>(size), '\0');
+    ssize_t got = ::pread(fd_, data.data(), data.size(), 0);
+    if (got < 0) {
+      return;
+    }
+    data.resize(static_cast<size_t>(got));
+    size_t valid = logwire::valid_prefix_bytes(data);
+    if (valid < data.size()) {
+      if (::ftruncate(fd_, static_cast<off_t>(valid)) != 0) {
+        error_.store(errno, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // Seqlock-style quiescence fence around the timestamp read: before
+  // reading the record's timestamp the producer announces where the byte
+  // stream WILL be once the record publishes (begin_total_); publishing
+  // moves pub_total_ up to meet it. The logging thread samples pub_total_
+  // before a drain round and begin_total_ after it; equal values prove no
+  // append overlapped the round, so no record with a timestamp older than
+  // the round's start can still be sitting unpublished. Both totals are
+  // monotone, so the comparison cannot ABA.
+  void begin_append(size_t need) {
+    begin_total_.store(pub_total_.load(std::memory_order_relaxed) + need,
+                       std::memory_order_relaxed);
+    full_fence();  // announcement visible before the timestamp is read
+  }
+
+  void publish(size_t n) {
+    Buf& b = bufs_[cur_];
+    b.wpos += n;
+    b.published.store(b.wpos, std::memory_order_release);
+    pub_total_.store(pub_total_.load(std::memory_order_relaxed) + n,
+                     std::memory_order_release);
+    if (counters_ != nullptr) {
+      counters_->inc(Counter::kLogAppends);
+    }
+  }
+
+  char* reserve(size_t need) {
+    Buf& b = bufs_[cur_];
+    if (MT_LIKELY(b.wpos + need <= b.cap)) {
+      return b.data.get() + b.wpos;
+    }
+    seal_current();
+    cur_ ^= 1;
+    Buf& n = bufs_[cur_];
+    if (MT_UNLIKELY(n.full.load(std::memory_order_acquire))) {
+      // Both halves full: the producer has outrun the logging thread. This
+      // is the only blocking point on the write path (the paper's implicit
+      // backpressure: "If the log buffer fills up, the wait is longer").
+      if (counters_ != nullptr) {
+        counters_->inc(Counter::kLogStalls);
+      }
+      if (!spin_until([&] { return !n.full.load(std::memory_order_acquire); })) {
+        return nullptr;
+      }
+    }
+    n.wpos = 0;
+    return n.data.get();
+  }
+
+  void seal_current() {
+    Buf& b = bufs_[cur_];
+    b.seal_seq.store(next_seal_seq_++, std::memory_order_relaxed);
+    b.full.store(true, std::memory_order_release);
+    kick_writer();  // the adaptive high-water: a full half flushes now
+  }
+
+  // Records too large for an arena half take a slow path: one heap
+  // encoding (counted as kLogAllocs), handed to the logging thread after
+  // everything already buffered has drained, and waited out so file order
+  // (and thus timestamp monotonicity) is preserved.
+  template <typename Encode>
+  void append_jumbo(size_t need, Encode&& encode) {
+    if (counters_ != nullptr) {
+      counters_->inc(Counter::kLogAllocs);
+    }
+    wait_all_drained();
+    if (writer_stopped()) {
+      return;
+    }
+    auto jumbo = std::make_unique<std::string>();
+    jumbo->resize(need);
+    begin_append(need);
+    encode(jumbo->data(), wall_us());
+    jumbo_ = std::move(jumbo);
+    pub_total_.store(pub_total_.load(std::memory_order_relaxed) + need,
+                     std::memory_order_release);
+    jumbo_pending_.store(true, std::memory_order_release);
+    if (counters_ != nullptr) {
+      counters_->inc(Counter::kLogAppends);
+    }
+    kick_writer();
+    spin_until([&] { return !jumbo_pending_.load(std::memory_order_acquire); });
+  }
+
+  void wait_all_drained() {
+    spin_until([&] {
+      return !jumbo_pending_.load(std::memory_order_acquire) &&
+             drain_total_.load(std::memory_order_acquire) >=
+                 pub_total_.load(std::memory_order_relaxed);
+    });
+  }
+
+  // Producer-side wait: kick the logging thread periodically and yield on
+  // oversubscribed boxes so it can actually run. Returns false if the
+  // writer shut down before the predicate held.
+  template <typename Pred>
+  bool spin_until(Pred&& done) {
+    unsigned spins = 0;
+    while (!done()) {
+      if (writer_stopped()) {
+        return false;
+      }
+      if ((++spins & 0x3FF) == 1) {
+        kick_writer();
+      } else if ((spins & 0xFF) == 0) {
+        std::this_thread::yield();
+      }
+      spin_pause();
+    }
+    return true;
+  }
+
+  inline void kick_writer();
+  inline bool writer_stopped() const;
+
+  std::string path_;
+  unsigned partition_;
+  int fd_;
+  Buf bufs_[2];
+  unsigned cur_ = 0;                     // producer-owned active half
+  uint64_t next_seal_seq_ = 1;           // producer-owned
+  std::atomic<uint64_t> begin_total_{0};  // bytes announced (pre-timestamp)
+  std::atomic<uint64_t> pub_total_{0};   // cumulative bytes published
+  std::atomic<uint64_t> drain_total_{0}; // cumulative bytes consumed by writer
+  std::unique_ptr<std::string> jumbo_;
+  std::atomic<bool> jumbo_pending_{false};
+  std::atomic<bool> released_{false};    // producer detached
+  std::atomic<bool> close_done_{false};  // writer stamped kClose; parked
+  std::atomic<int> error_{0};
+  ThreadCounters* counters_;             // producer's sink (may be null)
+  LogWriter* writer_ = nullptr;          // set by LogWriter::add_shard
+};
+
+// Free-list of closed shards so session churn reuses files and arenas
+// instead of growing both without bound.
+class LogShardPool {
+ public:
+  void park(LogShard* s) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(s);
+  }
+
+  // Prefers a shard drained by the requested partition's logging thread so
+  // reuse keeps its drain affinity; falls back to any parked shard.
+  LogShard* try_claim(unsigned preferred_partition) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < free_.size(); ++i) {
+      if (free_[i]->partition() == preferred_partition) {
+        LogShard* s = free_[i];
+        free_.erase(free_.begin() + static_cast<long>(i));
+        return s;
+      }
+    }
+    if (free_.empty()) {
+      return nullptr;
+    }
+    LogShard* s = free_.back();
+    free_.pop_back();
+    return s;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<LogShard*> free_;
+};
+
+// Background logging thread: drains every registered shard with one
+// writev + fdatasync group commit per shard per round.
+class LogWriter {
+ public:
+  struct Options {
+    uint64_t flush_interval_ms = 200;  // the paper's safety deadline
+    bool fsync_on_flush = true;
+  };
+
+  explicit LogWriter(Options opt, LogShardPool* pool = nullptr)
+      : opt_(opt), pool_(pool), adaptive_wait_ms_(opt.flush_interval_ms) {}
+
+  ~LogWriter() { stop(); }
+
+  LogWriter(const LogWriter&) = delete;
+  LogWriter& operator=(const LogWriter&) = delete;
+
+  void start() { thread_ = std::thread([this] { loop(); }); }
+
+  // Final round (drain everything, stamp kClose on every live shard,
+  // fdatasync), then join. Idempotent.
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_) {
+        return;
+      }
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) {
+      thread_.join();
+    }
+  }
+
+  void add_shard(LogShard* s) {
+    s->writer_ = this;
+    if (s->error() != 0) {
+      // Construction-time damage (e.g. a failed tail-repair ftruncate) must
+      // be as visible as a runtime write error.
+      int expected = 0;
+      first_error_.compare_exchange_strong(expected, s->error(),
+                                           std::memory_order_relaxed);
+    }
+    std::lock_guard<std::mutex> lock(shards_mu_);
+    shards_.push_back(s);
+    ++shards_gen_;
+  }
+
+  // Force everything published so far to storage and stamp heartbeat
+  // markers where safe. Blocks until a full round that began after this
+  // call has completed (its fdatasync included).
+  void sync() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stop_) {
+      return;  // shutdown round already drained and closed everything
+    }
+    uint64_t my = ++sync_req_;
+    kicked_ = true;
+    cv_.notify_all();
+    done_cv_.wait(lock, [&] { return sync_done_ >= my || stop_; });
+  }
+
+  // Discard all buffered records and truncate every shard file to empty.
+  // Runs on the logging thread at a round boundary, so it can never shear
+  // an in-flight write (the flush/truncate race the mutexed design had).
+  void truncate_all() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stop_) {
+      return;
+    }
+    uint64_t my = ++trunc_req_;
+    kicked_ = true;
+    cv_.notify_all();
+    done_cv_.wait(lock, [&] { return trunc_done_ >= my || stop_; });
+  }
+
+  uint64_t bytes_written() const { return bytes_written_.load(std::memory_order_relaxed); }
+  uint64_t flushes() const { return flushes_.load(std::memory_order_relaxed); }
+  uint64_t syncs() const { return syncs_.load(std::memory_order_relaxed); }
+  // The logging thread's own counter sink (kLogFlushBytes lives here; the
+  // atomic bytes_written() mirror is the concurrent-reader view). Read only
+  // after stop().
+  const ThreadCounters& counters() const { return counters_; }
+  int error() const { return first_error_.load(std::memory_order_relaxed); }
+  bool stopped() const { return stop_flag_.load(std::memory_order_acquire); }
+
+  void kick() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      kicked_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  void loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    uint64_t last_trunc = 0;
+    while (!stop_) {
+      cv_.wait_for(lock, std::chrono::milliseconds(adaptive_wait_ms_), [&] {
+        return stop_ || kicked_ || sync_req_ > sync_done_ || trunc_req_ > trunc_done_;
+      });
+      if (stop_) {
+        break;
+      }
+      kicked_ = false;
+      uint64_t sync_goal = sync_req_;
+      uint64_t trunc_goal = trunc_req_;
+      lock.unlock();
+      refresh_cache();
+      if (trunc_goal > last_trunc) {
+        truncate_round();
+        last_trunc = trunc_goal;
+      } else {
+        size_t bytes = round(/*closing=*/false, /*force_sync=*/sync_goal > sync_done_);
+        // Adaptive high-water: while rounds drain full halves, shrink the
+        // deadline so commits stay large-but-frequent instead of stalling
+        // producers; fall back to the safety interval when traffic ebbs.
+        adaptive_wait_ms_ = bytes >= (256u << 10)
+                                ? std::max<uint64_t>(1, opt_.flush_interval_ms / 8)
+                                : opt_.flush_interval_ms;
+      }
+      lock.lock();
+      trunc_done_ = last_trunc;
+      sync_done_ = sync_goal;
+      done_cv_.notify_all();
+    }
+    // Shutdown: one closing round drains every shard and stamps kClose.
+    lock.unlock();
+    refresh_cache();
+    round(/*closing=*/true);
+    stop_flag_.store(true, std::memory_order_release);
+    lock.lock();
+    sync_done_ = sync_req_;
+    trunc_done_ = trunc_req_;
+    done_cv_.notify_all();
+  }
+
+  void refresh_cache() {
+    std::lock_guard<std::mutex> lock(shards_mu_);
+    if (cache_gen_ != shards_gen_) {
+      cache_ = shards_;
+      cache_gen_ = shards_gen_;
+    }
+  }
+
+  size_t round(bool closing, bool force_sync = false) {
+    size_t total = 0;
+    for (LogShard* s : cache_) {
+      total += drain_shard(*s, closing, force_sync);
+    }
+    if (total > 0) {
+      flushes_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  // One shard's group commit. Returns bytes drained. Drains run as often as
+  // buffers need recycling, but the fdatasync is paced by the safety
+  // deadline: durability is forced at least every flush_interval_ms (the
+  // paper's 200 ms), on explicit sync()s, and at close — not per drain,
+  // which would burn the write path's CPU budget on journal commits.
+  size_t drain_shard(LogShard& s, bool closing, bool force_sync) {
+    if (s.close_done_.load(std::memory_order_acquire)) {
+      return 0;  // parked in the pool: no producer, file already complete
+    }
+    uint64_t pub_before = s.pub_total_.load(std::memory_order_acquire);
+    uint64_t t0 = wall_us();
+    size_t bytes = drain_pass(s);
+
+    full_fence();  // pair of LogShard::begin_append's fence
+    uint64_t begin_after = s.begin_total_.load(std::memory_order_relaxed);
+    bool released = s.released_.load(std::memory_order_acquire);
+
+    char scratch[64];
+    if (closing || released) {
+      // The producer is gone; one more pass picks up anything it published
+      // before detaching, then the completion marker seals the file.
+      bytes += drain_pass(s);
+      size_t n = logwire::encode_marker_to(scratch, LogType::kClose, wall_us());
+      write_all(s, scratch, n);
+      bytes += n;
+      if (s.error() == 0) {
+        // Trim the preallocated zero tail: a cleanly closed file ends at
+        // its kClose marker, exactly.
+        if (::ftruncate(s.fd_, static_cast<off_t>(s.write_off_)) == 0) {
+          s.prealloc_end_ = s.write_off_;
+        }
+      }
+      for (LogShard::Buf& b : s.bufs_) {
+        b.drained = 0;
+        b.published.store(0, std::memory_order_relaxed);
+        b.full.store(false, std::memory_order_relaxed);
+      }
+      s.close_done_.store(true, std::memory_order_release);
+      // A fail-stopped shard never re-enters the pool: a session claiming
+      // it would log into a file that silently discards everything. Fresh
+      // sessions mint a fresh (healthy) file instead.
+      if (pool_ != nullptr && !closing && s.error() == 0) {
+        pool_->park(&s);
+      }
+    } else if (begin_after == pub_before &&
+               (force_sync ||
+                t0 - s.last_mark_us_ >= opt_.flush_interval_ms * 1000)) {
+      // No append overlapped this round, so every record that existed when
+      // it started has been drained, and any append that begins later will
+      // read its timestamp after our t0: a marker at t0-1 can never claim
+      // coverage past a record a crash could lose. Under load the check
+      // fails harmlessly — freshly drained records advance the file's last
+      // timestamp on their own. Heartbeats are paced by the flush deadline
+      // (plus explicit syncs): a busy sibling shard kicking this writer
+      // many times a second must not make every idle shard grow a marker
+      // per round.
+      size_t n = logwire::encode_marker_to(scratch, LogType::kMarker,
+                                           t0 == 0 ? 0 : t0 - 1);
+      write_all(s, scratch, n);
+      bytes += n;
+    }
+    if (bytes > 0) {
+      s.last_mark_us_ = t0;
+    }
+
+    // The fsync gate looks at unsynced_bytes_, not this round's drain: a
+    // sync() must force bytes a PREVIOUS round drained inside the deadline
+    // window, even when this round itself moved nothing.
+    bool deadline_due = t0 - s.last_fsync_us_ >= opt_.flush_interval_ms * 1000;
+    if (s.unsynced_bytes_ > 0 && opt_.fsync_on_flush && s.error() == 0 &&
+        (force_sync || closing || released || deadline_due)) {
+      if (::fdatasync(s.fd_) != 0) {
+        note_error(s, errno);
+      }
+      s.last_fsync_us_ = t0;
+      s.unsynced_bytes_ = 0;
+      syncs_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return bytes;
+  }
+
+  // Gather the shard's pending bytes — jumbo record first (it predates
+  // anything currently buffered), then sealed halves oldest-first, then the
+  // active half's published prefix — into one writev, then publish
+  // consumption back to the producer.
+  size_t drain_pass(LogShard& s) {
+    struct iovec iov[3];
+    int niov = 0;
+    size_t jumbo_bytes = 0;
+    if (s.jumbo_pending_.load(std::memory_order_acquire)) {
+      jumbo_bytes = s.jumbo_->size();
+      iov[niov].iov_base = s.jumbo_->data();
+      iov[niov].iov_len = jumbo_bytes;
+      ++niov;
+    }
+
+    // Snapshot both halves — full flag, seal sequence, published bytes —
+    // then VALIDATE that no seal landed mid-snapshot by re-reading the
+    // flags. Without the validation there is a real reordering window: with
+    // both halves reading not-full, the producer can seal the active half
+    // and publish fresh records into the other between our flag reads and
+    // published reads, and index-order draining would write those fresh
+    // bytes ahead of the sealed half's older tail. A stable (seal-free)
+    // snapshot makes the ordering rule airtight: full halves (published
+    // final, drain + recycle) are strictly older than whatever the active
+    // half published before the snapshot. Seals are ~one per megabyte, so
+    // the retry loop converges immediately; if the producer somehow seals
+    // through every retry we fall back to draining the stably-full halves
+    // only (they stay full until we recycle them), deferring the active
+    // prefix one round.
+    struct View {
+      LogShard::Buf* b;
+      bool full;
+      uint64_t seq;
+      size_t take = 0;
+    } v[2];
+    bool stable = false;
+    for (int attempt = 0; attempt < 64 && !stable; ++attempt) {
+      for (int i = 0; i < 2; ++i) {
+        v[i].b = &s.bufs_[i];
+        v[i].full = v[i].b->full.load(std::memory_order_acquire);
+        v[i].seq = v[i].b->seal_seq.load(std::memory_order_relaxed);
+        v[i].take = v[i].b->published.load(std::memory_order_acquire);
+      }
+      stable = v[0].full == v[0].b->full.load(std::memory_order_acquire) &&
+               v[1].full == v[1].b->full.load(std::memory_order_acquire);
+    }
+    if (!stable) {
+      for (View& view : v) {
+        if (!view.full) {
+          view.take = view.b->drained;  // skip the active prefix this round
+        } else {
+          view.take = view.b->published.load(std::memory_order_acquire);
+        }
+      }
+    }
+    // Full halves first (two order by seal sequence): the drain order must
+    // match append order so the file stays a faithful prefix of the record
+    // stream, which the timestamp-cutoff argument needs.
+    if ((v[0].full && v[1].full && v[0].seq > v[1].seq) || (!v[0].full && v[1].full)) {
+      std::swap(v[0], v[1]);
+    }
+    size_t buf_bytes = 0;
+    for (View& view : v) {
+      LogShard::Buf& b = *view.b;
+      if (view.take > b.drained) {
+        iov[niov].iov_base = b.data.get() + b.drained;
+        iov[niov].iov_len = view.take - b.drained;
+        buf_bytes += view.take - b.drained;
+        ++niov;
+      }
+    }
+
+    if (niov > 0) {
+      writev_all(s, iov, niov);
+    }
+
+    // Consumption is published even when a sticky error forced a discard:
+    // the producer must never stall on a dead disk.
+    if (jumbo_bytes > 0) {
+      s.drain_total_.fetch_add(jumbo_bytes, std::memory_order_release);
+      s.jumbo_pending_.store(false, std::memory_order_release);
+    }
+    for (View& view : v) {
+      LogShard::Buf& b = *view.b;
+      if (view.take > b.drained) {
+        s.drain_total_.fetch_add(view.take - b.drained, std::memory_order_release);
+        b.drained = view.take;
+      }
+      if (view.full) {
+        b.drained = 0;
+        b.published.store(0, std::memory_order_relaxed);
+        b.full.store(false, std::memory_order_release);  // recycle for reuse
+      }
+    }
+    return jumbo_bytes + buf_bytes;
+  }
+
+  // Grow the preallocated extent window so the coming pwrites stay inside
+  // i_size. Doubling chunks amortize the (journaling) fallocate calls; on
+  // filesystems without fallocate support the writes simply extend the file
+  // the ordinary way.
+  void ensure_prealloc(LogShard& s, size_t bytes) {
+#if defined(__linux__)
+    while (s.write_off_ + bytes > s.prealloc_end_ && s.prealloc_end_ != SIZE_MAX) {
+      size_t chunk = std::max(s.prealloc_chunk_, bytes);
+      if (::fallocate(s.fd_, 0, static_cast<off_t>(s.prealloc_end_),
+                      static_cast<off_t>(chunk)) != 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        s.prealloc_end_ = SIZE_MAX;  // unsupported here: plain extending writes
+        return;
+      }
+      s.prealloc_end_ += chunk;
+      s.prealloc_chunk_ = std::min(s.prealloc_chunk_ * 2, size_t{4} << 20);
+    }
+#else
+    (void)s;
+    (void)bytes;
+#endif
+  }
+
+  // Positional gathered write with EINTR/short-write retry. On a hard error
+  // the shard fail-stops: the errno sticks, the remaining bytes are
+  // discarded, and no further bytes are ever written to that file, keeping
+  // its on-disk content a clean prefix.
+  void writev_all(LogShard& s, struct iovec* iov, int niov) {
+    if (s.error() != 0) {
+      return;
+    }
+    size_t total = 0;
+    for (int i = 0; i < niov; ++i) {
+      total += iov[i].iov_len;
+    }
+    ensure_prealloc(s, total);
+    size_t done = 0;
+    while (done < total) {
+      ssize_t n = ::pwritev(s.fd_, iov, niov, static_cast<off_t>(s.write_off_ + done));
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        note_error(s, errno);
+        return;
+      }
+      done += static_cast<size_t>(n);
+      bytes_written_.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+      counters_.inc(Counter::kLogFlushBytes, static_cast<uint64_t>(n));
+      s.unsynced_bytes_ += static_cast<size_t>(n);
+      if (done == total) {
+        break;
+      }
+      // Short write: advance the iovec window and retry.
+      size_t skip = static_cast<size_t>(n);
+      while (skip >= iov[0].iov_len) {
+        skip -= iov[0].iov_len;
+        ++iov;
+        --niov;
+      }
+      iov[0].iov_base = static_cast<char*>(iov[0].iov_base) + skip;
+      iov[0].iov_len -= skip;
+    }
+    s.write_off_ += total;
+  }
+
+  void write_all(LogShard& s, const char* p, size_t n) {
+    struct iovec iov{const_cast<char*>(p), n};
+    writev_all(s, &iov, 1);
+  }
+
+  void truncate_round() {
+    for (LogShard* s : cache_) {
+      drain_discard(*s);
+      std::lock_guard<std::mutex> lock(s->geom_mu_);
+      if (::ftruncate(s->fd_, 0) != 0) {
+        note_error(*s, errno);
+      }
+      s->write_off_ = 0;
+      s->prealloc_end_ = 0;
+      s->unsynced_bytes_ = 0;
+    }
+  }
+
+  // Consume everything published without writing it (truncate semantics:
+  // buffered records are dropped too). Runs on this thread, so no write can
+  // be in flight concurrently.
+  void drain_discard(LogShard& s) {
+    if (s.jumbo_pending_.load(std::memory_order_acquire)) {
+      s.drain_total_.fetch_add(s.jumbo_->size(), std::memory_order_release);
+      s.jumbo_pending_.store(false, std::memory_order_release);
+    }
+    for (LogShard::Buf& b : s.bufs_) {
+      size_t p = b.published.load(std::memory_order_acquire);
+      if (p > b.drained) {
+        s.drain_total_.fetch_add(p - b.drained, std::memory_order_release);
+        b.drained = p;
+      }
+      if (b.full.load(std::memory_order_acquire)) {
+        b.drained = 0;
+        b.published.store(0, std::memory_order_relaxed);
+        b.full.store(false, std::memory_order_release);
+      }
+    }
+  }
+
+  void note_error(LogShard& s, int err) {
+    s.error_.store(err, std::memory_order_relaxed);
+    int expected = 0;
+    first_error_.compare_exchange_strong(expected, err, std::memory_order_relaxed);
+  }
+
+  Options opt_;
+  LogShardPool* pool_;
+  std::thread thread_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;
+  bool kicked_ = false;
+  uint64_t sync_req_ = 0, sync_done_ = 0;
+  uint64_t trunc_req_ = 0, trunc_done_ = 0;
+  std::atomic<bool> stop_flag_{false};
+
+  std::mutex shards_mu_;
+  std::vector<LogShard*> shards_;
+  uint64_t shards_gen_ = 0;
+  std::vector<LogShard*> cache_;
+  uint64_t cache_gen_ = 0;
+
+  uint64_t adaptive_wait_ms_;
+
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> flushes_{0};
+  std::atomic<uint64_t> syncs_{0};
+  std::atomic<int> first_error_{0};
+  ThreadCounters counters_;  // written by the logging thread only
+};
+
+inline void LogShard::kick_writer() {
+  if (writer_ != nullptr) {
+    writer_->kick();
+  }
+}
+
+inline bool LogShard::writer_stopped() const {
+  return writer_ == nullptr || writer_->stopped();
+}
+
+inline void LogShard::release_producer() {
+  released_.store(true, std::memory_order_release);
+  kick_writer();
+}
+
+// Convenience wrapper: one shard drained by its own logging thread. Appends
+// are wait-free but single-producer — callers with multiple append threads
+// must serialize them externally (the Store does not use this class; it runs
+// one shard per session).
 class Logger {
  public:
   struct Options {
-    uint64_t flush_interval_ms = 200;   // the paper's safety deadline
-    size_t flush_high_water = 256 << 10;  // flush early once this much queued
+    uint64_t flush_interval_ms = 200;  // the paper's safety deadline
+    // Per arena half. Two of these per session; sized so a full-throttle
+    // producer hands the logging thread multi-hundred-KB writevs (the
+    // "higher bulk sequential throughput" batching §5 asks for) instead of
+    // trickling small buffers.
+    size_t buffer_bytes = 1 << 20;
     bool fsync_on_flush = true;
   };
 
   explicit Logger(const std::string& path) : Logger(path, Options()) {}
 
-  Logger(const std::string& path, Options opt) : opt_(opt), path_(path) {
-    fd_ = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
-    if (fd_ < 0) {
-      throw std::runtime_error("Logger: cannot open " + path);
-    }
-    flusher_ = std::thread([this] { flush_loop(); });
+  Logger(const std::string& path, Options opt)
+      : writer_(LogWriter::Options{opt.flush_interval_ms, opt.fsync_on_flush}),
+        // Tail repair on: reusing a path a crashed run left behind must chop
+        // its torn/preallocated-zero tail, or every new record (and the
+        // eventual kClose) would land beyond a gap recovery can never read
+        // past.
+        shard_(path, opt.buffer_bytes, 0, &counters_, /*repair_existing_tail=*/true) {
+    writer_.add_shard(&shard_);
+    writer_.start();
   }
 
-  ~Logger() {
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      stop_ = true;
-      cv_.notify_all();
-    }
-    flusher_.join();
-    {
-      // Final heartbeat: this log's last timestamp must cover every record
-      // it holds, or the recovery cutoff would drop other logs' tails (§5).
-      std::unique_lock<std::mutex> lock(mu_);
-      logwire::encode_marker(&buf_, wall_us());
-    }
-    flush_now();
-    ::close(fd_);
-  }
+  ~Logger() { writer_.stop(); }  // final drain + kClose + fdatasync
 
   Logger(const Logger&) = delete;
   Logger& operator=(const Logger&) = delete;
 
-  // Appends return as soon as the record is buffered; durability arrives
-  // with the next group commit.
   void append_put(std::string_view key, const std::vector<ColumnUpdate>& updates,
-                  uint64_t version, uint64_t timestamp_us) {
-    std::unique_lock<std::mutex> lock(mu_);
-    logwire::encode_put(&buf_, key, updates, version, timestamp_us);
-    maybe_kick(lock);
+                  uint64_t version) {
+    shard_.append_put(key, updates, version);
   }
 
-  void append_remove(std::string_view key, uint64_t version, uint64_t timestamp_us) {
-    std::unique_lock<std::mutex> lock(mu_);
-    logwire::encode_remove(&buf_, key, version, timestamp_us);
-    maybe_kick(lock);
+  void append_remove(std::string_view key, uint64_t version) {
+    shard_.append_remove(key, version);
   }
 
-  // Force everything buffered so far to storage (shutdown, checkpoints,
-  // tests). Appends a timestamp marker first so this log's last timestamp
-  // covers every record just synced — recovery's cutoff then keeps them.
-  void sync() {
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      logwire::encode_marker(&buf_, wall_us());
-    }
-    flush_now();
-  }
+  // Force everything appended so far to storage (shutdown, checkpoints,
+  // tests); stamps a heartbeat marker when safe so this log's last
+  // timestamp covers the synced records (§5 recovery cutoff).
+  void sync() { writer_.sync(); }
 
   // Discard everything written so far (after a checkpoint has made old
   // records redundant: §5 "allows log space to be reclaimed"). Buffered
-  // records are dropped too — callers sync() first if they want them.
-  void truncate() {
-    std::unique_lock<std::mutex> lock(mu_);
-    buf_.clear();
-    ::ftruncate(fd_, 0);
-    ::lseek(fd_, 0, SEEK_SET);
-  }
+  // records are dropped too — callers sync() first if they want them. The
+  // truncation rendezvouses with the logging thread at a round boundary, so
+  // it cannot shear an in-flight flush.
+  void truncate() { writer_.truncate_all(); }
 
-  const std::string& path() const { return path_; }
-  uint64_t bytes_written() const { return bytes_written_.load(std::memory_order_relaxed); }
-  uint64_t flushes() const { return flushes_.load(std::memory_order_relaxed); }
+  const std::string& path() const { return shard_.path(); }
+  uint64_t bytes_written() const { return writer_.bytes_written(); }
+  uint64_t flushes() const { return writer_.flushes(); }
+  int error() const { return shard_.error(); }
+  ThreadCounters& counters() { return counters_; }
 
  private:
-  void maybe_kick(std::unique_lock<std::mutex>& lock) {
-    if (buf_.size() >= opt_.flush_high_water) {
-      cv_.notify_all();
-    }
-    (void)lock;
-  }
-
-  void flush_loop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    while (!stop_) {
-      cv_.wait_for(lock, std::chrono::milliseconds(opt_.flush_interval_ms), [this] {
-        return stop_ || buf_.size() >= opt_.flush_high_water;
-      });
-      if (buf_.empty() && !stop_) {
-        // Heartbeat so this log's last timestamp keeps advancing and the §5
-        // recovery cutoff is not pinned by an idle worker.
-        logwire::encode_marker(&buf_, wall_us());
-      }
-      flush_locked(lock);
-    }
-  }
-
-  void flush_now() {
-    std::unique_lock<std::mutex> lock(mu_);
-    flush_locked(lock);
-  }
-
-  void flush_locked(std::unique_lock<std::mutex>& lock) {
-    if (buf_.empty()) {
-      return;
-    }
-    std::string out;
-    out.swap(buf_);
-    lock.unlock();  // writers keep appending while we hit the disk
-    size_t off = 0;
-    while (off < out.size()) {
-      ssize_t n = ::write(fd_, out.data() + off, out.size() - off);
-      if (n <= 0) {
-        break;  // disk error: records stay lost; recovery's cutoff handles it
-      }
-      off += static_cast<size_t>(n);
-    }
-    if (opt_.fsync_on_flush) {
-      ::fdatasync(fd_);
-    }
-    bytes_written_.fetch_add(off, std::memory_order_relaxed);
-    flushes_.fetch_add(1, std::memory_order_relaxed);
-    lock.lock();
-  }
-
-  Options opt_;
-  std::string path_;
-  int fd_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::string buf_;
-  bool stop_ = false;
-  std::thread flusher_;
-  std::atomic<uint64_t> bytes_written_{0};
-  std::atomic<uint64_t> flushes_{0};
+  ThreadCounters counters_;
+  LogWriter writer_;
+  LogShard shard_;
 };
 
 }  // namespace masstree

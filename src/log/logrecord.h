@@ -7,7 +7,7 @@
 // Wire format (little-endian, as written):
 //   u32 payload_len        (bytes between this field and the trailing crc)
 //   payload:
-//     u8  type             (1 = put, 2 = remove)
+//     u8  type             (1 = put, 2 = remove, 3 = marker, 4 = close)
 //     u64 timestamp_us
 //     u64 version
 //     u32 key_len, key bytes
@@ -16,6 +16,18 @@
 //
 // Readers stop at a short or corrupt record: everything after a torn tail is
 // discarded, which is exactly the semantics group commit needs.
+//
+// Format note: the checksum is CRC-32C (hardware-accelerated; see
+// util/crc32.h) and kClose is a new record type, so log and checkpoint
+// files written by builds predating both do not carry forward — their
+// records read as corrupt from byte 0 and startup tail repair truncates
+// them. There is no on-disk version field yet; if cross-version durability
+// ever matters, add one here before changing the format again.
+//
+// The encoders come in two shapes: exact-size calculators plus in-place
+// `encode_*_to(char*)` writers for the wait-free per-worker log buffers
+// (the append fast path never allocates), and `std::string`-appending
+// wrappers for recovery tooling and tests.
 
 #ifndef MASSTREE_LOG_LOGRECORD_H_
 #define MASSTREE_LOG_LOGRECORD_H_
@@ -37,6 +49,11 @@ enum class LogType : uint8_t {
   // Timestamp heartbeat: written by idle loggers so a quiet log does not
   // hold back the recovery cutoff t = min over logs of last timestamp (§5).
   kMarker = 3,
+  // Clean-completion marker: written when a log's producer detaches (session
+  // close, store shutdown). A log whose LAST record is kClose lost nothing,
+  // so it contributes its records to recovery without bounding the cutoff —
+  // otherwise every dead session's file would pin t at its final write.
+  kClose = 4,
 };
 
 // A decoded log record (owning copy, used during recovery).
@@ -50,59 +67,149 @@ struct LogEntry {
 
 namespace logwire {
 
-template <typename T>
-inline void put_raw(std::string* out, T v) {
-  out->append(reinterpret_cast<const char*>(&v), sizeof(T));
+// Fixed per-record framing: u32 len + u8 type + u64 ts + u64 version +
+// u32 key_len ... + u32 crc.
+inline constexpr size_t kRecordOverhead = 4 + 1 + 8 + 8 + 4 + 4;
+inline constexpr size_t kMinPayload = 21;  // type + ts + version + key_len
+
+inline size_t put_record_size(std::string_view key,
+                              const std::vector<ColumnUpdate>& updates) {
+  size_t n = kRecordOverhead + key.size() + 2;
+  for (const auto& u : updates) {
+    n += 2 + 4 + u.data.size();
+  }
+  return n;
 }
 
+inline size_t remove_record_size(std::string_view key) {
+  return kRecordOverhead + key.size();
+}
+
+inline constexpr size_t marker_record_size() { return kRecordOverhead; }
+
+namespace detail {
+
+struct RawWriter {
+  char* p;
+  char* payload_start;
+
+  template <typename T>
+  void raw(T v) {
+    std::memcpy(p, &v, sizeof(T));
+    p += sizeof(T);
+  }
+  void bytes(std::string_view s) {
+    std::memcpy(p, s.data(), s.size());
+    p += s.size();
+  }
+  void begin(LogType type, uint64_t timestamp_us, uint64_t version) {
+    raw<uint32_t>(0);  // patched in finish()
+    payload_start = p;
+    raw<uint8_t>(static_cast<uint8_t>(type));
+    raw<uint64_t>(timestamp_us);
+    raw<uint64_t>(version);
+  }
+  // Returns the total record size (framing included).
+  size_t finish() {
+    uint32_t len = static_cast<uint32_t>(p - payload_start);
+    std::memcpy(payload_start - sizeof(uint32_t), &len, sizeof(uint32_t));
+    raw<uint32_t>(crc32(static_cast<const void*>(payload_start), len));
+    return static_cast<size_t>(p - payload_start) + sizeof(uint32_t);
+  }
+};
+
+}  // namespace detail
+
+// In-place encoders: `dst` must have room for the matching *_record_size().
+// Return the number of bytes written.
+inline size_t encode_put_to(char* dst, std::string_view key,
+                            const std::vector<ColumnUpdate>& updates, uint64_t version,
+                            uint64_t timestamp_us) {
+  detail::RawWriter w{dst, nullptr};
+  w.begin(LogType::kPut, timestamp_us, version);
+  w.raw<uint32_t>(static_cast<uint32_t>(key.size()));
+  w.bytes(key);
+  w.raw<uint16_t>(static_cast<uint16_t>(updates.size()));
+  for (const auto& u : updates) {
+    w.raw<uint16_t>(static_cast<uint16_t>(u.col));
+    w.raw<uint32_t>(static_cast<uint32_t>(u.data.size()));
+    w.bytes(u.data);
+  }
+  return w.finish();
+}
+
+inline size_t encode_remove_to(char* dst, std::string_view key, uint64_t version,
+                               uint64_t timestamp_us) {
+  detail::RawWriter w{dst, nullptr};
+  w.begin(LogType::kRemove, timestamp_us, version);
+  w.raw<uint32_t>(static_cast<uint32_t>(key.size()));
+  w.bytes(key);
+  return w.finish();
+}
+
+inline size_t encode_marker_to(char* dst, LogType type, uint64_t timestamp_us) {
+  detail::RawWriter w{dst, nullptr};
+  w.begin(type, timestamp_us, 0);
+  w.raw<uint32_t>(0);  // key length
+  return w.finish();
+}
+
+// String-appending wrappers (recovery tooling, tests).
 inline void encode_put(std::string* out, std::string_view key,
                        const std::vector<ColumnUpdate>& updates, uint64_t version,
                        uint64_t timestamp_us) {
-  size_t payload_start = out->size() + sizeof(uint32_t);
-  put_raw<uint32_t>(out, 0);  // patched below
-  put_raw<uint8_t>(out, static_cast<uint8_t>(LogType::kPut));
-  put_raw<uint64_t>(out, timestamp_us);
-  put_raw<uint64_t>(out, version);
-  put_raw<uint32_t>(out, static_cast<uint32_t>(key.size()));
-  out->append(key);
-  put_raw<uint16_t>(out, static_cast<uint16_t>(updates.size()));
-  for (const auto& u : updates) {
-    put_raw<uint16_t>(out, static_cast<uint16_t>(u.col));
-    put_raw<uint32_t>(out, static_cast<uint32_t>(u.data.size()));
-    out->append(u.data);
-  }
-  uint32_t len = static_cast<uint32_t>(out->size() - payload_start);
-  std::memcpy(out->data() + payload_start - sizeof(uint32_t), &len, sizeof(uint32_t));
-  uint32_t crc = crc32(out->data() + payload_start, static_cast<size_t>(len));
-  put_raw<uint32_t>(out, crc);
-}
-
-inline void encode_marker(std::string* out, uint64_t timestamp_us) {
-  size_t payload_start = out->size() + sizeof(uint32_t);
-  put_raw<uint32_t>(out, 0);
-  put_raw<uint8_t>(out, static_cast<uint8_t>(LogType::kMarker));
-  put_raw<uint64_t>(out, timestamp_us);
-  put_raw<uint64_t>(out, 0);   // version
-  put_raw<uint32_t>(out, 0);   // key length
-  uint32_t len = static_cast<uint32_t>(out->size() - payload_start);
-  std::memcpy(out->data() + payload_start - sizeof(uint32_t), &len, sizeof(uint32_t));
-  uint32_t crc = crc32(out->data() + payload_start, static_cast<size_t>(len));
-  put_raw<uint32_t>(out, crc);
+  size_t old = out->size();
+  out->resize(old + put_record_size(key, updates));
+  encode_put_to(out->data() + old, key, updates, version, timestamp_us);
 }
 
 inline void encode_remove(std::string* out, std::string_view key, uint64_t version,
                           uint64_t timestamp_us) {
-  size_t payload_start = out->size() + sizeof(uint32_t);
-  put_raw<uint32_t>(out, 0);
-  put_raw<uint8_t>(out, static_cast<uint8_t>(LogType::kRemove));
-  put_raw<uint64_t>(out, timestamp_us);
-  put_raw<uint64_t>(out, version);
-  put_raw<uint32_t>(out, static_cast<uint32_t>(key.size()));
-  out->append(key);
-  uint32_t len = static_cast<uint32_t>(out->size() - payload_start);
-  std::memcpy(out->data() + payload_start - sizeof(uint32_t), &len, sizeof(uint32_t));
-  uint32_t crc = crc32(out->data() + payload_start, static_cast<size_t>(len));
-  put_raw<uint32_t>(out, crc);
+  size_t old = out->size();
+  out->resize(old + remove_record_size(key));
+  encode_remove_to(out->data() + old, key, version, timestamp_us);
+}
+
+inline void encode_marker(std::string* out, uint64_t timestamp_us) {
+  size_t old = out->size();
+  out->resize(old + marker_record_size());
+  encode_marker_to(out->data() + old, LogType::kMarker, timestamp_us);
+}
+
+inline void encode_close(std::string* out, uint64_t timestamp_us) {
+  size_t old = out->size();
+  out->resize(old + marker_record_size());
+  encode_marker_to(out->data() + old, LogType::kClose, timestamp_us);
+}
+
+// Length of the valid record prefix of buf: frames and checksums are
+// verified, but no entries are materialized — O(1) memory, used by startup
+// tail repair where decode_all's owning copies of every key and value would
+// be a pointless allocation spike.
+inline size_t valid_prefix_bytes(std::string_view buf) {
+  size_t pos = 0;
+  for (;;) {
+    if (buf.size() - pos < sizeof(uint32_t)) {
+      return pos;
+    }
+    uint32_t len;
+    std::memcpy(&len, buf.data() + pos, sizeof(uint32_t));
+    size_t payload = pos + sizeof(uint32_t);
+    if (len < kMinPayload || buf.size() - payload < len + sizeof(uint32_t)) {
+      return pos;
+    }
+    uint32_t want_crc;
+    std::memcpy(&want_crc, buf.data() + payload + len, sizeof(uint32_t));
+    if (crc32(buf.data() + payload, static_cast<size_t>(len)) != want_crc) {
+      return pos;
+    }
+    uint8_t type = static_cast<uint8_t>(buf[payload]);
+    if (type < static_cast<uint8_t>(LogType::kPut) ||
+        type > static_cast<uint8_t>(LogType::kClose)) {
+      return pos;
+    }
+    pos = payload + len + sizeof(uint32_t);
+  }
 }
 
 // Decode every complete, checksum-valid record from buf. Stops (without
@@ -119,7 +226,7 @@ inline size_t decode_all(std::string_view buf, std::vector<LogEntry>* out) {
     uint32_t len;
     read_raw(pos, &len);
     size_t payload = pos + sizeof(uint32_t);
-    if (len < 21 || buf.size() - payload < len + sizeof(uint32_t)) {
+    if (len < kMinPayload || buf.size() - payload < len + sizeof(uint32_t)) {
       return pos;  // torn tail
     }
     uint32_t want_crc;
@@ -132,9 +239,8 @@ inline size_t decode_all(std::string_view buf, std::vector<LogEntry>* out) {
     uint8_t type;
     read_raw(p, &type);
     p += 1;
-    if (type != static_cast<uint8_t>(LogType::kPut) &&
-        type != static_cast<uint8_t>(LogType::kRemove) &&
-        type != static_cast<uint8_t>(LogType::kMarker)) {
+    if (type < static_cast<uint8_t>(LogType::kPut) ||
+        type > static_cast<uint8_t>(LogType::kClose)) {
       return pos;
     }
     e.type = static_cast<LogType>(type);

@@ -6,18 +6,31 @@
 //  Masstree plays back the logged updates in parallel, taking care to apply a
 //  value's updates in increasing order by version, except that updates with
 //  u.timestamp > t are dropped."
+//
+// One refinement over the paper's sketch: logs are per-session files, and a
+// session that detached cleanly stamps a trailing kClose marker. Such a
+// "complete" log lost nothing, so it contributes every record to replay but
+// does not bound the cutoff — otherwise any long-dead session's file would
+// pin t at its final write forever. Only live logs (no trailing kClose: the
+// producer may have had records in flight when the crash hit) constrain t.
 
 #ifndef MASSTREE_LOG_RECOVERY_H_
 #define MASSTREE_LOG_RECOVERY_H_
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <string>
 #include <vector>
 
 #include "log/logrecord.h"
+#include "util/timing.h"
 
 namespace masstree {
 
@@ -34,33 +47,126 @@ inline std::vector<LogEntry> read_log_file(const std::string& path) {
   return out;
 }
 
+// Every per-session log file in `dir` (the Store names them log-<n>.bin),
+// sorted for deterministic replay. Missing directories list as empty.
+inline std::vector<std::string> list_log_files(const std::string& dir) {
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) {
+      continue;
+    }
+    std::string name = entry.path().filename().string();
+    if (name.rfind("log-", 0) == 0 && name.size() > 8 &&
+        name.compare(name.size() - 4, 4, ".bin") == 0) {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+struct LogFileData {
+  std::vector<LogEntry> entries;
+  // Trailing kClose: the producer detached cleanly, nothing was lost.
+  bool complete = false;
+};
+
 struct RecoverySet {
-  std::vector<std::vector<LogEntry>> logs;  // one vector per log file
+  std::vector<LogFileData> logs;  // one per log file
   uint64_t cutoff_us = std::numeric_limits<uint64_t>::max();
 };
 
 // Load every per-worker log and compute the §5 cutoff: the minimum over
-// non-empty logs of their last (max) timestamp. A log that recorded nothing
-// does not constrain the cutoff.
+// non-empty LIVE logs of their last (max) timestamp. Complete logs and logs
+// that recorded nothing do not constrain the cutoff; if every log is
+// complete the cutoff stays at +inf (nothing was lost anywhere).
 inline RecoverySet load_logs(const std::vector<std::string>& paths) {
   RecoverySet rs;
-  bool any = false;
+  bool any_live = false;
+  bool any_records = false;
   for (const auto& p : paths) {
-    rs.logs.push_back(read_log_file(p));
-    const auto& log = rs.logs.back();
-    if (!log.empty()) {
-      uint64_t last = 0;
-      for (const auto& e : log) {
-        last = std::max(last, e.timestamp_us);
+    LogFileData lf;
+    lf.entries = read_log_file(p);
+    lf.complete = !lf.entries.empty() && lf.entries.back().type == LogType::kClose;
+    if (!lf.entries.empty()) {
+      any_records = true;
+      if (!lf.complete) {
+        uint64_t last = 0;
+        for (const auto& e : lf.entries) {
+          last = std::max(last, e.timestamp_us);
+        }
+        rs.cutoff_us = std::min(rs.cutoff_us, last);
+        any_live = true;
       }
-      rs.cutoff_us = std::min(rs.cutoff_us, last);
-      any = true;
     }
+    rs.logs.push_back(std::move(lf));
   }
-  if (!any) {
-    rs.cutoff_us = 0;
+  if (!any_live) {
+    // All-complete: keep everything. No logs at all: nothing to keep.
+    rs.cutoff_us = any_records ? std::numeric_limits<uint64_t>::max() : 0;
   }
   return rs;
+}
+
+// Byte length of `e` as encoded on disk (framing included). Exact mirror of
+// the logwire encoders, used to map entry counts back to file offsets.
+inline size_t entry_wire_size(const LogEntry& e) {
+  size_t n = logwire::kRecordOverhead + e.key.size();
+  if (e.type == LogType::kPut) {
+    n += 2;
+    for (const auto& [col, data] : e.columns) {
+      (void)col;
+      n += 6 + data.size();
+    }
+  }
+  return n;
+}
+
+// Once recovery has consumed a log, seal it: trim the file to its
+// crash-consistent prefix (data records with timestamp <= cutoff, which
+// also severs any torn tail) and stamp a kClose completion marker. Without
+// this, a recovered-but-never-reused live log would pin every future cutoff
+// at its old last timestamp, and beyond-cutoff records — deliberately
+// dropped by THIS recovery — would resurrect on the next one. Complete logs
+// need the trim too: a session that closed cleanly before the crash can
+// still hold records newer than a cutoff set by some other, live log.
+inline void seal_recovered_log(const std::string& path, const LogFileData& lf,
+                               uint64_t cutoff_us) {
+  size_t keep = 0;
+  bool beyond_cutoff = false;
+  for (const auto& e : lf.entries) {
+    // Markers carry no replayable state, so only data records gate the cut.
+    if ((e.type == LogType::kPut || e.type == LogType::kRemove) &&
+        e.timestamp_us > cutoff_us) {
+      beyond_cutoff = true;
+      break;
+    }
+    keep += entry_wire_size(e);
+  }
+  if (lf.complete && !beyond_cutoff) {
+    return;  // already exactly the state the next recovery should see
+  }
+  int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  if (fd < 0) {
+    return;
+  }
+  if (::ftruncate(fd, static_cast<off_t>(keep)) == 0) {
+    char buf[64];
+    size_t n = logwire::encode_marker_to(buf, LogType::kClose, wall_us());
+    size_t off = 0;
+    while (off < n) {
+      ssize_t w = ::write(fd, buf + off, n - off);
+      if (w <= 0 && errno != EINTR) {
+        break;
+      }
+      if (w > 0) {
+        off += static_cast<size_t>(w);
+      }
+    }
+    ::fdatasync(fd);
+  }
+  ::close(fd);
 }
 
 // Flatten + filter + sort for replay: drops entries with timestamp > cutoff
@@ -70,9 +176,9 @@ inline RecoverySet load_logs(const std::vector<std::string>& paths) {
 inline std::vector<LogEntry> replay_plan(RecoverySet&& rs, uint64_t since_us = 0) {
   std::vector<LogEntry> plan;
   for (auto& log : rs.logs) {
-    for (auto& e : log) {
-      if (e.type != LogType::kMarker && e.timestamp_us <= rs.cutoff_us &&
-          e.timestamp_us >= since_us) {
+    for (auto& e : log.entries) {
+      if (e.type != LogType::kMarker && e.type != LogType::kClose &&
+          e.timestamp_us <= rs.cutoff_us && e.timestamp_us >= since_us) {
         plan.push_back(std::move(e));
       }
     }

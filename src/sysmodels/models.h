@@ -193,7 +193,9 @@ class RedisModel : public KVModel {
       row.replace(off, data.size(), data);  // SETRANGE
     }
     if (s.aof) {
-      s.aof->append_put(key, {{col == ~0u ? 0u : col, data}}, 0, wall_us());
+      // The instance mutex serializes appends, satisfying the Logger's
+      // single-producer contract.
+      s.aof->append_put(key, {{col == ~0u ? 0u : col, data}}, 0);
     }
     return inserted;
   }

@@ -35,6 +35,14 @@ enum class Counter : unsigned {
                            //   node, dead layer, or a detached cursor re-attaching)
   kScanAllocs,             // scan-cursor buffer growth events; zero on the
                            //   steady-state chain-walk path (the perf claim)
+  kLogAppends,             // records encoded into a per-worker log buffer (§5)
+  kLogStalls,              // appends that blocked on a full double-buffer
+                           //   (both halves awaiting the logging thread)
+  kLogAllocs,              // log-buffer allocation events; after the shard's
+                           //   two arena halves exist the append path is
+                           //   allocation-free, so steady state is zero
+                           //   (same discipline as kScanAllocs)
+  kLogFlushBytes,          // bytes group-committed by logging threads
   kNumCounters,
 };
 

@@ -1,5 +1,13 @@
-// CRC-32 (IEEE 802.3 polynomial), table-driven. Used to detect torn or
-// corrupt tails when scanning logs and checkpoints during recovery (§5).
+// CRC-32 used to detect torn or corrupt tails when scanning logs and
+// checkpoints during recovery (§5).
+//
+// On x86-64 with SSE4.2 this is the hardware CRC32 instruction (the
+// iSCSI/Castagnoli polynomial, ~0.3 cycles/byte); elsewhere it falls back to
+// a table-driven CRC over the same polynomial so encoders and decoders in
+// one build always agree. The checksum guards each record's framing on the
+// log append fast path, so its cost is part of the paper's "logging costs
+// <10% of put throughput" budget — the byte-at-a-time IEEE table loop was
+// the single largest instruction cost on that path.
 
 #ifndef MASSTREE_UTIL_CRC32_H_
 #define MASSTREE_UTIL_CRC32_H_
@@ -7,18 +15,26 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <string_view>
+
+#if defined(__x86_64__)
+#include <cpuid.h>
+#endif
 
 namespace masstree {
 
 namespace internal {
-inline const std::array<uint32_t, 256>& crc32_table() {
+
+// Castagnoli (CRC-32C) table for the software fallback; the reflected
+// polynomial matches the SSE4.2 crc32 instruction bit-for-bit.
+inline const std::array<uint32_t, 256>& crc32c_table() {
   static const std::array<uint32_t, 256> table = [] {
     std::array<uint32_t, 256> t{};
     for (uint32_t i = 0; i < 256; ++i) {
       uint32_t c = i;
       for (int k = 0; k < 8; ++k) {
-        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+        c = (c & 1) ? 0x82F63B78u ^ (c >> 1) : (c >> 1);
       }
       t[i] = c;
     }
@@ -26,15 +42,62 @@ inline const std::array<uint32_t, 256>& crc32_table() {
   }();
   return table;
 }
-}  // namespace internal
 
-inline uint32_t crc32(const void* data, size_t len, uint32_t seed = 0) {
-  const auto& table = internal::crc32_table();
-  uint32_t c = seed ^ 0xFFFFFFFFu;
-  const unsigned char* p = static_cast<const unsigned char*>(data);
+inline uint32_t crc32c_sw(uint32_t c, const unsigned char* p, size_t len) {
+  const auto& table = crc32c_table();
   for (size_t i = 0; i < len; ++i) {
     c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
   }
+  return c;
+}
+
+#if defined(__x86_64__)
+
+__attribute__((target("sse4.2"))) inline uint32_t crc32c_hw(uint32_t c,
+                                                            const unsigned char* p,
+                                                            size_t len) {
+  while (len >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    c = static_cast<uint32_t>(__builtin_ia32_crc32di(c, chunk));
+    p += 8;
+    len -= 8;
+  }
+  while (len > 0) {
+    c = __builtin_ia32_crc32qi(c, *p);
+    ++p;
+    --len;
+  }
+  return c;
+}
+
+inline bool crc32c_have_sse42() {
+  static const bool have = [] {
+    unsigned eax, ebx, ecx = 0, edx;
+    if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
+      return false;
+    }
+    return (ecx & bit_SSE4_2) != 0;
+  }();
+  return have;
+}
+
+#endif  // __x86_64__
+
+}  // namespace internal
+
+inline uint32_t crc32(const void* data, size_t len, uint32_t seed = 0) {
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+#if defined(__x86_64__)
+  if (internal::crc32c_have_sse42()) {
+    c = internal::crc32c_hw(c, p, len);
+  } else {
+    c = internal::crc32c_sw(c, p, len);
+  }
+#else
+  c = internal::crc32c_sw(c, p, len);
+#endif
   return c ^ 0xFFFFFFFFu;
 }
 

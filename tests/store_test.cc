@@ -339,8 +339,8 @@ TEST(Store, LogTruncationAfterCheckpoint) {
     ASSERT_TRUE(store.checkpoint(ckpt_dir, 2));
     store.truncate_logs();
     uint64_t bytes = 0;
-    for (unsigned i = 0; i < 2; ++i) {
-      bytes += std::filesystem::file_size(Store::log_path(log_dir, i));
+    for (const auto& p : list_log_files(log_dir)) {
+      bytes += std::filesystem::file_size(p);
     }
     EXPECT_EQ(bytes, 0u);
     for (int i = 0; i < 50; ++i) {
@@ -395,6 +395,57 @@ TEST(Store, CheckpointConcurrentWithWrites) {
     total += read_checkpoint_part(checkpoint_part_path(ckpt_dir, p)).size();
   }
   EXPECT_GE(total, 5000u);
+}
+
+TEST(Store, BackgroundMaintenanceDrainsLayerGC) {
+  // With the maintenance thread on (the default), deferred empty-layer
+  // cleanups drain without any foreground thread ever running them.
+  Store store;
+  Store::Session s(store, 0);
+  // Keys sharing a long prefix force trie layers (§4.6.3); removing them
+  // queues empty-layer GC tasks.
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 64; ++i) {
+      store.put("prefix-8bytes-layer" + std::to_string(round) + "-deep-" +
+                    std::to_string(i),
+                {{0, "v"}}, s);
+    }
+    for (int i = 0; i < 64; ++i) {
+      store.remove("prefix-8bytes-layer" + std::to_string(round) + "-deep-" +
+                       std::to_string(i),
+                   s);
+    }
+  }
+  for (int tries = 0; tries < 500 && store.tree().pending_maintenance() != 0; ++tries) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(store.tree().pending_maintenance(), 0u);
+}
+
+TEST(Store, SessionChurnReusesLogShards) {
+  std::string dir = FreshDir("store_churn_logs");
+  Store::Options opt;
+  opt.log_dir = dir;
+  opt.log_partitions = 2;
+  Store store(opt);
+  for (int i = 0; i < 30; ++i) {
+    {
+      Store::Session s(store, 0);
+      store.put("churn" + std::to_string(i), {{0, "v"}}, s);
+      EXPECT_EQ(s.ti().counters().get(Counter::kLogAppends), 1u);
+    }
+    // A full round parks the released shard, so the next session reuses its
+    // file instead of minting log-<n+1>.bin.
+    store.sync_logs();
+  }
+  size_t files = list_log_files(dir).size();
+  EXPECT_LE(files, 2u) << "session churn must reuse parked shards";
+  EXPECT_EQ(store.log_error(), 0);
+  EXPECT_GT(store.log_totals().flush_bytes, 0u);
+  // Every one of those 30 sessions' records recovers.
+  Store recovered;
+  auto res = recovered.recover("", dir, 2);
+  EXPECT_EQ(res.log_entries_applied, 30u);
 }
 
 }  // namespace
