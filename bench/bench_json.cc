@@ -5,9 +5,10 @@
 // Measures the headline Masstree throughputs every PR must not regress —
 // uniform point gets, software-pipelined batched gets (multiget, §4.8),
 // snapshot-batched range scans (getrange §3, scan_mops as pairs/s at
-// scan_len), fresh-key inserts, uniform updates, and a YCSB-A-style 50/50
+// scan_len), fresh-key inserts, uniform updates, a YCSB-A-style 50/50
 // get/update mix over a Zipfian (theta=0.99, scrambled) popularity
-// distribution — and
+// distribution, and served-over-the-wire gets through the §6.1 epoll
+// event-loop server (net_get_mops at net_conns pipelined connections) — and
 // writes them as one JSON object (stdout if no path). Workload scale follows
 // the MT_BENCH_* environment knobs of bench/common.h.
 
@@ -19,8 +20,10 @@
 #include <string>
 
 #include "bench/common.h"
+#include "bench/net_driver.h"
 #include "core/tree.h"
 #include "kvstore/store.h"
+#include "net/server.h"
 #include "util/rand.h"
 #include "workload/keys.h"
 
@@ -198,6 +201,34 @@ int main(int argc, char** argv) {
         return ops;
       });
 
+  // Network serving (§6.1): uniform point gets through the epoll event-loop
+  // server over the real wire protocol — kNetConns pipelined connections at
+  // depth kNetDepth, frames of 32 gets, cross-connection runs coalesced into
+  // Tree::multiget. The trajectory metric every PR must keep non-zero.
+  constexpr unsigned kNetConns = 64, kNetDepth = 16;
+  double net_get_mops;
+  uint64_t net_batched_gets;
+  {
+    Store net_store;
+    bench::NetDriveConfig cfg;
+    cfg.nconns = kNetConns;
+    cfg.depth = kNetDepth;
+    cfg.keyspace = std::min<uint64_t>(loaded, 200000);
+    cfg.threads = std::min(e.threads, kNetConns);
+    cfg.secs = e.secs;
+    {
+      Store::Session s(net_store, 0);
+      for (uint64_t i = 0; i < cfg.keyspace; ++i) {
+        net_store.put(decimal_key(i), {{0, "12345678"}}, s);
+      }
+    }
+    Server server(net_store, Server::Options{0, e.threads});
+    server.start();
+    net_get_mops = bench::drive_gets(server.port(), cfg);
+    net_batched_gets = server.batched_gets();
+    server.stop();
+  }
+
   std::string json;
   char buf[256];
   auto add = [&](const char* fmt, auto... args) {
@@ -221,7 +252,12 @@ int main(int argc, char** argv) {
   add("    \"put_unlogged_mops\": %.4f,\n", put_unlogged_mops);
   add("    \"put_logged_mops\": %.4f,\n", put_logged_mops);
   add("    \"log_overhead_pct\": %.2f,\n", log_overhead_pct);
-  add("    \"ycsb_a_zipfian_mops\": %.4f\n", ycsb_a_mops);
+  add("    \"ycsb_a_zipfian_mops\": %.4f,\n", ycsb_a_mops);
+  add("    \"net_get_mops\": %.4f,\n", net_get_mops);
+  add("    \"net_conns\": %u,\n", kNetConns);
+  add("    \"net_pipeline_depth\": %u,\n", kNetDepth);
+  add("    \"net_batched_gets\": %llu\n",
+      static_cast<unsigned long long>(net_batched_gets));
   add("  }\n");
   add("}\n");
 

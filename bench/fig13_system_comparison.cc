@@ -18,11 +18,25 @@
 // 2.13 / N/A; -B 8.90 / 0.04 / 0.20 / 2.69 / N/A; -C 9.86 / 0.05 / 0.21 /
 // 2.70 / 5.28; -E 0.91 / ~0 / ~0 / N/A / N/A.
 
+// After the model table, the binary runs the §6.1 connections-vs-throughput
+// sweep: the epoll event-loop server (src/net/server.h) against the
+// thread-per-connection-era blocking baseline (src/net/blocking_server.h),
+// both serving the same store over the real wire protocol at 1/8/64/256
+// connections and pipeline depths 1 and 16. The event loop must win at 64+
+// connections — that is where cross-connection batch formation (gets
+// coalesced into Tree::multiget, the PALM observation) and non-blocking
+// writes pay for themselves.
+
+#include <algorithm>
 #include <filesystem>
 #include <memory>
+#include <mutex>
 
 #include "bench/common.h"
+#include "bench/net_driver.h"
 #include "kvstore/store.h"
+#include "net/blocking_server.h"
+#include "net/server.h"
 #include "sysmodels/models.h"
 #include "util/busywork.h"
 #include "util/rand.h"
@@ -77,16 +91,28 @@ class MasstreeModel : public KVModel {
   }
 
  private:
+  // Sessions are owned by the model (declared after store_, so destroyed
+  // first) and the thread_local holds only a raw cache pointer: an owning
+  // thread_local would run its ~Session from glibc's TLS destructors AFTER
+  // main returns — a use-after-free on the model's already-destroyed store
+  // that kills the process before stdio even flushes.
   Store::Session& session() {
-    thread_local std::unique_ptr<Store::Session> s;
-    if (!s || &s->store() != store_.get()) {
-      s = std::make_unique<Store::Session>(*store_, next_worker_.fetch_add(1));
+    thread_local MasstreeModel* owner = nullptr;
+    thread_local Store::Session* s = nullptr;
+    if (s == nullptr || owner != this) {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      sessions_.push_back(
+          std::make_unique<Store::Session>(*store_, next_worker_.fetch_add(1)));
+      s = sessions_.back().get();
+      owner = this;
     }
     return *s;
   }
 
   std::unique_ptr<Store> store_;
   std::atomic<unsigned> next_worker_{0};
+  std::mutex sessions_mu_;
+  std::vector<std::unique_ptr<Store::Session>> sessions_;
 };
 
 struct NetCost {
@@ -176,6 +202,65 @@ void prefill_mycsb(KVModel& m, const Env& e) {
   for (uint64_t i = 0; i < e.keys; ++i) {
     m.put(mycsb_key(i), ~0u, row);
   }
+}
+
+// ---- §6.1 connections vs throughput ----
+
+void run_net_sweep(const Env& e) {
+  std::printf("\n-- connections vs throughput (§6.1): epoll event loop vs "
+              "blocking baseline --\n");
+  uint64_t keyspace = std::min<uint64_t>(e.keys, 100000);
+  Store store;
+  {
+    Store::Session s(store, 0);
+    for (uint64_t i = 0; i < keyspace; ++i) {
+      store.put(decimal_key(i), {{0, "8bytes!!"}}, s);
+    }
+  }
+  Server loop_server(store, Server::Options{0, e.threads});
+  loop_server.start();
+  BlockingServer<Store> block_server(store, {0, e.threads});
+  block_server.start();
+
+  std::printf("%6s %6s %13s %13s %8s\n", "conns", "depth", "eventloop", "blocking",
+              "ratio");
+  // Best-of-two per cell, measurements interleaved (as bench_json does for
+  // the logging overhead pair): one pass per server is scheduler-noise
+  // roulette on small boxes. The 64+ verdict compares each connection
+  // count's combined (geometric-mean) throughput across the two depths.
+  bool beats_at_scale = true;
+  for (unsigned conns : {1u, 8u, 64u, 256u}) {
+    double ev_geo = 1.0, bl_geo = 1.0;
+    for (unsigned depth : {1u, 16u}) {
+      bench::NetDriveConfig cfg;
+      cfg.nconns = conns;
+      cfg.depth = depth;
+      cfg.keyspace = keyspace;
+      cfg.threads = std::min(e.threads, conns);
+      cfg.secs = e.secs;
+      double ev = 0.0, bl = 0.0;
+      for (int rep = 0; rep < 2; ++rep) {
+        ev = std::max(ev, bench::drive_gets(loop_server.port(), cfg));
+        bl = std::max(bl, bench::drive_gets(block_server.port(), cfg));
+      }
+      std::printf("%6u %6u %11.3f M %11.3f M %7.2fx\n", conns, depth, ev, bl,
+                  bl > 0 ? ev / bl : 0.0);
+      ev_geo *= ev;
+      bl_geo *= bl;
+    }
+    if (conns >= 64 && ev_geo < bl_geo) {
+      beats_at_scale = false;
+    }
+  }
+  std::printf("cross-connection batched gets reaching Tree::multiget "
+              "(kNetBatchedGets mirror): %llu in %llu batches\n",
+              static_cast<unsigned long long>(loop_server.batched_gets()),
+              static_cast<unsigned long long>(loop_server.batches_formed()));
+  std::printf("verdict: event loop %s the blocking per-connection baseline at "
+              "64+ connections\n",
+              beats_at_scale ? "beats" : "DOES NOT beat");
+  block_server.stop();
+  loop_server.stop();
 }
 
 }  // namespace
@@ -280,5 +365,7 @@ int main() {
   std::printf("\npaper (16-core Mops): get 9.10/0.04/0.22/5.97/9.78  put 5.84/0.04/0.22/"
               "2.97/1.21\n  A 6.05/0.05/0.20/2.13/NA  B 8.90/0.04/0.20/2.69/NA  "
               "C 9.86/0.05/0.21/2.70/5.28  E 0.91/~0/~0/NA/NA\n");
+
+  run_net_sweep(e);
   return 0;
 }

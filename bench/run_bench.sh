@@ -81,6 +81,30 @@ if [ "$(printf '%s\n' "$ov" | awk '{ print ($1 > -1000 && $1 < 1000) ? "ok" : "b
 fi
 echo "== put_logged_mops = $pl, log_overhead_pct = $ov (present and finite)"
 
+# The §6.1 served path: net_get_mops (gets through the epoll event-loop
+# server over the wire) and net_conns (the pipelined connection count it was
+# measured at) must both be present and non-zero, so the network layer stays
+# measured on every run.
+ng=$(sed -n 's/.*"net_get_mops": \([0-9.]*\).*/\1/p' "$json_out")
+if [ -z "$ng" ]; then
+    echo "run_bench.sh: net_get_mops missing from $json_out" >&2
+    exit 1
+fi
+if [ "$(printf '%s\n' "$ng" | awk '{ print ($1 > 0) ? "ok" : "zero" }')" != "ok" ]; then
+    echo "run_bench.sh: net_get_mops is zero in $json_out" >&2
+    exit 1
+fi
+nc=$(sed -n 's/.*"net_conns": \([0-9]*\).*/\1/p' "$json_out")
+if [ -z "$nc" ]; then
+    echo "run_bench.sh: net_conns missing from $json_out" >&2
+    exit 1
+fi
+if [ "$(printf '%s\n' "$nc" | awk '{ print ($1 > 0) ? "ok" : "zero" }')" != "ok" ]; then
+    echo "run_bench.sh: net_conns is zero in $json_out" >&2
+    exit 1
+fi
+echo "== net_get_mops = $ng at net_conns = $nc (present and non-zero)"
+
 if [ -x "$bin_dir/micro_gbench" ]; then
     echo "== micro_gbench -> $out_dir/BENCH_gbench.json"
     "$bin_dir/micro_gbench" --benchmark_format=json \

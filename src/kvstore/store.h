@@ -74,6 +74,11 @@ class Store {
     unsigned worker_id_;
     LogShard* log_ = nullptr;
     ThreadContext ti_;
+    // Reusable multiget scratch: the event-loop server batches gets through
+    // this session every wakeup, so the request array must not reallocate in
+    // steady state.
+    std::vector<Tree::GetRequest> mg_reqs_;
+    std::vector<const Row*> mg_rows_;
   };
 
   Store() : Store(Options()) {}
@@ -148,19 +153,37 @@ class Store {
     if (keys.empty()) {
       return 0;
     }
-    EpochGuard guard(s.ti_.slot());
-    std::vector<Tree::GetRequest> reqs(keys.size());
+    EpochGuard guard(s.ti_.slot());  // rows stay alive through extraction
+    s.mg_rows_.resize(keys.size());
+    size_t nfound = multiget_rows(keys, s.mg_rows_.data(), s);
     for (size_t i = 0; i < keys.size(); ++i) {
-      reqs[i].key = keys[i];
-    }
-    size_t nfound = tree_->multiget(std::span<Tree::GetRequest>(reqs), s.ti_);
-    for (size_t i = 0; i < reqs.size(); ++i) {
-      if (!reqs[i].found) {
+      if (s.mg_rows_[i] == nullptr) {
         continue;
       }
       MultigetResult& res = (*out)[i];
       res.found = true;
-      extract_columns(Row::from_slot(reqs[i].value), cols, &res.columns);
+      extract_columns(s.mg_rows_[i], cols, &res.columns);
+    }
+    return nfound;
+  }
+
+  // Raw batched-read seam under the column layer: one software-pipelined
+  // tree multiget, results as row pointers (nullptr = absent). rows[] must
+  // hold keys.size() slots. The CALLER must hold an EpochGuard on s.ti() for
+  // the whole time it dereferences the returned rows — this is what lets the
+  // network server encode each op's own column selection straight out of the
+  // shared batch without copying every row into MultigetResults first.
+  // Allocation-free in steady state (session-owned request scratch).
+  size_t multiget_rows(std::span<const std::string_view> keys, const Row** rows,
+                       Session& s) const {
+    std::vector<Tree::GetRequest>& reqs = s.mg_reqs_;
+    reqs.resize(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      reqs[i] = Tree::GetRequest{keys[i]};
+    }
+    size_t nfound = tree_->multiget(std::span<Tree::GetRequest>(reqs), s.ti_);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      rows[i] = reqs[i].found ? Row::from_slot(reqs[i].value) : nullptr;
     }
     return nfound;
   }

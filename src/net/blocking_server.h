@@ -1,0 +1,433 @@
+// The pre-§6.1 blocking network server, kept as the measured baseline for
+// the event-loop server's connections-vs-throughput sweep (bench/fig13).
+//
+// One acceptor thread distributes connections round-robin across workers;
+// each worker poll()s its connections and, per readable connection, reads,
+// parses, executes, and write_all()s the response synchronously — a slow or
+// unread connection blocks its worker, and requests from different
+// connections never coalesce into one tree batch. Those two properties are
+// exactly what the sweep quantifies, so this file should stay dumb: do not
+// "fix" it toward src/net/server.h.
+
+#ifndef MASSTREE_NET_BLOCKING_SERVER_H_
+#define MASSTREE_NET_BLOCKING_SERVER_H_
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kvstore/store.h"
+#include "net/proto.h"
+
+namespace masstree {
+
+template <typename S>
+concept BlockingHasMultiget =
+    requires(const S& s, std::vector<std::string_view>& keys,
+             const std::vector<unsigned>& cols,
+             std::vector<typename S::MultigetResult>& out, typename S::Session& sess) {
+      s.multiget(std::span<const std::string_view>(keys), cols, &out, sess);
+    };
+
+template <typename StoreT = Store>
+class BlockingServer {
+ public:
+  struct Options {
+    uint16_t port = 0;  // 0 = ephemeral
+    unsigned workers = 2;
+  };
+
+  BlockingServer(StoreT& store, Options opt) : store_(store), opt_(opt) {}
+
+  ~BlockingServer() { stop(); }
+
+  void start() {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      throw std::runtime_error("BlockingServer: socket() failed");
+    }
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(opt_.port);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 128) != 0) {
+      throw std::runtime_error("BlockingServer: bind/listen failed");
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+
+    workers_.resize(opt_.workers);
+    for (unsigned w = 0; w < opt_.workers; ++w) {
+      workers_[w] = std::make_unique<Worker>(*this, w);
+      workers_[w]->thread = std::thread([this, w] { workers_[w]->run(); });
+    }
+    acceptor_ = std::thread([this] { accept_loop(); });
+  }
+
+  void stop() {
+    bool expected = false;
+    if (!stopping_.compare_exchange_strong(expected, true)) {
+      return;
+    }
+    if (listen_fd_ >= 0) {
+      ::shutdown(listen_fd_, SHUT_RDWR);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    if (acceptor_.joinable()) {
+      acceptor_.join();
+    }
+    for (auto& w : workers_) {
+      if (w) {
+        w->shutdown();
+        if (w->thread.joinable()) {
+          w->thread.join();
+        }
+      }
+    }
+  }
+
+  uint16_t port() const { return port_; }
+  uint64_t ops_served() const { return ops_served_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Worker {
+    Worker(BlockingServer& server, unsigned id)
+        : server(server), session(server.store_, id) {
+      if (::pipe(wake_pipe) != 0) {
+        throw std::runtime_error("BlockingServer: pipe() failed");
+      }
+    }
+    ~Worker() {
+      ::close(wake_pipe[0]);
+      ::close(wake_pipe[1]);
+      for (auto& c : conns) {
+        ::close(c.fd);
+      }
+    }
+
+    void add_connection(int fd) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        pending.push_back(fd);
+      }
+      char b = 'c';
+      ssize_t r = ::write(wake_pipe[1], &b, 1);
+      (void)r;
+    }
+
+    void shutdown() {
+      stop.store(true, std::memory_order_release);
+      char b = 'q';
+      ssize_t r = ::write(wake_pipe[1], &b, 1);
+      (void)r;
+    }
+
+    void run() {
+      std::vector<pollfd> fds;
+      while (!stop.load(std::memory_order_acquire)) {
+        fds.clear();
+        fds.push_back(pollfd{wake_pipe[0], POLLIN, 0});
+        for (auto& c : conns) {
+          fds.push_back(pollfd{c.fd, POLLIN, 0});
+        }
+        if (::poll(fds.data(), fds.size(), 200) < 0) {
+          continue;
+        }
+        if (fds[0].revents & POLLIN) {
+          char drain[64];
+          ssize_t r = ::read(wake_pipe[0], drain, sizeof(drain));
+          (void)r;
+          std::lock_guard<std::mutex> lock(mu);
+          for (int fd : pending) {
+            conns.push_back(Conn{fd, {}});
+          }
+          pending.clear();
+        }
+        for (size_t i = 0; i + 1 <= conns.size(); ++i) {
+          // fds[i+1] pairs with conns[i] (fds[0] is the wake pipe).
+          if (i + 1 < fds.size() && (fds[i + 1].revents & (POLLIN | POLLHUP | POLLERR))) {
+            if (!service(conns[i])) {
+              ::close(conns[i].fd);
+              conns.erase(conns.begin() + static_cast<long>(i));
+              --i;
+            }
+          }
+        }
+      }
+    }
+
+    struct Conn {
+      int fd;
+      std::string inbuf;
+    };
+
+    // Reads available bytes; executes every complete frame. Returns false
+    // when the connection is gone.
+    bool service(Conn& c) {
+      char buf[64 << 10];
+      ssize_t n = ::read(c.fd, buf, sizeof(buf));
+      if (n <= 0) {
+        return false;
+      }
+      c.inbuf.append(buf, static_cast<size_t>(n));
+      size_t consumed_total = 0;
+      for (;;) {
+        size_t consumed = 0;
+        auto body = netwire::try_frame(
+            std::string_view(c.inbuf).substr(consumed_total), &consumed);
+        if (!body) {
+          break;
+        }
+        std::string resp = execute_batch(*body);
+        netwire::frame(&resp);
+        if (!write_all(c.fd, resp)) {
+          return false;
+        }
+        consumed_total += consumed;
+      }
+      if (consumed_total > 0) {
+        c.inbuf.erase(0, consumed_total);
+      }
+      return true;
+    }
+
+    std::string execute_batch(std::string_view body) {
+      std::string resp;
+      netwire::Reader r(body);
+      std::vector<std::string> cols_out;
+      while (!r.done()) {
+        uint8_t opcode;
+        if (!r.read(&opcode)) {
+          break;
+        }
+        switch (static_cast<NetOp>(opcode)) {
+          case NetOp::kGet: {
+            uint32_t klen;
+            std::string_view key;
+            uint16_t ncols;
+            if (!r.read(&klen) || !r.read_bytes(klen, &key) || !r.read(&ncols)) {
+              return resp;
+            }
+            std::vector<unsigned> cols;
+            for (uint16_t i = 0; i < ncols; ++i) {
+              uint16_t c;
+              if (!r.read(&c)) {
+                return resp;
+              }
+              cols.push_back(c);
+            }
+            bool found = server.store_.get(key, cols, &cols_out, session);
+            netwire::put_raw<uint8_t>(&resp, found ? 0 : 1);
+            if (found) {
+              netwire::put_raw<uint16_t>(&resp, static_cast<uint16_t>(cols_out.size()));
+              for (const auto& v : cols_out) {
+                netwire::put_raw<uint32_t>(&resp, static_cast<uint32_t>(v.size()));
+                resp.append(v);
+              }
+            }
+            break;
+          }
+          case NetOp::kPut: {
+            uint32_t klen;
+            std::string_view key;
+            uint16_t ncols;
+            if (!r.read(&klen) || !r.read_bytes(klen, &key) || !r.read(&ncols)) {
+              return resp;
+            }
+            std::vector<ColumnUpdate> updates;
+            for (uint16_t i = 0; i < ncols; ++i) {
+              uint16_t c;
+              uint32_t len;
+              std::string_view data;
+              if (!r.read(&c) || !r.read(&len) || !r.read_bytes(len, &data)) {
+                return resp;
+              }
+              updates.push_back(ColumnUpdate{c, data});
+            }
+            bool inserted = server.store_.put(key, updates, session);
+            netwire::put_raw<uint8_t>(&resp, 0);
+            netwire::put_raw<uint8_t>(&resp, inserted ? 1 : 0);
+            break;
+          }
+          case NetOp::kRemove: {
+            uint32_t klen;
+            std::string_view key;
+            if (!r.read(&klen) || !r.read_bytes(klen, &key)) {
+              return resp;
+            }
+            bool removed = server.store_.remove(key, session);
+            netwire::put_raw<uint8_t>(&resp, removed ? 0 : 1);
+            break;
+          }
+          case NetOp::kScan: {
+            uint32_t klen;
+            std::string_view key;
+            uint32_t limit;
+            uint16_t col;
+            if (!r.read(&klen) || !r.read_bytes(klen, &key) || !r.read(&limit) ||
+                !r.read(&col)) {
+              return resp;
+            }
+            if (limit > kMaxScanLimit) {
+              netwire::put_raw<uint8_t>(&resp, static_cast<uint8_t>(NetStatus::kRejected));
+              break;
+            }
+            netwire::put_raw<uint8_t>(&resp, 0);
+            size_t count_pos = resp.size();
+            netwire::put_raw<uint32_t>(&resp, 0);
+            uint32_t count = 0;
+            server.store_.getrange(
+                key, limit, col,
+                [&](std::string_view k, std::string_view v, const Row*) {
+                  netwire::put_raw<uint32_t>(&resp, static_cast<uint32_t>(k.size()));
+                  resp.append(k);
+                  netwire::put_raw<uint32_t>(&resp, static_cast<uint32_t>(v.size()));
+                  resp.append(v);
+                  ++count;
+                  return true;
+                },
+                session);
+            std::memcpy(resp.data() + count_pos, &count, sizeof(count));
+            break;
+          }
+          case NetOp::kPing: {
+            netwire::put_raw<uint8_t>(&resp, 0);
+            break;
+          }
+          case NetOp::kMultiGet: {
+            uint16_t ncols;
+            if (!r.read(&ncols)) {
+              return resp;
+            }
+            std::vector<unsigned> cols;
+            for (uint16_t i = 0; i < ncols; ++i) {
+              uint16_t c;
+              if (!r.read(&c)) {
+                return resp;
+              }
+              cols.push_back(c);
+            }
+            uint16_t count;
+            if (!r.read(&count)) {
+              return resp;
+            }
+            std::vector<std::string_view> keys(count);
+            for (uint16_t i = 0; i < count; ++i) {
+              uint32_t klen;
+              if (!r.read(&klen) || !r.read_bytes(klen, &keys[i])) {
+                return resp;
+              }
+            }
+            if (count > kMaxMultigetBatch) {
+              netwire::put_raw<uint8_t>(&resp, static_cast<uint8_t>(NetStatus::kRejected));
+              break;
+            }
+            netwire::put_raw<uint8_t>(&resp, 0);
+            netwire::put_raw<uint16_t>(&resp, count);
+            if constexpr (BlockingHasMultiget<StoreT>) {
+              std::vector<typename StoreT::MultigetResult> out;
+              server.store_.multiget(std::span<const std::string_view>(keys), cols, &out,
+                                     session);
+              for (uint16_t i = 0; i < count; ++i) {
+                netwire::put_raw<uint8_t>(&resp, out[i].found ? 1 : 0);
+                if (out[i].found) {
+                  netwire::put_raw<uint16_t>(&resp,
+                                             static_cast<uint16_t>(out[i].columns.size()));
+                  for (const auto& v : out[i].columns) {
+                    netwire::put_raw<uint32_t>(&resp, static_cast<uint32_t>(v.size()));
+                    resp.append(v);
+                  }
+                }
+              }
+            } else {
+              for (uint16_t i = 0; i < count; ++i) {
+                bool found = server.store_.get(keys[i], cols, &cols_out, session);
+                netwire::put_raw<uint8_t>(&resp, found ? 1 : 0);
+                if (found) {
+                  netwire::put_raw<uint16_t>(&resp, static_cast<uint16_t>(cols_out.size()));
+                  for (const auto& v : cols_out) {
+                    netwire::put_raw<uint32_t>(&resp, static_cast<uint32_t>(v.size()));
+                    resp.append(v);
+                  }
+                }
+              }
+            }
+            break;
+          }
+          default:
+            return resp;  // unknown op: stop parsing this frame
+        }
+        server.ops_served_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return resp;
+    }
+
+    static bool write_all(int fd, std::string_view data) {
+      size_t off = 0;
+      while (off < data.size()) {
+        // MSG_NOSIGNAL: a client gone mid-response is this connection's
+        // failure, not a process-wide SIGPIPE.
+        ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+        if (n <= 0) {
+          return false;
+        }
+        off += static_cast<size_t>(n);
+      }
+      return true;
+    }
+
+    BlockingServer& server;
+    typename StoreT::Session session;
+    std::thread thread;
+    std::atomic<bool> stop{false};
+    int wake_pipe[2];
+    std::mutex mu;
+    std::vector<int> pending;
+    std::vector<Conn> conns;
+  };
+
+  void accept_loop() {
+    unsigned next = 0;
+    while (!stopping_.load(std::memory_order_acquire)) {
+      int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) {
+        break;  // listener closed
+      }
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      workers_[next % workers_.size()]->add_connection(fd);
+      ++next;
+    }
+  }
+
+  StoreT& store_;
+  Options opt_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> ops_served_{0};
+};
+
+}  // namespace masstree
+
+#endif  // MASSTREE_NET_BLOCKING_SERVER_H_

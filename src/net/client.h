@@ -14,6 +14,7 @@
 #include <unistd.h>
 
 #include <cstdint>
+#include <deque>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -112,21 +113,47 @@ class Client {
   }
 
   size_t pending() const { return ops_.size(); }
+  size_t inflight() const { return inflight_.size(); }
 
-  // Sends the batch and decodes one Result per queued op.
-  std::vector<Result> flush() {
-    std::vector<Result> results;
+  // ---- pipelining ----
+  // send() ships the queued ops as one request frame WITHOUT waiting for the
+  // response; receive() blocks for the oldest in-flight frame's responses.
+  // The server answers frames strictly in order (see proto.h), so a client
+  // can keep `depth` frames in flight — send() x depth, then one receive()
+  // per further send() — which is what lets server-side batches form across
+  // wakeups. flush() is the depth-1 convenience: send + receive.
+  void send() {
     if (ops_.empty()) {
-      return results;
+      return;
     }
     netwire::frame(&batch_);
     write_all(batch_);
     batch_.clear();
+    inflight_.push_back(std::move(ops_));
+    ops_.clear();
+  }
 
-    std::string body = read_frame();
+  std::vector<Result> receive() {
+    if (inflight_.empty()) {
+      return {};
+    }
+    std::vector<NetOp> ops = std::move(inflight_.front());
+    inflight_.pop_front();
+    return decode(ops, read_frame());
+  }
+
+  // Sends the batch and decodes one Result per queued op.
+  std::vector<Result> flush() {
+    send();
+    return receive();
+  }
+
+ private:
+  std::vector<Result> decode(const std::vector<NetOp>& ops, const std::string& body) {
+    std::vector<Result> results;
     netwire::Reader r(body);
-    results.reserve(ops_.size());
-    for (NetOp op : ops_) {
+    results.reserve(ops.size());
+    for (NetOp op : ops) {
       Result res;
       res.op = op;
       uint8_t status;
@@ -215,15 +242,15 @@ class Client {
       }
       results.push_back(std::move(res));
     }
-    ops_.clear();
     return results;
   }
 
- private:
   void write_all(std::string_view data) {
     size_t off = 0;
     while (off < data.size()) {
-      ssize_t n = ::write(fd_, data.data() + off, data.size() - off);
+      // MSG_NOSIGNAL: a server that closed the connection (e.g. after a
+      // protocol error) should surface as the exception below, not SIGPIPE.
+      ssize_t n = ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
       if (n <= 0) {
         throw std::runtime_error("Client: write failed");
       }
@@ -252,6 +279,7 @@ class Client {
   int fd_ = -1;
   std::string batch_;
   std::vector<NetOp> ops_;
+  std::deque<std::vector<NetOp>> inflight_;  // op lists of sent, unanswered frames
   std::string inbuf_;
 };
 

@@ -31,6 +31,21 @@
 //     kPing:        -
 //     kMultiGet ok: u16 count | count x (u8 found | found: u16 ncols
 //                   (u32 len bytes)*); rejected: no payload
+//
+// Pipelining contract: a client may send any number of request frames
+// back-to-back without waiting; the server answers every request frame with
+// exactly one response frame, in order, and may coalesce work across frames
+// and across connections internally. An empty request frame (body_len 0)
+// yields an empty response frame.
+//
+// Protocol errors: a length prefix above kMaxFrameBody, an unknown opcode,
+// or a truncated/overrunning op body poisons the byte stream — it cannot be
+// resynchronized. The server finishes responding to the frames it already
+// accepted from that connection, then sends one final frame whose body is a
+// single kRejected status byte and closes the connection. The worker and its
+// other connections are unaffected. (Well-formed-but-refused ops — oversized
+// kMultiGet batches or kScan limits — are NOT protocol errors: they get an
+// in-band kRejected result and the connection lives on.)
 
 #ifndef MASSTREE_NET_PROTO_H_
 #define MASSTREE_NET_PROTO_H_
@@ -70,6 +85,12 @@ inline constexpr size_t kMaxMultigetBatch = 1024;
 // Over-limit scans get NetStatus::kRejected; clients page longer ranges by
 // re-issuing from the last returned key.
 inline constexpr size_t kMaxScanLimit = 65536;
+
+// Upper bound on a frame's u32 body length. A length prefix above this is a
+// protocol error (the connection is rejected and closed): it is far beyond
+// anything the op set can legitimately encode, so treating it as real would
+// let one garbage header commit the server to buffering 4 GiB.
+inline constexpr size_t kMaxFrameBody = 16 << 20;
 
 namespace netwire {
 

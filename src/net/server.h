@@ -1,16 +1,37 @@
-// The Masstree network server (§5).
+// The Masstree network server (§5, §6.1): epoll event-loop workers with
+// cross-connection batch formation.
 //
 // "Masstree uses network interfaces that support per-core receive and
-//  transmit queues ... Our benchmarks, however, use long-lived TCP query
-//  connections from few clients (or client aggregators), a common operating
-//  mode that is equally effective at avoiding network overhead."
+//  transmit queues ... A single client message can include many queries."
 //
-// One acceptor distributes connections round-robin across worker threads
-// (standing in for per-core NIC queues); each worker owns its connections
-// outright — it polls, parses frames, executes the batch against the shared
-// Store with its own Session (thread context + log partition), and writes
-// the response. No locks are shared between workers outside the store
-// itself.
+// Each worker owns an epoll set of N nonblocking connections plus one
+// StoreT::Session (thread context + log partition) — session-per-worker, not
+// session-per-connection, so a worker serving hundreds of clients still pays
+// one epoch slot and one log shard. On every wakeup the worker
+//
+//   1. drains all readable connections into their per-connection rx buffers
+//      (netframe::InBuffer; the decoder resumes across short reads),
+//   2. parses every complete frame's ops in place — keys stay views into the
+//      rx buffer, no allocation per request in steady state,
+//   3. forms batches ACROSS connections: maximal runs of read ops (kGet,
+//      kMultiGet) from every connection are coalesced into single
+//      Tree::multiget drives (§4.8/PALM — the pipelined read path finally
+//      applies to independent network clients, not just in-process callers),
+//      while writes/scans interleave inline so each connection still sees its
+//      own ops execute in order (read-your-writes per connection holds:
+//      a connection's pending reads execute before its next write does),
+//   4. encodes responses straight into per-connection tx rings and flushes
+//      with writev; a connection whose client stops reading gets EPOLLOUT
+//      re-arm and an rx pause above the tx high-water mark — never a blocked
+//      worker thread, never an unbounded buffer.
+//
+// The listener is itself routed through worker 0's epoll set, so accept()
+// never blocks anywhere: stop() wakes every worker via its eventfd, joins,
+// and only then closes the listen fd (the shutdown/accept race of the old
+// blocking server is structurally gone).
+//
+// Scans execute inline through StoreT::getrange, which drives the engine's
+// snapshot-batched ScanCursor (§3) — the other batch entry point.
 
 #ifndef MASSTREE_NET_SERVER_H_
 #define MASSTREE_NET_SERVER_H_
@@ -18,12 +39,15 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <stdexcept>
@@ -32,37 +56,47 @@
 #include <vector>
 
 #include "kvstore/store.h"
+#include "net/framing.h"
 #include "net/proto.h"
 
 namespace masstree {
 
-// Backends that provide Store's batched-read entry point get the pipelined
-// kMultiGet path; others fall back to sequential gets.
+// Backends that provide Store's raw batched-read seam get cross-connection
+// batch formation into Tree::multiget; others (§6.3 alternative backends)
+// fall back to sequential gets.
 template <typename S>
-concept HasMultiget =
-    requires(const S& s, std::vector<std::string_view>& keys,
-             const std::vector<unsigned>& cols,
-             std::vector<typename S::MultigetResult>& out, typename S::Session& sess) {
-      s.multiget(std::span<const std::string_view>(keys), cols, &out, sess);
+concept HasMultigetRows =
+    requires(const S& s, std::span<const std::string_view> keys, const Row** rows,
+             typename S::Session& sess) {
+      { s.multiget_rows(keys, rows, sess) } -> std::convertible_to<size_t>;
     };
 
 // The server is a template so alternative backends (§6.3 benches a binary
-// tree behind the same network + logging stack) can reuse it; any type with
-// Store's Session/get/put/remove/getrange interface works.
+// tree behind the same network stack) can reuse it; any type with Store's
+// Session/get/put/remove/getrange interface works.
 template <typename StoreT = Store>
 class BasicServer {
  public:
   struct Options {
     uint16_t port = 0;  // 0 = ephemeral
     unsigned workers = 2;
+    // Backpressure: once a connection's tx ring holds more than tx_highwater
+    // unflushed bytes, the worker stops reading (and so parsing/executing)
+    // that connection until the client drains it below half the mark. Other
+    // connections on the worker are unaffected.
+    size_t tx_highwater = 1 << 20;
   };
 
-  BasicServer(StoreT& store, Options opt) : store_(store), opt_(opt) {}
+  BasicServer(StoreT& store, Options opt) : store_(store), opt_(opt) {
+    if (opt_.workers == 0) {
+      opt_.workers = 1;
+    }
+  }
 
   ~BasicServer() { stop(); }
 
   void start() {
-    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
     if (listen_fd_ < 0) {
       throw std::runtime_error("Server: socket() failed");
     }
@@ -73,7 +107,7 @@ class BasicServer {
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     addr.sin_port = htons(opt_.port);
     if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-        ::listen(listen_fd_, 128) != 0) {
+        ::listen(listen_fd_, 512) != 0) {
       throw std::runtime_error("Server: bind/listen failed");
     }
     socklen_t len = sizeof(addr);
@@ -83,9 +117,13 @@ class BasicServer {
     workers_.resize(opt_.workers);
     for (unsigned w = 0; w < opt_.workers; ++w) {
       workers_[w] = std::make_unique<Worker>(*this, w);
+    }
+    // The listener lives in worker 0's epoll set: accepts are just another
+    // event, and there is no dedicated acceptor thread to race with close().
+    workers_[0]->add_listener(listen_fd_);
+    for (unsigned w = 0; w < opt_.workers; ++w) {
       workers_[w]->thread = std::thread([this, w] { workers_[w]->run(); });
     }
-    acceptor_ = std::thread([this] { accept_loop(); });
   }
 
   void stop() {
@@ -93,360 +131,890 @@ class BasicServer {
     if (!stopping_.compare_exchange_strong(expected, true)) {
       return;
     }
-    if (listen_fd_ >= 0) {
-      ::shutdown(listen_fd_, SHUT_RDWR);
-      ::close(listen_fd_);
-      listen_fd_ = -1;
-    }
-    if (acceptor_.joinable()) {
-      acceptor_.join();
-    }
     for (auto& w : workers_) {
       if (w) {
         w->shutdown();
-        if (w->thread.joinable()) {
-          w->thread.join();
-        }
       }
+    }
+    for (auto& w : workers_) {
+      if (w && w->thread.joinable()) {
+        w->thread.join();
+      }
+    }
+    // Every worker (including the accepting one) has exited its loop; only
+    // now is closing the listen fd race-free.
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
     }
   }
 
   uint16_t port() const { return port_; }
   uint64_t ops_served() const { return ops_served_.load(std::memory_order_relaxed); }
+  // Cross-request batch formation telemetry: gets that reached Tree::multiget
+  // through a formed batch coalescing >= 2 request ops, and the number of
+  // such batches. (Workers also count Counter::kNetBatchedGets in their
+  // sessions' ThreadCounters.)
+  uint64_t batched_gets() const { return batched_gets_.load(std::memory_order_relaxed); }
+  uint64_t batches_formed() const {
+    return batches_formed_.load(std::memory_order_relaxed);
+  }
 
  private:
+  struct Conn {
+    int fd = -1;
+    size_t idx = 0;  // position in Worker::conns
+    netframe::InBuffer rx;
+    netframe::TxRing tx;
+    uint32_t events = 0;       // currently-armed epoll interest
+    size_t parsed = 0;         // bytes parsed this wakeup, consumed post-batch
+    bool eof = false;          // peer finished writing; flush then close
+    bool proto_error = false;  // poisoned stream: kRejected frame, then close
+    bool closing = false;      // close as soon as tx drains
+    bool paused = false;       // rx interest dropped (tx over high water)
+    bool queued = false;       // already on this wakeup's ready list
+    bool dead = false;         // fd closed; reaped at end of wakeup
+  };
+
+  // One parsed request op. Views point into the owning connection's rx
+  // buffer; variable-length payloads (column ids, column updates, multiget
+  // keys) live in the worker's reusable pools.
+  struct ParsedOp {
+    NetOp op = NetOp::kPing;
+    bool rejected = false;     // parsed but refused (oversized multiget/scan)
+    bool frame_end = false;    // last op of its frame: patch the length prefix
+    bool empty_frame = false;  // zero-op frame: respond with an empty frame
+    std::string_view key;
+    uint32_t scan_limit = 0;
+    uint16_t scan_col = 0;
+    uint32_t cols_off = 0, cols_cnt = 0;  // -> cols_pool
+    uint32_t upd_off = 0, upd_cnt = 0;    // -> upd_pool
+    uint32_t keys_off = 0, keys_cnt = 0;  // -> keys_pool
+  };
+
+  // A connection's slice of this wakeup's parsed ops, plus response-frame
+  // assembly state (the u32 length prefix is reserved when the frame's first
+  // result is encoded and patched at its last).
+  struct ConnWork {
+    Conn* c;
+    uint32_t next, end;  // range in Worker::ops
+    bool frame_open = false;
+    uint64_t frame_len_pos = 0;
+  };
+
+  // One batchable read op's slot in the formed batch.
+  struct BatchRef {
+    uint32_t work;     // -> works
+    uint32_t opi;      // -> ops
+    uint32_t key_off;  // first key in batch_keys
+    uint32_t nkeys;
+  };
+
   struct Worker {
     Worker(BasicServer& server, unsigned id)
-        : server(server), session(server.store_, id) {
-      if (::pipe(wake_pipe) != 0) {
-        throw std::runtime_error("Server: pipe() failed");
+        : server(server), id(id), session(server.store_, id) {
+      epfd = ::epoll_create1(EPOLL_CLOEXEC);
+      wakefd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+      if (epfd < 0 || wakefd < 0) {
+        throw std::runtime_error("Server: epoll_create1/eventfd failed");
       }
-    }
-    ~Worker() {
-      ::close(wake_pipe[0]);
-      ::close(wake_pipe[1]);
-      for (auto& c : conns) {
-        ::close(c.fd);
-      }
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.ptr = &wake_tag;
+      ::epoll_ctl(epfd, EPOLL_CTL_ADD, wakefd, &ev);
     }
 
+    ~Worker() {
+      for (auto& c : conns) {
+        if (!c->dead) {
+          ::close(c->fd);
+        }
+      }
+      ::close(wakefd);
+      ::close(epfd);
+    }
+
+    void add_listener(int lfd) {
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.ptr = &listen_tag;
+      ::epoll_ctl(epfd, EPOLL_CTL_ADD, lfd, &ev);
+    }
+
+    // Cross-thread handoff of an accepted fd (from the accepting worker).
     void add_connection(int fd) {
       {
         std::lock_guard<std::mutex> lock(mu);
         pending.push_back(fd);
       }
-      char b = 'c';
-      ssize_t r = ::write(wake_pipe[1], &b, 1);
+      wake();
+    }
+
+    void wake() {
+      uint64_t one = 1;
+      ssize_t r = ::write(wakefd, &one, sizeof(one));
       (void)r;
     }
 
     void shutdown() {
       stop.store(true, std::memory_order_release);
-      char b = 'q';
-      ssize_t r = ::write(wake_pipe[1], &b, 1);
+      wake();
+    }
+
+    // ---- event loop ----------------------------------------------------
+    void run() {
+      epoll_event evs[128];
+      while (!stop.load(std::memory_order_acquire)) {
+        int n = ::epoll_wait(epfd, evs, 128, -1);
+        if (n < 0) {
+          if (errno == EINTR) {
+            continue;
+          }
+          break;
+        }
+        for (int i = 0; i < n; ++i) {
+          void* p = evs[i].data.ptr;
+          if (p == &wake_tag) {
+            drain_wake();
+            adopt_pending();
+            continue;
+          }
+          if (p == &listen_tag) {
+            accept_ready();
+            continue;
+          }
+          Conn* c = static_cast<Conn*>(p);
+          if (c->dead) {
+            continue;
+          }
+          uint32_t e = evs[i].events;
+          if (e & (EPOLLHUP | EPOLLERR)) {
+            close_conn(c);  // peer fully gone; nobody will read responses
+            continue;
+          }
+          if (e & EPOLLOUT) {
+            on_writable(c);
+          }
+          if (!c->dead && (e & EPOLLIN)) {
+            on_readable(c);
+          }
+        }
+        // Drain the ready list to empty: processing may unpause connections
+        // whose buffered frames must run this wakeup (no new socket event
+        // will re-announce bytes that are already in the rx buffer).
+        while (!ready.empty()) {
+          process();
+        }
+        reap();
+      }
+    }
+
+   private:
+    // ---- accept & adopt ------------------------------------------------
+    void accept_ready() {
+      for (;;) {
+        int fd = ::accept4(server.listen_fd_, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) {
+          return;  // EAGAIN, or transient (ECONNABORTED/EMFILE): just stop
+        }
+        unsigned target = rr_next++ % static_cast<unsigned>(server.workers_.size());
+        if (target == id) {
+          adopt(fd);
+        } else {
+          server.workers_[target]->add_connection(fd);
+        }
+      }
+    }
+
+    void drain_wake() {
+      uint64_t v;
+      ssize_t r = ::read(wakefd, &v, sizeof(v));
       (void)r;
     }
 
-    void run() {
-      std::vector<pollfd> fds;
-      while (!stop.load(std::memory_order_acquire)) {
-        fds.clear();
-        fds.push_back(pollfd{wake_pipe[0], POLLIN, 0});
-        for (auto& c : conns) {
-          fds.push_back(pollfd{c.fd, POLLIN, 0});
-        }
-        if (::poll(fds.data(), fds.size(), 200) < 0) {
-          continue;
-        }
-        if (fds[0].revents & POLLIN) {
-          char drain[64];
-          ssize_t r = ::read(wake_pipe[0], drain, sizeof(drain));
-          (void)r;
-          std::lock_guard<std::mutex> lock(mu);
-          for (int fd : pending) {
-            conns.push_back(Conn{fd, {}});
-          }
-          pending.clear();
-        }
-        for (size_t i = 0; i + 1 <= conns.size(); ++i) {
-          // fds[i+1] pairs with conns[i] (fds[0] is the wake pipe).
-          if (i + 1 < fds.size() && (fds[i + 1].revents & (POLLIN | POLLHUP | POLLERR))) {
-            if (!service(conns[i])) {
-              ::close(conns[i].fd);
-              conns.erase(conns.begin() + static_cast<long>(i));
-              --i;
-            }
-          }
-        }
+    void adopt_pending() {
+      adopted.clear();
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        adopted.swap(pending);
+      }
+      for (int fd : adopted) {
+        adopt(fd);
       }
     }
 
-    struct Conn {
-      int fd;
-      std::string inbuf;
-    };
-
-    // Reads available bytes; executes every complete frame. Returns false
-    // when the connection is gone.
-    bool service(Conn& c) {
-      char buf[64 << 10];
-      ssize_t n = ::read(c.fd, buf, sizeof(buf));
-      if (n <= 0) {
-        return false;
+    void adopt(int fd) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      auto c = std::make_unique<Conn>();
+      c->fd = fd;
+      c->idx = conns.size();
+      c->events = EPOLLIN;
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.ptr = c.get();
+      if (::epoll_ctl(epfd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        ::close(fd);
+        return;
       }
-      c.inbuf.append(buf, static_cast<size_t>(n));
-      size_t consumed_total = 0;
-      for (;;) {
-        size_t consumed = 0;
-        auto body = netwire::try_frame(
-            std::string_view(c.inbuf).substr(consumed_total), &consumed);
-        if (!body) {
+      conns.push_back(std::move(c));
+    }
+
+    // ---- per-connection IO ---------------------------------------------
+    // Read-side fairness: one connection may fill at most this much of its
+    // rx buffer per wakeup; level-triggered epoll re-announces the rest.
+    static constexpr size_t kReadBudget = 256 << 10;
+
+    void on_readable(Conn* c) {
+      if (c->paused || c->closing || c->proto_error || c->eof) {
+        return;  // interest should be off; ignore a straggling event
+      }
+      size_t budget = kReadBudget;
+      bool got = false;
+      while (budget > 0) {
+        size_t chunk = budget < (64 << 10) ? budget : (64 << 10);
+        ssize_t r = c->rx.fill(c->fd, chunk);
+        if (r > 0) {
+          budget -= static_cast<size_t>(r);
+          got = true;
+          if (static_cast<size_t>(r) < chunk) {
+            break;  // short read: drained; skip the EAGAIN probe (LT epoll
+                    // re-announces anything that races in behind us)
+          }
+          continue;
+        }
+        if (r == 0) {
+          c->eof = true;
           break;
         }
-        std::string resp = execute_batch(*body);
-        netwire::frame(&resp);
-        if (!write_all(c.fd, resp)) {
+        if (errno == EINTR) {
+          continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          break;
+        }
+        close_conn(c);  // hard error (ECONNRESET, ...): drop everything
+        return;
+      }
+      if (got || c->eof) {
+        queue_ready(c);
+      }
+    }
+
+    void on_writable(Conn* c) {
+      bool was_paused = c->paused;
+      flush_and_update(c);
+      if (!c->dead && was_paused && !c->paused && c->rx.size() > 0) {
+        queue_ready(c);  // buffered frames can progress again
+      }
+    }
+
+    void queue_ready(Conn* c) {
+      if (!c->queued) {
+        c->queued = true;
+        ready.push_back(c);
+      }
+    }
+
+    // Flush the tx ring as far as the socket allows, recompute backpressure
+    // state, and re-arm epoll interest.
+    void flush_and_update(Conn* c) {
+      while (!c->tx.empty()) {
+        ssize_t n = c->tx.flush(c->fd);
+        if (n < 0) {
+          if (errno == EINTR) {
+            continue;
+          }
+          if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            break;
+          }
+          close_conn(c);
+          return;
+        }
+        if (n == 0) {
+          break;
+        }
+      }
+      if (c->tx.empty() && c->closing) {
+        close_conn(c);
+        return;
+      }
+      if (c->closing) {
+        c->paused = false;
+      } else if (c->tx.size() > server.opt_.tx_highwater) {
+        c->paused = true;  // stop reading this client until it drains us
+      } else if (c->paused && c->tx.size() <= server.opt_.tx_highwater / 2) {
+        c->paused = false;
+      }
+      update_interest(c);
+    }
+
+    void update_interest(Conn* c) {
+      uint32_t want = 0;
+      if (!c->paused && !c->closing && !c->proto_error && !c->eof) {
+        want |= EPOLLIN;
+      }
+      if (!c->tx.empty()) {
+        want |= EPOLLOUT;
+      }
+      if (want != c->events) {
+        epoll_event ev{};
+        ev.events = want;
+        ev.data.ptr = c;
+        ::epoll_ctl(epfd, EPOLL_CTL_MOD, c->fd, &ev);
+        c->events = want;
+      }
+    }
+
+    void close_conn(Conn* c) {
+      if (c->dead) {
+        return;
+      }
+      ::close(c->fd);  // also removes it from the epoll set
+      c->dead = true;
+      dying.push_back(c);
+    }
+
+    void reap() {
+      for (Conn* c : dying) {
+        size_t i = c->idx;
+        conns[i] = std::move(conns.back());
+        conns[i]->idx = i;
+        conns.pop_back();
+      }
+      dying.clear();
+    }
+
+    // ---- parse ----------------------------------------------------------
+    // Parses every complete frame buffered on c into the worker's op list.
+    // Nothing is consumed yet: op keys are views into the rx buffer and must
+    // survive until the batch executes. Returns bytes ready to consume.
+    size_t parse_frames(Conn* c) {
+      size_t consumed = 0;
+      while (ops.size() < kRoundOpsBudget) {
+        std::string_view body;
+        size_t flen = 0;
+        netframe::FrameStatus st =
+            netframe::decode_frame(c->rx.view(), consumed, &body, &flen);
+        if (st == netframe::FrameStatus::kNeedMore) {
+          break;
+        }
+        if (st == netframe::FrameStatus::kTooBig || !parse_frame(body)) {
+          // Oversized length prefix or malformed op body: the stream cannot
+          // be resynchronized. The connection gets one kRejected frame and a
+          // close; the worker and its other connections are untouched.
+          c->proto_error = true;
+          break;
+        }
+        consumed += flen;
+      }
+      return consumed;
+    }
+
+    // Parses one frame body's ops; on any malformed op, rolls the pools back
+    // to the frame start and reports failure.
+    bool parse_frame(std::string_view body) {
+      size_t op_start = ops.size();
+      size_t cols_start = cols_pool.size();
+      size_t upd_start = upd_pool.size();
+      size_t keys_start = keys_pool.size();
+      netwire::Reader r(body);
+      if (r.done()) {
+        ParsedOp p;
+        p.empty_frame = true;
+        p.frame_end = true;
+        ops.push_back(p);
+        return true;
+      }
+      while (!r.done()) {
+        if (!parse_op(r)) {
+          ops.resize(op_start);
+          cols_pool.resize(cols_start);
+          upd_pool.resize(upd_start);
+          keys_pool.resize(keys_start);
           return false;
         }
-        consumed_total += consumed;
       }
-      if (consumed_total > 0) {
-        c.inbuf.erase(0, consumed_total);
-      }
+      ops.back().frame_end = true;
       return true;
     }
 
-    std::string execute_batch(std::string_view body) {
-      std::string resp;
-      netwire::Reader r(body);
-      std::vector<std::string> cols_out;
-      while (!r.done()) {
-        uint8_t opcode;
-        if (!r.read(&opcode)) {
+    bool parse_op(netwire::Reader& r) {
+      uint8_t opcode;
+      if (!r.read(&opcode)) {
+        return false;
+      }
+      ParsedOp p;
+      p.op = static_cast<NetOp>(opcode);
+      switch (p.op) {
+        case NetOp::kGet: {
+          uint32_t klen;
+          uint16_t ncols;
+          if (!r.read(&klen) || !r.read_bytes(klen, &p.key) || !r.read(&ncols)) {
+            return false;
+          }
+          p.cols_off = static_cast<uint32_t>(cols_pool.size());
+          p.cols_cnt = ncols;
+          for (uint16_t i = 0; i < ncols; ++i) {
+            uint16_t col;
+            if (!r.read(&col)) {
+              return false;
+            }
+            cols_pool.push_back(col);
+          }
           break;
         }
-        switch (static_cast<NetOp>(opcode)) {
-          case NetOp::kGet: {
-            uint32_t klen;
-            std::string_view key;
-            uint16_t ncols;
-            if (!r.read(&klen) || !r.read_bytes(klen, &key) || !r.read(&ncols)) {
-              return resp;
-            }
-            std::vector<unsigned> cols;
-            for (uint16_t i = 0; i < ncols; ++i) {
-              uint16_t c;
-              if (!r.read(&c)) {
-                return resp;
-              }
-              cols.push_back(c);
-            }
-            bool found = server.store_.get(key, cols, &cols_out, session);
-            netwire::put_raw<uint8_t>(&resp, found ? 0 : 1);
-            if (found) {
-              netwire::put_raw<uint16_t>(&resp, static_cast<uint16_t>(cols_out.size()));
-              for (const auto& v : cols_out) {
-                netwire::put_raw<uint32_t>(&resp, static_cast<uint32_t>(v.size()));
-                resp.append(v);
-              }
-            }
-            break;
+        case NetOp::kPut: {
+          uint32_t klen;
+          uint16_t ncols;
+          if (!r.read(&klen) || !r.read_bytes(klen, &p.key) || !r.read(&ncols)) {
+            return false;
           }
-          case NetOp::kPut: {
-            uint32_t klen;
-            std::string_view key;
-            uint16_t ncols;
-            if (!r.read(&klen) || !r.read_bytes(klen, &key) || !r.read(&ncols)) {
-              return resp;
+          p.upd_off = static_cast<uint32_t>(upd_pool.size());
+          p.upd_cnt = ncols;
+          for (uint16_t i = 0; i < ncols; ++i) {
+            uint16_t col;
+            uint32_t len;
+            std::string_view data;
+            if (!r.read(&col) || !r.read(&len) || !r.read_bytes(len, &data)) {
+              return false;
             }
-            std::vector<ColumnUpdate> updates;
-            for (uint16_t i = 0; i < ncols; ++i) {
-              uint16_t c;
-              uint32_t len;
-              std::string_view data;
-              if (!r.read(&c) || !r.read(&len) || !r.read_bytes(len, &data)) {
-                return resp;
-              }
-              updates.push_back(ColumnUpdate{c, data});
-            }
-            bool inserted = server.store_.put(key, updates, session);
-            netwire::put_raw<uint8_t>(&resp, 0);
-            netwire::put_raw<uint8_t>(&resp, inserted ? 1 : 0);
-            break;
+            upd_pool.push_back(ColumnUpdate{col, data});
           }
-          case NetOp::kRemove: {
+          break;
+        }
+        case NetOp::kRemove: {
+          uint32_t klen;
+          if (!r.read(&klen) || !r.read_bytes(klen, &p.key)) {
+            return false;
+          }
+          break;
+        }
+        case NetOp::kScan: {
+          uint32_t klen;
+          if (!r.read(&klen) || !r.read_bytes(klen, &p.key) || !r.read(&p.scan_limit) ||
+              !r.read(&p.scan_col)) {
+            return false;
+          }
+          p.rejected = p.scan_limit > kMaxScanLimit;
+          break;
+        }
+        case NetOp::kPing:
+          break;
+        case NetOp::kMultiGet: {
+          uint16_t ncols;
+          if (!r.read(&ncols)) {
+            return false;
+          }
+          p.cols_off = static_cast<uint32_t>(cols_pool.size());
+          p.cols_cnt = ncols;
+          for (uint16_t i = 0; i < ncols; ++i) {
+            uint16_t col;
+            if (!r.read(&col)) {
+              return false;
+            }
+            cols_pool.push_back(col);
+          }
+          uint16_t count;
+          if (!r.read(&count)) {
+            return false;
+          }
+          p.keys_off = static_cast<uint32_t>(keys_pool.size());
+          p.keys_cnt = count;
+          for (uint16_t i = 0; i < count; ++i) {
             uint32_t klen;
             std::string_view key;
             if (!r.read(&klen) || !r.read_bytes(klen, &key)) {
-              return resp;
+              return false;
             }
-            bool removed = server.store_.remove(key, session);
-            netwire::put_raw<uint8_t>(&resp, removed ? 0 : 1);
-            break;
+            keys_pool.push_back(key);
           }
-          case NetOp::kScan: {
-            uint32_t klen;
-            std::string_view key;
-            uint32_t limit;
-            uint16_t col;
-            if (!r.read(&klen) || !r.read_bytes(klen, &key) || !r.read(&limit) ||
-                !r.read(&col)) {
-              return resp;
-            }
-            if (limit > kMaxScanLimit) {
-              // Parsed (so the rest of the frame stays decodable) but
-              // refused: one scan op must not stream an unbounded range into
-              // one response frame (mirror of the kMultiGet cap).
-              netwire::put_raw<uint8_t>(&resp, static_cast<uint8_t>(NetStatus::kRejected));
-              break;
-            }
-            netwire::put_raw<uint8_t>(&resp, 0);
-            size_t count_pos = resp.size();
-            netwire::put_raw<uint32_t>(&resp, 0);
-            uint32_t count = 0;
-            // Batched encode: getrange streams whole border-node snapshots
-            // from the store's scan cursor; each emitted pair appends
-            // straight into the response body.
-            server.store_.getrange(
-                key, limit, col,
-                [&](std::string_view k, std::string_view v, const Row*) {
-                  netwire::put_raw<uint32_t>(&resp, static_cast<uint32_t>(k.size()));
-                  resp.append(k);
-                  netwire::put_raw<uint32_t>(&resp, static_cast<uint32_t>(v.size()));
-                  resp.append(v);
-                  ++count;
-                  return true;
-                },
-                session);
-            std::memcpy(resp.data() + count_pos, &count, sizeof(count));
-            break;
-          }
-          case NetOp::kPing: {
-            netwire::put_raw<uint8_t>(&resp, 0);
-            break;
-          }
-          case NetOp::kMultiGet: {
-            uint16_t ncols;
-            if (!r.read(&ncols)) {
-              return resp;
-            }
-            std::vector<unsigned> cols;
-            for (uint16_t i = 0; i < ncols; ++i) {
-              uint16_t c;
-              if (!r.read(&c)) {
-                return resp;
-              }
-              cols.push_back(c);
-            }
-            uint16_t count;
-            if (!r.read(&count)) {
-              return resp;
-            }
-            std::vector<std::string_view> keys(count);
-            for (uint16_t i = 0; i < count; ++i) {
-              uint32_t klen;
-              if (!r.read(&klen) || !r.read_bytes(klen, &keys[i])) {
-                return resp;
-              }
-            }
-            if (count > kMaxMultigetBatch) {
-              // Parsed (so the rest of the frame stays decodable) but
-              // refused: a batch this large would pin an epoch too long.
-              netwire::put_raw<uint8_t>(&resp, static_cast<uint8_t>(NetStatus::kRejected));
-              break;
-            }
-            netwire::put_raw<uint8_t>(&resp, 0);
-            netwire::put_raw<uint16_t>(&resp, count);
-            // The pipelined batch path when the backend provides it; plain
-            // sequential gets for §6.3-style alternative backends.
-            if constexpr (HasMultiget<StoreT>) {
-              std::vector<typename StoreT::MultigetResult> out;
-              server.store_.multiget(std::span<const std::string_view>(keys), cols, &out,
-                                     session);
-              for (uint16_t i = 0; i < count; ++i) {
-                netwire::put_raw<uint8_t>(&resp, out[i].found ? 1 : 0);
-                if (out[i].found) {
-                  netwire::put_raw<uint16_t>(&resp,
-                                             static_cast<uint16_t>(out[i].columns.size()));
-                  for (const auto& v : out[i].columns) {
-                    netwire::put_raw<uint32_t>(&resp, static_cast<uint32_t>(v.size()));
-                    resp.append(v);
-                  }
-                }
-              }
-            } else {
-              for (uint16_t i = 0; i < count; ++i) {
-                bool found = server.store_.get(keys[i], cols, &cols_out, session);
-                netwire::put_raw<uint8_t>(&resp, found ? 1 : 0);
-                if (found) {
-                  netwire::put_raw<uint16_t>(&resp, static_cast<uint16_t>(cols_out.size()));
-                  for (const auto& v : cols_out) {
-                    netwire::put_raw<uint32_t>(&resp, static_cast<uint32_t>(v.size()));
-                    resp.append(v);
-                  }
-                }
-              }
-            }
-            break;
-          }
-          default:
-            return resp;  // unknown op: stop parsing this frame
+          p.rejected = count > kMaxMultigetBatch;
+          break;
         }
-        server.ops_served_.fetch_add(1, std::memory_order_relaxed);
+        default:
+          return false;  // unknown opcode: protocol error
       }
-      return resp;
-    }
-
-    static bool write_all(int fd, std::string_view data) {
-      size_t off = 0;
-      while (off < data.size()) {
-        ssize_t n = ::write(fd, data.data() + off, data.size() - off);
-        if (n <= 0) {
-          return false;
-        }
-        off += static_cast<size_t>(n);
-      }
+      ops.push_back(p);
       return true;
     }
 
+    // ---- the batch former ----------------------------------------------
+    // A round materializes at most this many parsed ops, keeping the round's
+    // working set (op list, key pools, formed batch) cache-sized no matter
+    // how many deeply-pipelined connections are readable at once. Parsing
+    // stops at a frame boundary once the budget is spent; connections with
+    // complete frames still buffered simply re-queue for the next round.
+    static constexpr size_t kRoundOpsBudget = 32 << 10;
+
+    void process() {
+      plist.assign(ready.begin(), ready.end());
+      ready.clear();
+      ops.clear();
+      cols_pool.clear();
+      upd_pool.clear();
+      keys_pool.clear();
+      works.clear();
+      for (Conn* c : plist) {
+        c->queued = false;
+        c->parsed = 0;
+        if (c->dead || c->closing || c->paused || c->proto_error) {
+          continue;
+        }
+        if (ops.size() >= kRoundOpsBudget) {
+          continue;  // round full; the post-execute sweep re-queues c
+        }
+        uint32_t begin = static_cast<uint32_t>(ops.size());
+        c->parsed = parse_frames(c);
+        if (ops.size() > begin) {
+          works.push_back(ConnWork{c, begin, static_cast<uint32_t>(ops.size()), false, 0});
+        }
+      }
+
+      execute_rounds();
+
+      for (Conn* c : plist) {
+        if (c->dead) {
+          continue;
+        }
+        if (c->parsed > 0) {
+          c->rx.consume(c->parsed);  // op views die here, after execution
+          c->parsed = 0;
+        }
+        if (c->proto_error && !c->closing) {
+          uint64_t pos = c->tx.reserve_u32();
+          c->tx.template put<uint8_t>(static_cast<uint8_t>(NetStatus::kRejected));
+          c->tx.patch_u32(pos, 1);
+          c->closing = true;
+        }
+        if (c->eof) {
+          // Peer finished writing (a trailing partial frame is a mid-request
+          // disconnect and is simply dropped); flush what we owe, then close.
+          c->closing = true;
+        }
+        flush_and_update(c);
+        if (!c->dead && !c->closing && !c->paused && has_complete_frame(c)) {
+          queue_ready(c);  // frames left behind by the round budget
+        }
+      }
+    }
+
+    bool has_complete_frame(const Conn* c) const {
+      std::string_view body;
+      size_t flen = 0;
+      return netframe::decode_frame(c->rx.view(), 0, &body, &flen) ==
+             netframe::FrameStatus::kFrame;
+    }
+
+    // Alternating rounds: every connection contributes either its maximal
+    // run of batchable reads to the shared formed batch, or executes its
+    // writes/scans inline — so per connection ops run strictly in order,
+    // while reads from MANY connections coalesce into one multiget.
+    void execute_rounds() {
+      uint64_t executed = 0;
+      bool more = true;
+      while (more) {
+        more = false;
+        batch_keys.clear();
+        batch_refs.clear();
+        for (uint32_t w = 0; w < works.size(); ++w) {
+          ConnWork& cw = works[w];
+          if (cw.next >= cw.end || cw.c->dead) {
+            continue;
+          }
+          more = true;
+          if (batchable(ops[cw.next])) {
+            while (cw.next < cw.end && batchable(ops[cw.next])) {
+              ParsedOp& p = ops[cw.next];
+              BatchRef ref{w, cw.next, static_cast<uint32_t>(batch_keys.size()), 0};
+              if (p.op == NetOp::kGet) {
+                ref.nkeys = 1;
+                batch_keys.push_back(p.key);
+              } else {  // kMultiGet
+                ref.nkeys = p.keys_cnt;
+                for (uint32_t i = 0; i < p.keys_cnt; ++i) {
+                  batch_keys.push_back(keys_pool[p.keys_off + i]);
+                }
+              }
+              batch_refs.push_back(ref);
+              ++cw.next;
+            }
+          } else {
+            while (cw.next < cw.end && !batchable(ops[cw.next])) {
+              execute_inline(cw, ops[cw.next]);
+              ++cw.next;
+              ++executed;
+            }
+          }
+        }
+        if (!batch_refs.empty()) {
+          execute_batch();
+          executed += batch_refs.size();
+        }
+      }
+      if (executed > 0) {
+        server.ops_served_.fetch_add(executed, std::memory_order_relaxed);
+      }
+    }
+
+    static bool batchable(const ParsedOp& p) {
+      return !p.empty_frame && !p.rejected &&
+             (p.op == NetOp::kGet || p.op == NetOp::kMultiGet);
+    }
+
+    // Executes the formed batch through the engine's pipelined read path in
+    // chunks of at most kMaxMultigetBatch keys, each under one epoch guard
+    // (rows are epoch-protected pointers; encoding happens inside the guard).
+    void execute_batch() {
+      if (batch_refs.size() >= 2) {
+        if constexpr (HasMultigetRows<StoreT>) {
+          session.ti().counters().inc(Counter::kNetBatchedGets, batch_keys.size());
+        }
+        server.batched_gets_.fetch_add(batch_keys.size(), std::memory_order_relaxed);
+        server.batches_formed_.fetch_add(1, std::memory_order_relaxed);
+      }
+      size_t ref_begin = 0;
+      while (ref_begin < batch_refs.size()) {
+        size_t ref_end = ref_begin;
+        size_t nkeys = 0;
+        while (ref_end < batch_refs.size() &&
+               nkeys + batch_refs[ref_end].nkeys <= kMaxMultigetBatch) {
+          nkeys += batch_refs[ref_end].nkeys;
+          ++ref_end;
+        }
+        if (ref_end == ref_begin) {
+          ++ref_end;  // single over-cap ref cannot happen (kMultiGet is capped)
+        }
+        execute_chunk(ref_begin, ref_end);
+        ref_begin = ref_end;
+      }
+    }
+
+    void execute_chunk(size_t ref_begin, size_t ref_end) {
+      size_t key_off = batch_refs[ref_begin].key_off;
+      size_t nkeys =
+          batch_refs[ref_end - 1].key_off + batch_refs[ref_end - 1].nkeys - key_off;
+      if constexpr (HasMultigetRows<StoreT>) {
+        batch_rows.resize(nkeys);
+        EpochGuard guard(session.ti().slot());
+        server.store_.multiget_rows(
+            std::span<const std::string_view>(batch_keys).subspan(key_off, nkeys),
+            batch_rows.data(), session);
+        for (size_t r = ref_begin; r < ref_end; ++r) {
+          encode_batch_ref(batch_refs[r],
+                           [&](size_t key_idx, netframe::TxRing& tx, uint32_t cols_off,
+                               uint32_t cols_cnt) {
+                             encode_row(tx, batch_rows[key_idx - key_off], cols_off,
+                                        cols_cnt);
+                           });
+        }
+      } else {
+        // §6.3-style backends without the batched seam: plain sequential
+        // gets, but the event-loop and framing behavior stays identical.
+        for (size_t r = ref_begin; r < ref_end; ++r) {
+          encode_batch_ref(batch_refs[r], [&](size_t key_idx, netframe::TxRing& tx,
+                                              uint32_t cols_off, uint32_t cols_cnt) {
+            col_scratch.assign(cols_pool.begin() + cols_off,
+                               cols_pool.begin() + cols_off + cols_cnt);
+            bool found =
+                server.store_.get(batch_keys[key_idx], col_scratch, &cols_out, session);
+            if (!found) {
+              tx.template put<uint8_t>(static_cast<uint8_t>(NetStatus::kNotFound));
+              return;
+            }
+            tx.template put<uint8_t>(0);
+            tx.template put<uint16_t>(static_cast<uint16_t>(cols_out.size()));
+            for (const auto& v : cols_out) {
+              tx.template put<uint32_t>(static_cast<uint32_t>(v.size()));
+              tx.append(v);
+            }
+          });
+        }
+      }
+    }
+
+    // Encodes one batched read op's response (kGet: one result; kMultiGet:
+    // count-prefixed results) via `result(key_idx, tx, cols_off, cols_cnt)`.
+    template <typename ResultFn>
+    void encode_batch_ref(const BatchRef& ref, ResultFn&& result) {
+      ConnWork& cw = works[ref.work];
+      if (cw.c->dead) {
+        return;
+      }
+      const ParsedOp& p = ops[ref.opi];
+      netframe::TxRing& tx = cw.c->tx;
+      open_frame(cw);
+      if (p.op == NetOp::kGet) {
+        result(ref.key_off, tx, p.cols_off, p.cols_cnt);
+      } else {
+        tx.template put<uint8_t>(0);
+        tx.template put<uint16_t>(static_cast<uint16_t>(ref.nkeys));
+        for (uint32_t i = 0; i < ref.nkeys; ++i) {
+          // kMultiGet wraps each result in a found byte; reuse the single-get
+          // encoding (status 0 == found, kNotFound == absent) by translating.
+          uint64_t mark = tx.end();
+          result(ref.key_off + i, tx, p.cols_off, p.cols_cnt);
+          translate_multiget_status(tx, mark);
+        }
+      }
+      maybe_close_frame(cw, p);
+    }
+
+    // The single-get result encoding starts with a status byte (0 found /
+    // kNotFound absent); kMultiGet's per-key encoding starts with a found
+    // byte (1 found / 0 absent). A not-found single-get result is exactly one
+    // byte, so flipping the leading byte in place is a full translation.
+    static void translate_multiget_status(netframe::TxRing& tx, uint64_t status_pos) {
+      tx.patch_u8(status_pos, tx.peek_u8(status_pos) == 0 ? 1 : 0);
+    }
+
+    void encode_row(netframe::TxRing& tx, const Row* row, uint32_t cols_off,
+                    uint32_t cols_cnt) {
+      if (row == nullptr) {
+        tx.template put<uint8_t>(static_cast<uint8_t>(NetStatus::kNotFound));
+        return;
+      }
+      tx.template put<uint8_t>(0);
+      if (cols_cnt == 0) {
+        tx.template put<uint16_t>(static_cast<uint16_t>(row->ncols()));
+        for (unsigned c = 0; c < row->ncols(); ++c) {
+          std::string_view v = row->col(c);
+          tx.template put<uint32_t>(static_cast<uint32_t>(v.size()));
+          tx.append(v);
+        }
+      } else {
+        tx.template put<uint16_t>(static_cast<uint16_t>(cols_cnt));
+        for (uint32_t i = 0; i < cols_cnt; ++i) {
+          std::string_view v = row->col(cols_pool[cols_off + i]);
+          tx.template put<uint32_t>(static_cast<uint32_t>(v.size()));
+          tx.append(v);
+        }
+      }
+    }
+
+    // ---- inline ops (writes, scans, pings, rejections) ------------------
+    void execute_inline(ConnWork& cw, const ParsedOp& p) {
+      netframe::TxRing& tx = cw.c->tx;
+      open_frame(cw);
+      if (p.empty_frame) {
+        maybe_close_frame(cw, p);
+        return;
+      }
+      if (p.rejected) {
+        // Parsed (the rest of the frame stays decodable) but refused.
+        tx.template put<uint8_t>(static_cast<uint8_t>(NetStatus::kRejected));
+        maybe_close_frame(cw, p);
+        return;
+      }
+      switch (p.op) {
+        case NetOp::kPut: {
+          upd_scratch.assign(upd_pool.begin() + p.upd_off,
+                             upd_pool.begin() + p.upd_off + p.upd_cnt);
+          bool inserted = server.store_.put(p.key, upd_scratch, session);
+          tx.template put<uint8_t>(0);
+          tx.template put<uint8_t>(inserted ? 1 : 0);
+          break;
+        }
+        case NetOp::kRemove: {
+          bool removed = server.store_.remove(p.key, session);
+          tx.template put<uint8_t>(
+              removed ? 0 : static_cast<uint8_t>(NetStatus::kNotFound));
+          break;
+        }
+        case NetOp::kScan: {
+          tx.template put<uint8_t>(0);
+          uint64_t count_pos = tx.reserve_u32();
+          uint32_t count = 0;
+          // Streams whole border-node snapshots from the store's ScanCursor;
+          // each emitted pair is encoded straight into the tx ring.
+          server.store_.getrange(
+              p.key, p.scan_limit, p.scan_col,
+              [&](std::string_view k, std::string_view v, const Row*) {
+                tx.template put<uint32_t>(static_cast<uint32_t>(k.size()));
+                tx.append(k);
+                tx.template put<uint32_t>(static_cast<uint32_t>(v.size()));
+                tx.append(v);
+                ++count;
+                return true;
+              },
+              session);
+          tx.patch_u32(count_pos, count);
+          break;
+        }
+        case NetOp::kPing:
+          tx.template put<uint8_t>(0);
+          break;
+        default:
+          break;  // unreachable: gets/multigets go through the batch
+      }
+      maybe_close_frame(cw, p);
+    }
+
+    void open_frame(ConnWork& cw) {
+      if (!cw.frame_open) {
+        cw.frame_len_pos = cw.c->tx.reserve_u32();
+        cw.frame_open = true;
+      }
+    }
+
+    void maybe_close_frame(ConnWork& cw, const ParsedOp& p) {
+      if (p.frame_end) {
+        cw.c->tx.patch_u32(
+            cw.frame_len_pos,
+            static_cast<uint32_t>(cw.c->tx.end() - cw.frame_len_pos - sizeof(uint32_t)));
+        cw.frame_open = false;
+      }
+    }
+
+   public:
     BasicServer& server;
+    unsigned id;
     typename StoreT::Session session;
     std::thread thread;
     std::atomic<bool> stop{false};
-    int wake_pipe[2];
-    std::mutex mu;
-    std::vector<int> pending;
-    std::vector<Conn> conns;
-  };
 
-  void accept_loop() {
-    unsigned next = 0;
-    while (!stopping_.load(std::memory_order_acquire)) {
-      int fd = ::accept(listen_fd_, nullptr, nullptr);
-      if (fd < 0) {
-        break;  // listener closed
-      }
-      int one = 1;
-      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-      workers_[next % workers_.size()]->add_connection(fd);
-      ++next;
-    }
-  }
+   private:
+    int epfd = -1;
+    int wakefd = -1;
+    char wake_tag = 0;    // epoll data tags (address identity only)
+    char listen_tag = 0;
+    unsigned rr_next = 0;  // accepting worker's round-robin cursor
+    std::mutex mu;
+    std::vector<int> pending;  // fds handed off by the accepting worker
+    std::vector<std::unique_ptr<Conn>> conns;
+    // Reusable per-wakeup scratch: capacity persists, so the steady state
+    // parses and batches without allocating.
+    std::vector<int> adopted;
+    std::vector<Conn*> ready, plist, dying;
+    std::vector<ParsedOp> ops;
+    std::vector<unsigned> cols_pool;
+    std::vector<ColumnUpdate> upd_pool;
+    std::vector<std::string_view> keys_pool;
+    std::vector<ConnWork> works;
+    std::vector<std::string_view> batch_keys;
+    std::vector<BatchRef> batch_refs;
+    std::vector<const Row*> batch_rows;
+    std::vector<ColumnUpdate> upd_scratch;
+    std::vector<unsigned> col_scratch;
+    std::vector<std::string> cols_out;
+  };
 
   StoreT& store_;
   Options opt_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
-  std::thread acceptor_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> ops_served_{0};
+  std::atomic<uint64_t> batched_gets_{0};
+  std::atomic<uint64_t> batches_formed_{0};
 };
 
-// If Store::multiget ever drifts away from the concept, the server would
-// silently degrade kMultiGet to sequential gets — make that a compile error
-// for the canonical backend instead.
-static_assert(HasMultiget<Store>);
+// If Store::multiget_rows ever drifts away from the concept, the server would
+// silently degrade network gets to sequential lookups — make that a compile
+// error for the canonical backend instead.
+static_assert(HasMultigetRows<Store>);
 
 using Server = BasicServer<Store>;
 

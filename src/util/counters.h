@@ -43,6 +43,9 @@ enum class Counter : unsigned {
                            //   allocation-free, so steady state is zero
                            //   (same discipline as kScanAllocs)
   kLogFlushBytes,          // bytes group-committed by logging threads
+  kNetBatchedGets,         // gets that reached Tree::multiget via a server
+                           //   batch formed across >= 2 request ops (§6.1
+                           //   event loop; the cross-connection PALM claim)
   kNumCounters,
 };
 

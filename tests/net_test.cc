@@ -1,14 +1,21 @@
-// Network protocol and client/server tests (§5): framing, batched ops over
-// loopback TCP, multiple workers and connections.
+// Network protocol and client/server tests (§5, §6.1): framing, batched ops
+// over loopback TCP, multiple workers and connections, and a hostile-network
+// suite against the event-loop server's incremental decoder — dribbled
+// frames, every split offset, pipelined bursts, garbage and oversized
+// headers, and mid-request disconnects.
 
 #include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "kvstore/store.h"
 #include "net/client.h"
+#include "net/framing.h"
 #include "net/proto.h"
 #include "net/server.h"
 
@@ -372,6 +379,485 @@ TEST_F(NetTest, SplitFramesAcrossWrites) {
   c.put("dribble", {{0, "x"}});
   auto res = c.flush();
   EXPECT_TRUE(res[0].inserted);
+}
+
+// ---------------------------------------------------------------------------
+// Framing-layer unit tests (src/net/framing.h): the incremental decoder and
+// the reusable rx/tx buffers the event-loop server is built on.
+
+TEST(Framing, DecodeFrameStatuses) {
+  std::string f1 = "hello";
+  netwire::frame(&f1);
+  std::string f2 = "world!";
+  netwire::frame(&f2);
+  std::string both = f1 + f2;
+
+  std::string_view body;
+  size_t flen = 0;
+  // Every proper prefix of a single frame is kNeedMore.
+  for (size_t n = 0; n < f1.size(); ++n) {
+    EXPECT_EQ(netframe::decode_frame(std::string_view(both).substr(0, n), 0, &body, &flen),
+              netframe::FrameStatus::kNeedMore)
+        << n;
+  }
+  // A complete frame decodes without being consumed, at any offset.
+  ASSERT_EQ(netframe::decode_frame(both, 0, &body, &flen), netframe::FrameStatus::kFrame);
+  EXPECT_EQ(body, "hello");
+  EXPECT_EQ(flen, f1.size());
+  ASSERT_EQ(netframe::decode_frame(both, flen, &body, &flen),
+            netframe::FrameStatus::kFrame);
+  EXPECT_EQ(body, "world!");
+
+  // A length prefix above kMaxFrameBody is unrecoverable.
+  uint32_t huge = static_cast<uint32_t>(kMaxFrameBody) + 1;
+  std::string bad(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  EXPECT_EQ(netframe::decode_frame(bad, 0, &body, &flen), netframe::FrameStatus::kTooBig);
+}
+
+TEST(Framing, InBufferCompactionAndGrowth) {
+  netframe::InBuffer in(16);
+  in.append("0123456789");
+  EXPECT_EQ(in.view(), "0123456789");
+  in.consume(4);
+  EXPECT_EQ(in.view(), "456789");
+
+  // Needs more room than the tail offers but fits after compaction.
+  netframe::InBuffer in2(16);
+  in2.append("0123456789");
+  in2.consume(8);
+  in2.append("ABCDEFGHIJ");
+  EXPECT_EQ(in2.view(), "89ABCDEFGHIJ");
+  EXPECT_EQ(in2.capacity(), 16u);  // compacted, not grown
+
+  // Does not fit even compacted: grows, preserving unconsumed bytes.
+  in.append("abcdefghijkl");
+  EXPECT_EQ(in.view(), "456789abcdefghijkl");
+  EXPECT_GT(in.capacity(), 16u);
+
+  // Consuming everything resets to the buffer start for free.
+  in.consume(in.size());
+  EXPECT_EQ(in.size(), 0u);
+  in.append("x");
+  EXPECT_EQ(in.view(), "x");
+}
+
+// Drains a TxRing through a socketpair (flush uses sendmsg, which requires a
+// socket fd) and returns what came out the other end.
+std::string DrainThroughPipe(netframe::TxRing& tx) {
+  int fds[2];
+  EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::string out;
+  while (!tx.empty()) {
+    ssize_t n = tx.flush(fds[1]);
+    if (n <= 0) {
+      ADD_FAILURE() << "socketpair flush failed";
+      break;
+    }
+    char buf[4096];
+    ssize_t r = ::read(fds[0], buf, sizeof(buf));
+    if (r <= 0) {
+      ADD_FAILURE() << "socketpair read failed";
+      break;
+    }
+    out.append(buf, static_cast<size_t>(r));
+  }
+  ::close(fds[0]);
+  ::close(fds[1]);
+  return out;
+}
+
+TEST(Framing, TxRingWrapFlushAndPatch) {
+  netframe::TxRing tx(64);
+  ASSERT_EQ(tx.capacity(), 64u);
+  tx.append(std::string(40, 'a'));
+  EXPECT_EQ(DrainThroughPipe(tx), std::string(40, 'a'));
+
+  // The next 40 bytes wrap the 64-byte ring; gather/flush must still emit
+  // them in order.
+  tx.append(std::string(40, 'b'));
+  EXPECT_EQ(tx.capacity(), 64u);  // wrapped, not grown
+  std::string peeked;
+  tx.peek(&peeked);
+  EXPECT_EQ(peeked, std::string(40, 'b'));
+  EXPECT_EQ(DrainThroughPipe(tx), std::string(40, 'b'));
+}
+
+TEST(Framing, TxRingPatchAcrossWrapBoundary) {
+  netframe::TxRing tx(64);
+  tx.append(std::string(62, 'x'));
+  EXPECT_EQ(DrainThroughPipe(tx), std::string(62, 'x'));
+
+  // The placeholder's 4 bytes straddle the ring boundary (indices 62, 63,
+  // 0, 1); the absolute-position patch must land on all of them.
+  uint64_t pos = tx.reserve_u32();
+  tx.append("tail");
+  tx.patch_u32(pos, 0xAABBCCDDu);
+  std::string expect(4, '\0');
+  uint32_t v = 0xAABBCCDDu;
+  std::memcpy(expect.data(), &v, sizeof(v));
+  expect += "tail";
+  EXPECT_EQ(DrainThroughPipe(tx), expect);
+}
+
+TEST(Framing, TxRingGrowthKeepsReservedPositionsPatchable) {
+  netframe::TxRing tx(64);
+  // Leave the ring wrapped (head beyond index 0) before growing, so growth
+  // must re-home bytes rather than copy linearly.
+  tx.append(std::string(30, 'a'));
+  EXPECT_EQ(DrainThroughPipe(tx), std::string(30, 'a'));
+  tx.append(std::string(50, 'b'));
+  uint64_t pos = tx.reserve_u32();
+  tx.append(std::string(60, 'c'));  // forces growth past 64 bytes
+  EXPECT_GT(tx.capacity(), 64u);
+  tx.patch_u32(pos, 0x01020304u);
+
+  std::string expect = std::string(50, 'b');
+  uint32_t v = 0x01020304u;
+  expect.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  expect += std::string(60, 'c');
+  EXPECT_EQ(DrainThroughPipe(tx), expect);
+
+  uint8_t first = tx.peek_u8(0);  // ring drained; peek of stale bytes is fine
+  (void)first;
+}
+
+// ---------------------------------------------------------------------------
+// Hostile-network suite: raw sockets doing what the Client never would.
+
+// A raw loopback connection with byte-level control over writes.
+class RawConn {
+ public:
+  explicit RawConn(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+
+  ~RawConn() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+
+  void send_raw(std::string_view bytes) {
+    size_t off = 0;
+    while (off < bytes.size()) {
+      ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
+      ASSERT_GT(n, 0) << "raw write failed";
+      off += static_cast<size_t>(n);
+    }
+  }
+
+  // Blocks for one complete response frame; empty + eof() on connection
+  // close.
+  std::string read_body() {
+    for (;;) {
+      size_t consumed = 0;
+      auto body = netwire::try_frame(inbuf_, &consumed);
+      if (body) {
+        std::string out(*body);
+        inbuf_.erase(0, consumed);
+        return out;
+      }
+      char buf[4096];
+      ssize_t n = ::read(fd_, buf, sizeof(buf));
+      if (n <= 0) {
+        eof_ = true;
+        return std::string();
+      }
+      inbuf_.append(buf, static_cast<size_t>(n));
+    }
+  }
+
+  // True once the server has closed the connection (blocks until it does).
+  bool at_eof() {
+    while (!eof_ && inbuf_.empty()) {
+      char buf[4096];
+      ssize_t n = ::read(fd_, buf, sizeof(buf));
+      if (n <= 0) {
+        eof_ = true;
+        break;
+      }
+      inbuf_.append(buf, static_cast<size_t>(n));
+    }
+    return eof_ && inbuf_.empty();
+  }
+
+  void close_now() {
+    ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string inbuf_;
+  bool eof_ = false;
+};
+
+void ExpectServerAlive(uint16_t port) {
+  Client c(port);
+  c.ping();
+  auto res = c.flush();
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_EQ(res[0].status, NetStatus::kOk);
+}
+
+TEST_F(NetTest, ByteAtATimeDribble) {
+  Client seed(server_->port());
+  seed.put("drip", {{0, "value"}});
+  seed.flush();
+
+  std::string body;
+  netwire::encode_get(&body, "drip", {});
+  netwire::encode_ping(&body);
+  netwire::frame(&body);
+
+  RawConn rc(server_->port());
+  for (char ch : body) {
+    rc.send_raw(std::string_view(&ch, 1));
+  }
+  std::string resp = rc.read_body();
+  netwire::Reader r(resp);
+  uint8_t status;
+  uint16_t ncols;
+  uint32_t len;
+  std::string_view data;
+  ASSERT_TRUE(r.read(&status) && r.read(&ncols) && r.read(&len) &&
+              r.read_bytes(len, &data));
+  EXPECT_EQ(status, 0);
+  EXPECT_EQ(ncols, 1);
+  EXPECT_EQ(data, "value");
+  ASSERT_TRUE(r.read(&status));  // the pipelined ping in the same frame
+  EXPECT_EQ(status, 0);
+  EXPECT_TRUE(r.done());
+}
+
+TEST_F(NetTest, EverySplitOffset) {
+  // Property loop: a put+get frame split into two writes at EVERY byte
+  // offset — header boundaries, key boundaries, value boundaries — must
+  // decode identically.
+  std::string body;
+  netwire::encode_put(&body, "sp-key",
+                      {{0, std::string_view("split-value")}, {1, std::string_view("b")}});
+  netwire::encode_get(&body, "sp-key", {0});
+  netwire::frame(&body);
+
+  for (size_t split = 1; split < body.size(); ++split) {
+    RawConn rc(server_->port());
+    rc.send_raw(std::string_view(body).substr(0, split));
+    rc.send_raw(std::string_view(body).substr(split));
+    std::string resp = rc.read_body();
+    netwire::Reader r(resp);
+    uint8_t status, inserted;
+    ASSERT_TRUE(r.read(&status) && r.read(&inserted)) << "split=" << split;
+    EXPECT_EQ(status, 0) << "split=" << split;
+    uint16_t ncols;
+    uint32_t len;
+    std::string_view data;
+    ASSERT_TRUE(r.read(&status) && r.read(&ncols) && r.read(&len) &&
+                r.read_bytes(len, &data))
+        << "split=" << split;
+    EXPECT_EQ(status, 0) << "split=" << split;
+    ASSERT_EQ(ncols, 1) << "split=" << split;
+    EXPECT_EQ(data, "split-value") << "split=" << split;
+    EXPECT_TRUE(r.done()) << "split=" << split;
+  }
+}
+
+TEST_F(NetTest, PipelinedBackToBackFrames) {
+  // Three complete request frames in ONE write: the server must answer with
+  // three response frames, in order, with read-your-writes across them.
+  std::string f1;
+  netwire::encode_put(&f1, "pp", {{0, std::string_view("first")}});
+  netwire::frame(&f1);
+  std::string f2;
+  netwire::encode_get(&f2, "pp", {});
+  netwire::encode_put(&f2, "pp", {{0, std::string_view("second")}});
+  netwire::frame(&f2);
+  std::string f3;
+  netwire::encode_get(&f3, "pp", {});
+  netwire::frame(&f3);
+
+  RawConn rc(server_->port());
+  rc.send_raw(f1 + f2 + f3);
+
+  std::string r1 = rc.read_body();
+  ASSERT_EQ(r1.size(), 2u);  // put: status + inserted
+  EXPECT_EQ(r1[0], 0);
+  EXPECT_EQ(r1[1], 1);
+
+  std::string r2 = rc.read_body();
+  {
+    netwire::Reader r(r2);
+    uint8_t status, inserted;
+    uint16_t ncols;
+    uint32_t len;
+    std::string_view data;
+    ASSERT_TRUE(r.read(&status) && r.read(&ncols) && r.read(&len) &&
+                r.read_bytes(len, &data));
+    EXPECT_EQ(data, "first");  // the get in frame 2 sees frame 1's put
+    ASSERT_TRUE(r.read(&status) && r.read(&inserted));
+    EXPECT_EQ(inserted, 0);  // overwrite
+    EXPECT_TRUE(r.done());
+  }
+
+  std::string r3 = rc.read_body();
+  {
+    netwire::Reader r(r3);
+    uint8_t status;
+    uint16_t ncols;
+    uint32_t len;
+    std::string_view data;
+    ASSERT_TRUE(r.read(&status) && r.read(&ncols) && r.read(&len) &&
+                r.read_bytes(len, &data));
+    EXPECT_EQ(data, "second");  // and frame 3's get sees frame 2's overwrite
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST_F(NetTest, ClientPipeliningSendReceive) {
+  Client c(server_->port());
+  // Keep several frames in flight, then collect responses in order.
+  for (int d = 0; d < 8; ++d) {
+    c.put("pipe" + std::to_string(d), {{0, std::to_string(d)}});
+    c.get("pipe" + std::to_string(d));
+    c.send();
+  }
+  EXPECT_EQ(c.inflight(), 8u);
+  for (int d = 0; d < 8; ++d) {
+    auto res = c.receive();
+    ASSERT_EQ(res.size(), 2u) << d;
+    EXPECT_TRUE(res[0].inserted) << d;
+    ASSERT_EQ(res[1].status, NetStatus::kOk) << d;
+    EXPECT_EQ(res[1].columns[0], std::to_string(d)) << d;  // read-your-writes
+  }
+  EXPECT_EQ(c.inflight(), 0u);
+}
+
+TEST_F(NetTest, OversizedLengthHeaderRejected) {
+  RawConn rc(server_->port());
+  uint32_t huge = static_cast<uint32_t>(kMaxFrameBody) + 1;
+  rc.send_raw(std::string_view(reinterpret_cast<const char*>(&huge), sizeof(huge)));
+
+  // One final frame whose body is a single kRejected byte, then close.
+  std::string resp = rc.read_body();
+  ASSERT_EQ(resp.size(), 1u);
+  EXPECT_EQ(static_cast<NetStatus>(resp[0]), NetStatus::kRejected);
+  EXPECT_TRUE(rc.at_eof());
+
+  // The worker (and the server) keeps serving other connections.
+  ExpectServerAlive(server_->port());
+}
+
+TEST_F(NetTest, GarbageOpcodeRejectedAfterEarlierFrames) {
+  // A pipelined good frame before the poisoned one is still answered; the
+  // poisoned frame gets the final kRejected and the close.
+  std::string good;
+  netwire::encode_ping(&good);
+  netwire::frame(&good);
+  std::string bad;
+  netwire::put_raw<uint8_t>(&bad, 0xEE);  // no such opcode
+  netwire::frame(&bad);
+
+  RawConn rc(server_->port());
+  rc.send_raw(good + bad);
+  std::string r1 = rc.read_body();
+  ASSERT_EQ(r1.size(), 1u);
+  EXPECT_EQ(static_cast<NetStatus>(r1[0]), NetStatus::kOk);
+  std::string r2 = rc.read_body();
+  ASSERT_EQ(r2.size(), 1u);
+  EXPECT_EQ(static_cast<NetStatus>(r2[0]), NetStatus::kRejected);
+  EXPECT_TRUE(rc.at_eof());
+  ExpectServerAlive(server_->port());
+}
+
+TEST_F(NetTest, MalformedFrameIsRejectedAsAUnit) {
+  // Ops parsed from a frame that later turns out malformed must NOT execute:
+  // the frame is rejected atomically.
+  std::string body;
+  netwire::encode_put(&body, "must-not-exist", {{0, std::string_view("x")}});
+  netwire::put_raw<uint8_t>(&body, 0xEE);
+  netwire::frame(&body);
+
+  RawConn rc(server_->port());
+  rc.send_raw(body);
+  std::string resp = rc.read_body();
+  ASSERT_EQ(resp.size(), 1u);
+  EXPECT_EQ(static_cast<NetStatus>(resp[0]), NetStatus::kRejected);
+  EXPECT_TRUE(rc.at_eof());
+
+  Client c(server_->port());
+  c.get("must-not-exist");
+  auto res = c.flush();
+  EXPECT_EQ(res[0].status, NetStatus::kNotFound);
+}
+
+TEST_F(NetTest, TruncatedOpBodyRejected) {
+  // A kGet whose declared key length overruns the frame body: the stream
+  // cannot be resynchronized.
+  std::string body;
+  netwire::put_raw<uint8_t>(&body, static_cast<uint8_t>(NetOp::kGet));
+  netwire::put_raw<uint32_t>(&body, 100);  // klen far beyond the body
+  body += "abc";
+  netwire::frame(&body);
+
+  RawConn rc(server_->port());
+  rc.send_raw(body);
+  std::string resp = rc.read_body();
+  ASSERT_EQ(resp.size(), 1u);
+  EXPECT_EQ(static_cast<NetStatus>(resp[0]), NetStatus::kRejected);
+  EXPECT_TRUE(rc.at_eof());
+  ExpectServerAlive(server_->port());
+}
+
+TEST_F(NetTest, EmptyFrameGetsEmptyResponse) {
+  RawConn rc(server_->port());
+  std::string empty;
+  netwire::frame(&empty);
+  rc.send_raw(empty + empty);
+  EXPECT_EQ(rc.read_body(), "");
+  EXPECT_EQ(rc.read_body(), "");
+  ExpectServerAlive(server_->port());
+}
+
+TEST_F(NetTest, MidRequestDisconnect) {
+  // Clients vanishing mid-frame, over and over, must not wedge the workers.
+  std::string body;
+  netwire::encode_put(&body, "ghost-key", {{0, std::string_view("ghost-value")}});
+  netwire::frame(&body);
+
+  for (int i = 0; i < 16; ++i) {
+    RawConn rc(server_->port());
+    size_t cut = 1 + (static_cast<size_t>(i) % (body.size() - 1));
+    rc.send_raw(std::string_view(body).substr(0, cut));
+    rc.close_now();  // trailing partial frame is simply dropped
+  }
+  // A complete frame followed by a partial one: the complete one is answered,
+  // the partial one dies with the connection.
+  for (int i = 0; i < 4; ++i) {
+    RawConn rc(server_->port());
+    std::string ping;
+    netwire::encode_ping(&ping);
+    netwire::frame(&ping);
+    rc.send_raw(ping + body.substr(0, body.size() / 2));
+    std::string resp = rc.read_body();
+    ASSERT_EQ(resp.size(), 1u);
+    EXPECT_EQ(static_cast<NetStatus>(resp[0]), NetStatus::kOk);
+    rc.close_now();
+  }
+  ExpectServerAlive(server_->port());
+
+  // The dropped partial puts must never have executed.
+  Client c(server_->port());
+  c.get("ghost-key");
+  auto res = c.flush();
+  EXPECT_EQ(res[0].status, NetStatus::kNotFound);
 }
 
 }  // namespace
