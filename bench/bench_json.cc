@@ -7,8 +7,10 @@
 // snapshot-batched range scans (getrange §3, scan_mops as pairs/s at
 // scan_len), fresh-key inserts, uniform updates, a YCSB-A-style 50/50
 // get/update mix over a Zipfian (theta=0.99, scrambled) popularity
-// distribution, and served-over-the-wire gets through the §6.1 epoll
-// event-loop server (net_get_mops at net_conns pipelined connections) — and
+// distribution, a YCSB-C-style read-only Zipf sweep with the hot-key record
+// cache attached (zipf_get_mops/cache_hit_pct at cache_capacity entries),
+// and served-over-the-wire gets through the §6.1 epoll event-loop server
+// (net_get_mops at net_conns pipelined connections) — and
 // writes them as one JSON object (stdout if no path). Workload scale follows
 // the MT_BENCH_* environment knobs of bench/common.h.
 
@@ -201,6 +203,68 @@ int main(int argc, char** argv) {
         return ops;
       });
 
+  // YCSB-C-style Zipf sweep: read-only gets over Zipfian key popularity with
+  // the hot-key record cache fronting the tree (cache/record_cache.h).
+  // zipf_get_mops is the theta=0.99 row — the trajectory metric — and
+  // cache_hit_pct its aggregate validated-hit rate.
+  // Like fig11_skew, the draw stream and key strings are pregenerated: a
+  // Zipfian draw costs two pow() calls and decimal_key allocates, which
+  // would otherwise dominate the timed loop (the metric is tree+cache
+  // throughput, not generator throughput). Threads cycle the shared stream
+  // from staggered offsets.
+  size_t bench_cache_cap = env_u64("MT_BENCH_CACHE_CAP", 1 << 13);
+  RecordCache<Tree::Config> rcache(
+      RecordCache<Tree::Config>::Config{bench_cache_cap, 4});
+  double zipf_get_mops = 0.0, cache_hit_pct = 0.0;
+  std::printf("zipf get sweep (record cache, capacity=%zu):\n", rcache.capacity());
+  std::vector<std::string> zkeys(loaded);
+  for (uint64_t i = 0; i < loaded; ++i) {
+    zkeys[i] = decimal_key(i);
+  }
+  constexpr size_t kZipfStream = 1 << 20;  // power of two for cheap wrap
+  std::vector<uint32_t> zstream(kZipfStream);
+  for (double theta : {0.5, 0.99, 1.2}) {
+    {
+      SkewGen gen = SkewGen::zipf(loaded, theta, 700);
+      for (auto& x : zstream) {
+        x = static_cast<uint32_t>(gen.next_index());
+      }
+    }
+    tree.set_record_cache(&rcache);
+    rcache.clear();
+    std::atomic<uint64_t> hits{0}, misses{0};
+    double mops =
+        timed_mops(e.threads, e.secs, [&](unsigned t, const std::atomic<bool>& stop) {
+          thread_local ThreadContext ti;
+          uint64_t h0 = ti.counters().get(Counter::kCacheHits);
+          uint64_t m0 = ti.counters().get(Counter::kCacheMisses);
+          size_t pos = (static_cast<size_t>(t) * (kZipfStream / 16)) % kZipfStream;
+          uint64_t ops = 0, v;
+          while (!stop.load(std::memory_order_relaxed)) {
+            for (int i = 0; i < 256; ++i) {
+              tree.get(zkeys[zstream[pos]], &v, ti);
+              pos = (pos + 1) & (kZipfStream - 1);
+              ++ops;
+            }
+          }
+          hits.fetch_add(ti.counters().get(Counter::kCacheHits) - h0,
+                         std::memory_order_relaxed);
+          misses.fetch_add(ti.counters().get(Counter::kCacheMisses) - m0,
+                           std::memory_order_relaxed);
+          return ops;
+        });
+    tree.set_record_cache(nullptr);
+    uint64_t total = hits.load() + misses.load();
+    double pct =
+        total == 0 ? 0.0
+                   : 100.0 * static_cast<double>(hits.load()) / static_cast<double>(total);
+    std::printf("  theta=%.2f: %.3f Mops, hit_pct=%.1f\n", theta, mops, pct);
+    if (theta == 0.99) {
+      zipf_get_mops = mops;
+      cache_hit_pct = pct;
+    }
+  }
+
   // Network serving (§6.1): uniform point gets through the epoll event-loop
   // server over the real wire protocol — kNetConns pipelined connections at
   // depth kNetDepth, frames of 32 gets, cross-connection runs coalesced into
@@ -256,8 +320,11 @@ int main(int argc, char** argv) {
   add("    \"net_get_mops\": %.4f,\n", net_get_mops);
   add("    \"net_conns\": %u,\n", kNetConns);
   add("    \"net_pipeline_depth\": %u,\n", kNetDepth);
-  add("    \"net_batched_gets\": %llu\n",
+  add("    \"net_batched_gets\": %llu,\n",
       static_cast<unsigned long long>(net_batched_gets));
+  add("    \"zipf_get_mops\": %.4f,\n", zipf_get_mops);
+  add("    \"cache_hit_pct\": %.2f,\n", cache_hit_pct);
+  add("    \"cache_capacity\": %zu\n", rcache.capacity());
   add("  }\n");
   add("}\n");
 

@@ -105,6 +105,35 @@ if [ "$(printf '%s\n' "$nc" | awk '{ print ($1 > 0) ? "ok" : "zero" }')" != "ok"
 fi
 echo "== net_get_mops = $ng at net_conns = $nc (present and non-zero)"
 
+# The record-cache path (Figure 11's skew experiment): zipf_get_mops (skewed
+# gets through the hot-key record cache) must be present and non-zero, and
+# cache_hit_pct must be a sane percentage — a dead cache would read as 0 hits
+# and a validation bug as a nonsense ratio.
+zg=$(sed -n 's/.*"zipf_get_mops": \([0-9.]*\).*/\1/p' "$json_out")
+if [ -z "$zg" ]; then
+    echo "run_bench.sh: zipf_get_mops missing from $json_out" >&2
+    exit 1
+fi
+if [ "$(printf '%s\n' "$zg" | awk '{ print ($1 > 0) ? "ok" : "zero" }')" != "ok" ]; then
+    echo "run_bench.sh: zipf_get_mops is zero in $json_out" >&2
+    exit 1
+fi
+ch=$(sed -n 's/.*"cache_hit_pct": \([0-9.]*\).*/\1/p' "$json_out")
+if [ -z "$ch" ]; then
+    echo "run_bench.sh: cache_hit_pct missing from $json_out" >&2
+    exit 1
+fi
+if [ "$(printf '%s\n' "$ch" | awk '{ print ($1 >= 0 && $1 <= 100) ? "ok" : "bad" }')" != "ok" ]; then
+    echo "run_bench.sh: cache_hit_pct out of [0,100] in $json_out: $ch" >&2
+    exit 1
+fi
+cc=$(sed -n 's/.*"cache_capacity": \([0-9]*\).*/\1/p' "$json_out")
+if [ -z "$cc" ]; then
+    echo "run_bench.sh: cache_capacity missing from $json_out" >&2
+    exit 1
+fi
+echo "== zipf_get_mops = $zg, cache_hit_pct = $ch, cache_capacity = $cc"
+
 if [ -x "$bin_dir/micro_gbench" ]; then
     echo "== micro_gbench -> $out_dir/BENCH_gbench.json"
     "$bin_dir/micro_gbench" --benchmark_format=json \

@@ -158,6 +158,13 @@ class LookupCursor {
   // Border-location results (valid after kAtBorder).
   Border* border() const { return n_->as_border(); }
   VersionValue border_version() const { return v_; }
+  // Full-lookup hit provenance (valid after kFound): the border node, the
+  // version word validated AFTER the slot's keylenx/lv were read, and the
+  // slot the key resolved to. This triple is exactly what a record cache
+  // needs to later re-validate the entry with changed_since().
+  Border* hit_border() const { return n_->as_border(); }
+  VersionValue hit_version() const { return v_; }
+  int hit_slot() const { return hit_slot_; }
   // The observed true root of the current layer; callers keep it so retries
   // skip forwarding chains (reach_border's in-out root parameter).
   Node* layer_root() const { return root_; }
@@ -173,9 +180,10 @@ class LookupCursor {
     }
   }
 
-  Status finish(bool found, uint64_t lv) {
+  Status finish(bool found, uint64_t lv, int slot = -1) {
     state_ = State::kDone;
     value_ = lv;
+    hit_slot_ = found ? slot : -1;
     result_ = found ? Status::kFound : Status::kNotFound;
     return result_;
   }
@@ -298,8 +306,15 @@ class LookupCursor {
         kx = n->keylenx(slot);
         lv = n->lv(slot);
         if (keylenx_has_suffix(kx)) {
+          // key_.has_suffix() first: kx is re-read after find() and may be
+          // torn relative to the match (a racing insert or make-layer can
+          // rewrite the slot between the two loads). A suffix-bearing slot
+          // cannot stably match a key with under 9 bytes left, so the
+          // version check below retries the mismatch — but key_.suffix()
+          // must not be asked for bytes the key does not have.
           StringBag* bag = n->suffixes();
-          suffix_eq = bag != nullptr && bag->get(slot) == key_.suffix();
+          suffix_eq = key_.has_suffix() && bag != nullptr &&
+                      bag->get(slot) == key_.suffix();
         }
       }
       if (n->version().changed_since(v_)) {
@@ -322,10 +337,10 @@ class LookupCursor {
         return finish(false, 0);
       }
       if (kx <= 8) {
-        return finish(true, lv);
+        return finish(true, lv, slot);
       }
       if (keylenx_has_suffix(kx)) {
-        return finish(suffix_eq, lv);
+        return finish(suffix_eq, lv, slot);
       }
       if (keylenx_is_layer(kx)) {
         // Layer descend (§4.6.3): advance the key one slice and re-enter at
@@ -351,6 +366,7 @@ class LookupCursor {
   int ord_ = 0;
   VersionValue v_;
   uint64_t value_ = 0;
+  int hit_slot_ = -1;
   uint32_t retries_ = 0;
   State state_ = State::kLayerEntry;
   Status result_ = Status::kInProgress;

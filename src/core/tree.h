@@ -36,6 +36,7 @@
 #include <string_view>
 #include <vector>
 
+#include "cache/record_cache.h"
 #include "core/cursor.h"
 #include "core/node.h"
 #include "util/counters.h"
@@ -79,13 +80,29 @@ class BasicTree {
   // Frees every node. Requires quiescence (no concurrent operations).
   ~BasicTree() { destroy_subtree(root_.load(std::memory_order_acquire)); }
 
+  // Optional hot-key record cache consulted by get()/multiget() before
+  // descending (cache/record_cache.h; nullptr = disabled). The cache stores
+  // (border, slot, version) triples produced by completed cursors, so lookup
+  // and fill both happen under the same EpochGuard that ran the cursor.
+  void set_record_cache(RecordCache<C>* cache) { cache_ = cache; }
+  RecordCache<C>* record_cache() const { return cache_; }
+
   // --------------------------------------------------------------------
   // get(k) — Figures 6/7, via one LookupCursor run to completion.
   bool get(std::string_view k, uint64_t* value, ThreadContext& ti) const {
     EpochGuard guard(ti.slot());
+    uint64_t chash = 0;
+    if (cache_ != nullptr && cache_->lookup(k, value, ti, &chash)) {
+      return true;
+    }
     LookupCursor<C> cur(root_, k);
     if (cur.run(&ti.counters()) != LookupCursor<C>::Status::kFound) {
       return false;
+    }
+    // chash == 0 means the lookup never probed (bypass-skipped or long key):
+    // the fill would decline too, so skip the call on the cold fast path.
+    if (cache_ != nullptr && chash != 0) {
+      cache_->fill(k, cur.hit_border(), cur.hit_version(), cur.hit_slot(), ti, &chash);
     }
     *value = cur.value();
     return true;
@@ -124,9 +141,27 @@ class BasicTree {
     size_t live = 0;
     size_t nfound = 0;
     uint64_t retry_sum = 0;
+    // Picks the next request that actually needs a cursor: record-cache hits
+    // are resolved inline (same guard) and never occupy a window slot.
+    auto next_pending = [&]() -> size_t {
+      while (next_req < reqs.size()) {
+        size_t r = next_req++;
+        if (cache_ != nullptr && cache_->lookup(reqs[r].key, &reqs[r].value, ti)) {
+          reqs[r].found = true;
+          ++nfound;
+          continue;
+        }
+        return r;
+      }
+      return reqs.size();
+    };
     for (size_t i = 0; i < nslots; ++i) {
-      cur[i].emplace(root_, reqs[next_req].key);
-      req_of[i] = next_req++;
+      size_t r = next_pending();
+      if (r == reqs.size()) {
+        break;
+      }
+      cur[i].emplace(root_, reqs[r].key);
+      req_of[i] = r;
       ++live;
     }
     while (live > 0) {
@@ -152,11 +187,16 @@ class BasicTree {
         if (rq.found) {
           rq.value = cur[i]->value();
           ++nfound;
+          if (cache_ != nullptr) {
+            cache_->fill(rq.key, cur[i]->hit_border(), cur[i]->hit_version(),
+                         cur[i]->hit_slot(), ti);
+          }
         }
         retry_sum += cur[i]->retries();
-        if (next_req < reqs.size()) {
-          cur[i].emplace(root_, reqs[next_req].key);
-          req_of[i] = next_req++;
+        size_t r = next_pending();
+        if (r != reqs.size()) {
+          cur[i].emplace(root_, reqs[r].key);
+          req_of[i] = r;
         } else {
           cur[i].reset();
           --live;
@@ -336,7 +376,11 @@ class BasicTree {
       on_remove(n->lv(slot));
       // Removal just unpublishes the slot; the key/value bytes stay for
       // concurrent readers, and vinsert is bumped if the slot is reused
-      // (§4.6.5).
+      // (§4.6.5). Mark inserting so unlock() bumps vinsert NOW as well:
+      // in-flight readers racing the permutation store re-validate, and any
+      // record-cache entry pointing at this slot fails changed_since()
+      // instead of serving the unpublished value.
+      n->version().mark_inserting();
       perm.remove(pos);
       n->set_permutation(perm);
       if (n->nremoved_ < 255) {
@@ -559,6 +603,11 @@ class BasicTree {
   // reclamation tasks are scheduled as needed to clean up empty ...
   // layer-h trees"). Returns the number of tasks processed.
   size_t run_maintenance(ThreadContext& ti) {
+    if (cache_ != nullptr) {
+      // Rotate the record cache's epoch pin so reclamation behind it drains
+      // on the maintenance cadence even when no misses are driving fills.
+      cache_->maintain();
+    }
     std::vector<std::string> tasks;
     {
       std::lock_guard<std::mutex> lock(gc_mu_);
@@ -855,6 +904,12 @@ class BasicTree {
   // link. Returns the new layer root; n stays locked.
   Node* make_layer(Border* n, int slot, ThreadContext& ti) {
     ti.counters().inc(Counter::kLayerCreated);
+    // The slot changes meaning (value -> layer pointer). The UNSTABLE state
+    // already forces racing readers to retry, but mark inserting too so
+    // unlock() bumps vinsert: a record-cache entry validated against the
+    // pre-layer version must fail changed_since() rather than reinterpret the
+    // layer pointer as the old value.
+    n->version().mark_inserting();
     std::string_view rest = n->suffixes()->get(slot);
     uint64_t val = n->lv(slot);
     Border* nl = Border::make(ti, /*is_root=*/true);
@@ -1429,6 +1484,7 @@ class BasicTree {
   }
 
   std::atomic<Node*> root_;
+  RecordCache<C>* cache_ = nullptr;  // not owned; see set_record_cache()
   mutable std::mutex gc_mu_;
   std::vector<std::string> gc_tasks_;
 };

@@ -46,6 +46,11 @@ struct alignas(kCacheLineSize) EpochSlot {
   // Epoch published while inside a critical section; 0 when quiescent.
   std::atomic<uint64_t> active{0};
   std::atomic<bool> in_use{false};
+  // A long-lived cooperative pin (the record cache's) that other threads may
+  // force-rotate to the current epoch when they need reclamation to drain.
+  // Such pins only slow the epoch for hit-rate availability; correctness
+  // never depends on them lagging, so rotating one is always safe.
+  std::atomic<bool> yieldable{false};
 
   // Owner-only state.
   unsigned depth = 0;               // EpochGuard nesting
@@ -135,6 +140,10 @@ class EpochManager {
         slot.manager = this;
         slot.depth = 0;
         slot.ops_since_advance = 0;
+        // A racing yield_pinned_slots() may have stored a stale epoch into a
+        // slot mid-unregister; scrub it so the reused slot starts quiescent.
+        slot.active.store(0, std::memory_order_relaxed);
+        slot.yieldable.store(false, std::memory_order_relaxed);
         return &slot;
       }
     }
@@ -150,10 +159,29 @@ class EpochManager {
       advance();
       reclaim(*slot);
       if (!slot->limbo.empty()) {
+        // A yieldable pin (the record cache's) may be what's gating advance();
+        // rotate it forward rather than spinning against it forever.
+        yield_pinned_slots();
         spin_pause();
       }
     }
     slot->in_use.store(false, std::memory_order_release);
+  }
+
+  // Force-rotate every yieldable pin to the current epoch (see
+  // EpochSlot::yieldable). Called by threads blocked on reclamation.
+  void yield_pinned_slots() {
+    uint64_t cur = current_epoch();
+    for (auto& slot : slots_) {
+      if (!slot.in_use.load(std::memory_order_acquire) ||
+          !slot.yieldable.load(std::memory_order_acquire)) {
+        continue;
+      }
+      uint64_t a = slot.active.load(std::memory_order_acquire);
+      if (a != 0 && a != cur) {
+        slot.active.store(cur, std::memory_order_release);
+      }
+    }
   }
 
   // Smallest epoch any in-critical-section thread has published, or

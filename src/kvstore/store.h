@@ -48,6 +48,11 @@ class Store {
     // before.
     bool maintenance_thread = true;
     uint64_t maintenance_interval_ms = 1;
+    // Hot-key record cache in front of the tree (cache/record_cache.h):
+    // entry count, rounded up to a power of two; 0 disables the cache.
+    size_t cache_capacity = 1 << 16;
+    // Count-min-sketch admission threshold; <= 1 admits every miss.
+    uint32_t cache_admit_threshold = 4;
   };
 
   // A per-worker-thread handle: thread context + (lazily, on first logged
@@ -99,6 +104,12 @@ class Store {
     }
     ThreadContext setup_ti;
     tree_ = std::make_unique<Tree>(setup_ti);
+    if (opt_.cache_capacity > 0) {
+      cache_ = std::make_unique<RecordCache<Tree::Config>>(
+          RecordCache<Tree::Config>::Config{opt_.cache_capacity,
+                                            opt_.cache_admit_threshold});
+      tree_->set_record_cache(cache_.get());
+    }
     if (opt_.maintenance_thread) {
       start_maintenance();
     }
@@ -672,6 +683,8 @@ class Store {
   LogShardPool log_pool_;
   std::mutex log_mu_;          // guards log_shards_ growth + file naming
   unsigned next_log_file_ = 0;
+  // Declared before tree_ so the cache outlives the tree's pointer to it.
+  std::unique_ptr<RecordCache<Tree::Config>> cache_;
   std::unique_ptr<Tree> tree_;
   std::thread maint_thread_;
   std::mutex maint_mu_;

@@ -55,6 +55,7 @@
 #include <thread>
 #include <vector>
 
+#include "cache/record_cache.h"  // key_hash64: shared with the record cache
 #include "kvstore/store.h"
 #include "net/framing.h"
 #include "net/proto.h"
@@ -85,6 +86,13 @@ class BasicServer {
     // that connection until the client drains it below half the mark. Other
     // connections on the worker are unaffected.
     size_t tx_highwater = 1 << 20;
+    // Partition-affinity routing (Figure 11 / the MaxScale-style ROADMAP
+    // item): a connection migrates to the worker owning
+    // hash(first key) % workers on its first keyed frame, and kMultiGet keys
+    // are steered per key to their owners' sessions, so a hot key's tree
+    // cache lines and record-cache bucket are touched by one core. The tree
+    // underneath stays shared — no partitioning load-imbalance cliff.
+    bool affinity_routing = false;
   };
 
   BasicServer(StoreT& store, Options opt) : store_(store), opt_(opt) {
@@ -160,6 +168,25 @@ class BasicServer {
     return batches_formed_.load(std::memory_order_relaxed);
   }
 
+  // ---- partition-affinity routing ------------------------------------
+  // The ownership function. Same hash as the record cache's buckets
+  // (cache/record_cache.h), so the worker a key routes to also owns the
+  // cache traffic for that key.
+  static unsigned route_worker(std::string_view key, unsigned nworkers) {
+    return nworkers <= 1 ? 0 : static_cast<unsigned>(key_hash64(key) % nworkers);
+  }
+  unsigned worker_count() const { return static_cast<unsigned>(workers_.size()); }
+  // Keyed ops whose tree/store work ran on worker w's session: inline
+  // writes/scans, locally-executed batch keys, and steered keys it drained
+  // from its mailbox. The affinity tests' observable.
+  uint64_t keyed_ops(unsigned w) const {
+    return workers_[w]->keyed.load(std::memory_order_relaxed);
+  }
+  // Batched-read keys shipped to their owning worker's session.
+  uint64_t steered_gets() const {
+    return steered_gets_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Conn {
     int fd = -1;
@@ -174,6 +201,7 @@ class BasicServer {
     bool paused = false;       // rx interest dropped (tx over high water)
     bool queued = false;       // already on this wakeup's ready list
     bool dead = false;         // fd closed; reaped at end of wakeup
+    bool routed = false;       // affinity decision made; stays on this worker
   };
 
   // One parsed request op. Views point into the owning connection's rx
@@ -210,6 +238,16 @@ class BasicServer {
     uint32_t nkeys;
   };
 
+  // One steered slice of a formed batch: the owning worker runs `keys`
+  // through its own session, writes `rows`, then bumps *done (release; the
+  // spinning origin's acquire load makes the row writes visible).
+  struct RemoteGetJob {
+    const std::string_view* keys;
+    size_t nkeys;
+    const Row** rows;
+    std::atomic<uint32_t>* done;
+  };
+
   struct Worker {
     Worker(BasicServer& server, unsigned id)
         : server(server), id(id), session(server.store_, id) {
@@ -230,6 +268,9 @@ class BasicServer {
           ::close(c->fd);
         }
       }
+      for (auto& p : pending) {
+        ::close(p.fd);  // handed off but never adopted (shutdown won the race)
+      }
       ::close(wakefd);
       ::close(epfd);
     }
@@ -241,11 +282,13 @@ class BasicServer {
       ::epoll_ctl(epfd, EPOLL_CTL_ADD, lfd, &ev);
     }
 
-    // Cross-thread handoff of an accepted fd (from the accepting worker).
-    void add_connection(int fd) {
+    // Cross-thread handoff of a connection: a freshly-accepted fd (from the
+    // accepting worker), or an affinity migration arriving with its
+    // unconsumed rx bytes.
+    void add_connection(int fd, std::string carry = std::string(), bool routed = false) {
       {
         std::lock_guard<std::mutex> lock(mu);
-        pending.push_back(fd);
+        pending.push_back(PendingConn{fd, std::move(carry), routed});
       }
       wake();
     }
@@ -277,6 +320,7 @@ class BasicServer {
           if (p == &wake_tag) {
             drain_wake();
             adopt_pending();
+            drain_jobs();
             continue;
           }
           if (p == &listen_tag) {
@@ -307,6 +351,10 @@ class BasicServer {
         }
         reap();
       }
+      // Steered work may have been shipped to us as we were exiting; finish
+      // it so origins spinning on it can stop. (They also steal unstarted
+      // jobs back once stopping_ is set — this is the cooperative half.)
+      drain_jobs();
     }
 
    private:
@@ -339,18 +387,19 @@ class BasicServer {
         std::lock_guard<std::mutex> lock(mu);
         adopted.swap(pending);
       }
-      for (int fd : adopted) {
-        adopt(fd);
+      for (PendingConn& p : adopted) {
+        adopt(p.fd, std::move(p.carry), p.routed);
       }
     }
 
-    void adopt(int fd) {
+    void adopt(int fd, std::string carry = std::string(), bool routed = false) {
       int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       auto c = std::make_unique<Conn>();
       c->fd = fd;
       c->idx = conns.size();
       c->events = EPOLLIN;
+      c->routed = routed;
       epoll_event ev{};
       ev.events = EPOLLIN;
       ev.data.ptr = c.get();
@@ -358,7 +407,16 @@ class BasicServer {
         ::close(fd);
         return;
       }
+      if (!carry.empty()) {
+        // A migrated connection arrives with every unconsumed rx byte —
+        // complete frames first in line, any trailing partial frame resumed
+        // by the decoder — so per-connection op order survives the move.
+        c->rx.append(carry);
+      }
       conns.push_back(std::move(c));
+      if (conns.back()->rx.size() > 0) {
+        queue_ready(conns.back().get());  // run the carried frames this wakeup
+      }
     }
 
     // ---- per-connection IO ---------------------------------------------
@@ -666,7 +724,32 @@ class BasicServer {
           continue;  // round full; the post-execute sweep re-queues c
         }
         uint32_t begin = static_cast<uint32_t>(ops.size());
+        size_t cols_mark = cols_pool.size();
+        size_t upd_mark = upd_pool.size();
+        size_t keys_mark = keys_pool.size();
         c->parsed = parse_frames(c);
+        if (server.opt_.affinity_routing && !c->routed && !c->proto_error &&
+            !c->eof && server.workers_.size() > 1 && ops.size() > begin) {
+          unsigned owner;
+          if (first_keyed_owner(begin, &owner)) {
+            if (owner == id) {
+              c->routed = true;  // landed right; never re-examine
+            } else {
+              // Re-steer the whole connection to its first key's owner: roll
+              // the parse back, unhook the fd WITHOUT closing it, and ship
+              // it (plus every unconsumed rx byte) to the owner.
+              ops.resize(begin);
+              cols_pool.resize(cols_mark);
+              upd_pool.resize(upd_mark);
+              keys_pool.resize(keys_mark);
+              c->parsed = 0;
+              migrate(c, owner);
+              continue;
+            }
+          }
+          // No keyed op yet (pings / empty frames): execute locally and keep
+          // the connection unrouted until a keyed frame shows up.
+        }
         if (ops.size() > begin) {
           works.push_back(ConnWork{c, begin, static_cast<uint32_t>(ops.size()), false, 0});
         }
@@ -698,6 +781,39 @@ class BasicServer {
           queue_ready(c);  // frames left behind by the round budget
         }
       }
+    }
+
+    // Scans this connection's freshly-parsed ops for the first one naming a
+    // key and reports that key's owning worker. False if none do (pings).
+    bool first_keyed_owner(uint32_t begin, unsigned* owner) const {
+      for (size_t i = begin; i < ops.size(); ++i) {
+        const ParsedOp& p = ops[i];
+        if (p.empty_frame || p.op == NetOp::kPing) {
+          continue;
+        }
+        std::string_view key = p.key;
+        if (p.op == NetOp::kMultiGet) {
+          if (p.keys_cnt == 0) {
+            continue;
+          }
+          key = keys_pool[p.keys_off];
+        }
+        *owner = route_worker(key, static_cast<unsigned>(server.workers_.size()));
+        return true;
+      }
+      return false;
+    }
+
+    // Hand the connection to `owner`: the fd leaves our epoll set unclosed,
+    // and the dead local Conn is reaped at end of wakeup. The carry string
+    // is the one allocation a migration costs, paid once per connection.
+    void migrate(Conn* c, unsigned owner) {
+      ::epoll_ctl(epfd, EPOLL_CTL_DEL, c->fd, nullptr);
+      int fd = c->fd;
+      std::string carry(c->rx.view());
+      c->dead = true;  // fd ownership transfers; dtor must not close it
+      dying.push_back(c);
+      server.workers_[owner]->add_connection(fd, std::move(carry), /*routed=*/true);
     }
 
     bool has_complete_frame(const Conn* c) const {
@@ -798,9 +914,14 @@ class BasicServer {
       if constexpr (HasMultigetRows<StoreT>) {
         batch_rows.resize(nkeys);
         EpochGuard guard(session.ti().slot());
-        server.store_.multiget_rows(
-            std::span<const std::string_view>(batch_keys).subspan(key_off, nkeys),
-            batch_rows.data(), session);
+        if (server.opt_.affinity_routing && server.workers_.size() > 1) {
+          steer_chunk(key_off, nkeys);
+        } else {
+          server.store_.multiget_rows(
+              std::span<const std::string_view>(batch_keys).subspan(key_off, nkeys),
+              batch_rows.data(), session);
+          keyed.fetch_add(nkeys, std::memory_order_relaxed);
+        }
         for (size_t r = ref_begin; r < ref_end; ++r) {
           encode_batch_ref(batch_refs[r],
                            [&](size_t key_idx, netframe::TxRing& tx, uint32_t cols_off,
@@ -812,6 +933,7 @@ class BasicServer {
       } else {
         // §6.3-style backends without the batched seam: plain sequential
         // gets, but the event-loop and framing behavior stays identical.
+        keyed.fetch_add(nkeys, std::memory_order_relaxed);
         for (size_t r = ref_begin; r < ref_end; ++r) {
           encode_batch_ref(batch_refs[r], [&](size_t key_idx, netframe::TxRing& tx,
                                               uint32_t cols_off, uint32_t cols_cnt) {
@@ -830,6 +952,131 @@ class BasicServer {
               tx.append(v);
             }
           });
+        }
+      }
+    }
+
+    // ---- per-key affinity steering (kMultiGet and cross-conn batches) ---
+    // Partition the chunk's keys by owning worker: the local slice runs on
+    // this worker's session, remote slices ship as RemoteGetJobs through the
+    // owners' mailboxes (existing eventfd wake path). The caller's epoch
+    // guard stays pinned across ship -> wait -> encode, which is what makes
+    // the owner-written Row pointers safe to read here: any row an owner
+    // could still reach was retired no earlier than one epoch before our
+    // pin, and reclaim frees only two epochs past the retire — impossible
+    // while we stay pinned.
+    void steer_chunk(size_t key_off, size_t nkeys) {
+      unsigned nw = static_cast<unsigned>(server.workers_.size());
+      if (steer_keys.size() < nw) {
+        steer_keys.resize(nw);
+        steer_rows.resize(nw);
+        steer_map.resize(nw);
+      }
+      for (unsigned o = 0; o < nw; ++o) {
+        steer_keys[o].clear();
+        steer_map[o].clear();
+      }
+      for (size_t i = 0; i < nkeys; ++i) {
+        std::string_view k = batch_keys[key_off + i];
+        unsigned o = route_worker(k, nw);
+        steer_keys[o].push_back(k);
+        steer_map[o].push_back(static_cast<uint32_t>(i));
+      }
+      std::atomic<uint32_t> done{0};
+      uint32_t njobs = 0;
+      for (unsigned o = 0; o < nw; ++o) {
+        if (o == id || steer_keys[o].empty()) {
+          continue;
+        }
+        steer_rows[o].assign(steer_keys[o].size(), nullptr);
+        Worker& w = *server.workers_[o];
+        {
+          std::lock_guard<std::mutex> lock(w.jobs_mu);
+          w.jobs.push_back(RemoteGetJob{steer_keys[o].data(), steer_keys[o].size(),
+                                        steer_rows[o].data(), &done});
+        }
+        w.wake();
+        ++njobs;
+        server.steered_gets_.fetch_add(steer_keys[o].size(),
+                                       std::memory_order_relaxed);
+      }
+      if (!steer_keys[id].empty()) {
+        steer_rows[id].assign(steer_keys[id].size(), nullptr);
+        server.store_.multiget_rows(
+            std::span<const std::string_view>(steer_keys[id]),
+            steer_rows[id].data(), session);
+        keyed.fetch_add(steer_keys[id].size(), std::memory_order_relaxed);
+      }
+      // Wait for the owners, draining OUR mailbox meanwhile (two workers
+      // steering into each other would otherwise deadlock); once stopping_
+      // is set, also steal our unstarted jobs back from workers that may
+      // already have left their loops.
+      while (done.load(std::memory_order_acquire) < njobs) {
+        if (drain_jobs() == 0) {
+          if (server.stopping_.load(std::memory_order_acquire)) {
+            steal_back(&done);
+          }
+          std::this_thread::yield();
+        }
+      }
+      for (unsigned o = 0; o < nw; ++o) {
+        for (size_t j = 0; j < steer_map[o].size(); ++j) {
+          batch_rows[steer_map[o][j]] = steer_rows[o][j];
+        }
+      }
+    }
+
+    // Runs every job in this worker's mailbox on this worker's own session.
+    // Called from the wake path, from steer_chunk's wait loop, and once
+    // after the event loop exits.
+    size_t drain_jobs() {
+      if constexpr (HasMultigetRows<StoreT>) {
+        {
+          std::lock_guard<std::mutex> lock(jobs_mu);
+          if (jobs.empty()) {
+            return 0;
+          }
+          jobs_scratch.swap(jobs);
+        }
+        for (const RemoteGetJob& j : jobs_scratch) {
+          EpochGuard guard(session.ti().slot());
+          server.store_.multiget_rows(
+              std::span<const std::string_view>(j.keys, j.nkeys), j.rows, session);
+          keyed.fetch_add(j.nkeys, std::memory_order_relaxed);
+          j.done->fetch_add(1, std::memory_order_release);
+        }
+        size_t n = jobs_scratch.size();
+        jobs_scratch.clear();
+        return n;
+      } else {
+        return 0;
+      }
+    }
+
+    // Shutdown path: reclaim OUR shipped jobs (matched by done pointer) from
+    // mailboxes nobody may drain again, and run them locally.
+    void steal_back(std::atomic<uint32_t>* done) {
+      if constexpr (HasMultigetRows<StoreT>) {
+        for (auto& wp : server.workers_) {
+          Worker& w = *wp;
+          if (&w == this) {
+            continue;
+          }
+          std::lock_guard<std::mutex> lock(w.jobs_mu);
+          for (size_t i = 0; i < w.jobs.size();) {
+            if (w.jobs[i].done != done) {
+              ++i;
+              continue;
+            }
+            RemoteGetJob j = w.jobs[i];
+            w.jobs[i] = w.jobs.back();
+            w.jobs.pop_back();
+            EpochGuard guard(session.ti().slot());
+            server.store_.multiget_rows(
+                std::span<const std::string_view>(j.keys, j.nkeys), j.rows, session);
+            keyed.fetch_add(j.nkeys, std::memory_order_relaxed);
+            j.done->fetch_add(1, std::memory_order_release);
+          }
         }
       }
     }
@@ -907,6 +1154,9 @@ class BasicServer {
         maybe_close_frame(cw, p);
         return;
       }
+      if (p.op != NetOp::kPing) {
+        keyed.fetch_add(1, std::memory_order_relaxed);
+      }
       switch (p.op) {
         case NetOp::kPut: {
           upd_scratch.assign(upd_pool.begin() + p.upd_off,
@@ -973,19 +1223,38 @@ class BasicServer {
     typename StoreT::Session session;
     std::thread thread;
     std::atomic<bool> stop{false};
+    // Keyed ops whose tree/store work ran on this worker's session (the
+    // affinity tests read this cross-thread through keyed_ops()).
+    std::atomic<uint64_t> keyed{0};
 
    private:
+    struct PendingConn {
+      int fd;
+      std::string carry;  // unconsumed rx bytes travelling with a migration
+      bool routed;
+    };
+
     int epfd = -1;
     int wakefd = -1;
     char wake_tag = 0;    // epoll data tags (address identity only)
     char listen_tag = 0;
     unsigned rr_next = 0;  // accepting worker's round-robin cursor
     std::mutex mu;
-    std::vector<int> pending;  // fds handed off by the accepting worker
+    std::vector<PendingConn> pending;  // handed off by other workers
     std::vector<std::unique_ptr<Conn>> conns;
+    // Steered-multiget mailbox: other workers push under jobs_mu + wake();
+    // only this worker's thread (or a stopping_ steal-back) removes entries.
+    std::mutex jobs_mu;
+    std::vector<RemoteGetJob> jobs;
+    std::vector<RemoteGetJob> jobs_scratch;
+    // Per-owner steering scratch; job pointers point into these, which stay
+    // stable until every job's done counter is bumped.
+    std::vector<std::vector<std::string_view>> steer_keys;
+    std::vector<std::vector<const Row*>> steer_rows;
+    std::vector<std::vector<uint32_t>> steer_map;
     // Reusable per-wakeup scratch: capacity persists, so the steady state
     // parses and batches without allocating.
-    std::vector<int> adopted;
+    std::vector<PendingConn> adopted;
     std::vector<Conn*> ready, plist, dying;
     std::vector<ParsedOp> ops;
     std::vector<unsigned> cols_pool;
@@ -1009,6 +1278,7 @@ class BasicServer {
   std::atomic<uint64_t> ops_served_{0};
   std::atomic<uint64_t> batched_gets_{0};
   std::atomic<uint64_t> batches_formed_{0};
+  std::atomic<uint64_t> steered_gets_{0};
 };
 
 // If Store::multiget_rows ever drifts away from the concept, the server would

@@ -46,6 +46,15 @@ enum class Counter : unsigned {
   kNetBatchedGets,         // gets that reached Tree::multiget via a server
                            //   batch formed across >= 2 request ops (§6.1
                            //   event loop; the cross-connection PALM claim)
+  kCacheHits,              // record-cache hits (version-validated, served
+                           //   without descending the tree)
+  kCacheMisses,            // record-cache lookups that fell through to a
+                           //   full descent (absent, expired, or invalidated)
+  kCacheInvalidations,     // hits killed by border-version validation — a
+                           //   concurrent split/update/remove touched the
+                           //   cached slot's node (also counted as misses)
+  kCacheEvictions,         // live entries displaced by CLOCK to admit a
+                           //   hotter key (capacity pressure, not staleness)
   kNumCounters,
 };
 

@@ -5,7 +5,10 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <optional>
 #include <string>
+
+#include "util/rand.h"
 
 namespace masstree {
 
@@ -61,6 +64,58 @@ inline std::string prefix_key(uint64_t index, size_t len) {
 inline std::string mycsb_key(uint64_t index) {
   return "user" + std::to_string(splitmix64(index));
 }
+
+// The one skew generator shared by fig11_skew and bench_json's Zipf sweep,
+// wrapping the three access-skew models the benches need:
+//
+//   kUniform — every key index equally likely (the θ=0 baseline row);
+//   kHua     — Figure 11's partition-level skew (Hua's delta model via
+//              PartitionSkew): next_partition() picks the partition, the
+//              caller keeps choosing uniformly within it, preserving the
+//              existing delta-sweep semantics exactly;
+//   kZipf    — YCSB-style per-key Zipfian θ over [0, n): next_index() returns
+//              a scrambled rank so hot keys scatter across the keyspace.
+class SkewGen {
+ public:
+  enum class Model { kUniform, kHua, kZipf };
+
+  static SkewGen uniform(uint64_t n, uint64_t seed) {
+    return SkewGen(Model::kUniform, n, 0.0, seed);
+  }
+  static SkewGen hua(unsigned partitions, double delta, uint64_t seed) {
+    return SkewGen(Model::kHua, partitions, delta, seed);
+  }
+  static SkewGen zipf(uint64_t n, double theta, uint64_t seed) {
+    return SkewGen(Model::kZipf, n, theta, seed);
+  }
+
+  Model model() const { return model_; }
+
+  // kUniform / kZipf: the next key index in [0, n).
+  uint64_t next_index() {
+    return model_ == Model::kZipf ? zipf_->next_scrambled() : rng_.next_range(n_);
+  }
+
+  // kHua: the next partition to touch (the caller owns within-partition key
+  // choice, as fig11's delta sweep always has).
+  unsigned next_partition() { return hua_->next_partition(); }
+
+ private:
+  SkewGen(Model model, uint64_t n, double param, uint64_t seed)
+      : model_(model), n_(n), rng_(seed) {
+    if (model == Model::kHua) {
+      hua_.emplace(static_cast<unsigned>(n), param, seed);
+    } else if (model == Model::kZipf) {
+      zipf_.emplace(n, param, seed);
+    }
+  }
+
+  Model model_;
+  uint64_t n_;
+  Rng rng_;
+  std::optional<PartitionSkew> hua_;
+  std::optional<Zipfian> zipf_;
+};
 
 }  // namespace masstree
 

@@ -1,8 +1,10 @@
 // Event-loop server integration tests (§6.1): many pipelining clients
 // oracle-diffed against std::map shadows, connection churn under concurrent
 // writes, slow-reader backpressure isolation, cross-connection batch
-// formation (Counter::kNetBatchedGets), and clean start/stop cycles against
-// the acceptor shutdown race.
+// formation (Counter::kNetBatchedGets), partition-affinity routing (hot keys
+// pinned to their hash-owner worker; multiget ops steered across workers
+// without reordering), and clean start/stop cycles against the acceptor
+// shutdown race.
 
 #include <gtest/gtest.h>
 
@@ -28,8 +30,10 @@ using test_support::seeded_rng;
 
 class NetLoopTest : public ::testing::Test {
  protected:
-  void StartServer(unsigned workers, size_t tx_highwater = 1 << 20) {
-    server_ = std::make_unique<Server>(store_, Server::Options{0, workers, tx_highwater});
+  void StartServer(unsigned workers, size_t tx_highwater = 1 << 20,
+                   bool affinity = false) {
+    server_ = std::make_unique<Server>(store_,
+                                       Server::Options{0, workers, tx_highwater, affinity});
     server_->start();
   }
   void TearDown() override {
@@ -300,6 +304,116 @@ TEST_F(NetLoopTest, BatchesFormAcrossConnections) {
       << "no cross-connection batch reached Tree::multiget in " << kAttempts
       << " attempts";
   EXPECT_GT(server_->batches_formed(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Partition-affinity routing: with affinity on, every op on one hot key must
+// be executed by the worker owning hash(key) % nworkers — connections landing
+// on other workers are re-steered on their first keyed frame (before any op
+// executes), so the other workers' keyed-op counters stay at exactly zero.
+TEST_F(NetLoopTest, AffinityPinsHotKeyToOwnerWorker) {
+  constexpr unsigned kWorkers = 4;
+  StartServer(kWorkers, 1 << 20, /*affinity=*/true);
+  const std::string hot = "hotkey";
+  unsigned owner = Server::route_worker(hot, kWorkers);
+  {
+    Client seed(server_->port());
+    seed.put(hot, {{0, "hotval"}});
+    seed.flush();
+  }
+  // Many short-lived connections: round-robin accept spreads them over all
+  // workers, so most must migrate to reach the owner.
+  std::vector<std::thread> threads;
+  std::atomic<int> errors{0};
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&] {
+      Client c(server_->port());
+      for (int i = 0; i < 50; ++i) {
+        c.get(hot);
+        auto res = c.flush();
+        if (res.size() != 1 || res[0].status != NetStatus::kOk ||
+            res[0].columns.size() != 1 || res[0].columns[0] != "hotval") {
+          ++errors;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_GT(server_->keyed_ops(owner), 0u);
+  for (unsigned w = 0; w < kWorkers; ++w) {
+    if (w != owner) {
+      EXPECT_EQ(server_->keyed_ops(w), 0u)
+          << "worker " << w << " executed ops for a key owned by " << owner;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multiget steering: a batch whose keys hash to every worker is split and
+// shipped to the owners (steered_gets > 0), yet the connection's responses —
+// puts, the multiget's per-key rows, and a trailing get — come back complete
+// and in exactly the order sent.
+TEST_F(NetLoopTest, AffinitySteersMultigetWithoutReordering) {
+  constexpr unsigned kWorkers = 4;
+  StartServer(kWorkers, 1 << 20, /*affinity=*/true);
+
+  // One key per worker, found by hashing candidates.
+  std::vector<std::string> per_worker(kWorkers);
+  unsigned found = 0;
+  for (int i = 0; found < kWorkers && i < 10000; ++i) {
+    std::string k = "aff" + std::to_string(i);
+    unsigned w = Server::route_worker(k, kWorkers);
+    if (per_worker[w].empty()) {
+      per_worker[w] = k;
+      ++found;
+    }
+  }
+  ASSERT_EQ(found, kWorkers);
+
+  Client c(server_->port());
+  // Pipeline everything BEFORE reading: the first keyed frame migrates the
+  // connection, so the later frames ride the migration carry and must still
+  // be answered in order.
+  for (unsigned w = 0; w < kWorkers; ++w) {
+    c.put(per_worker[w], {{0, "val-" + per_worker[w]}});
+  }
+  c.send();
+  std::vector<std::string_view> batch;
+  for (int rep = 0; rep < 3; ++rep) {  // every worker appears 3x, interleaved
+    for (unsigned w = 0; w < kWorkers; ++w) {
+      batch.push_back(per_worker[w]);
+    }
+  }
+  batch.push_back("aff-missing");  // a not-found row keeps indices honest
+  c.multiget(batch);
+  c.send();
+  c.get(per_worker[0]);
+  c.send();
+
+  auto puts = c.receive();
+  ASSERT_EQ(puts.size(), kWorkers);
+  for (const auto& r : puts) {
+    EXPECT_EQ(r.status, NetStatus::kOk);
+  }
+  auto mg = c.receive();
+  ASSERT_EQ(mg.size(), 1u);
+  ASSERT_EQ(mg[0].batch.size(), batch.size());
+  for (size_t i = 0; i + 1 < batch.size(); ++i) {
+    ASSERT_TRUE(mg[0].batch[i].found) << i;
+    ASSERT_EQ(mg[0].batch[i].columns.size(), 1u) << i;
+    EXPECT_EQ(mg[0].batch[i].columns[0], std::string("val-") + std::string(batch[i]))
+        << "row " << i << " out of order after steering";
+  }
+  EXPECT_FALSE(mg[0].batch.back().found);
+  auto last = c.receive();
+  ASSERT_EQ(last.size(), 1u);
+  EXPECT_EQ(last[0].columns[0], "val-" + per_worker[0]);
+
+  EXPECT_GT(server_->steered_gets(), 0u)
+      << "a 4-worker-spanning multiget must ship remote jobs";
 }
 
 // ---------------------------------------------------------------------------
