@@ -144,8 +144,26 @@ int main() {
   Store::Options sopt;
   sopt.log_dir = log_dir;
   std::atomic<uint64_t> log_appends{0}, log_stalls{0}, log_allocs{0}, log_writes{0};
+  std::atomic<uint64_t> log_physical{0}, log_logical{0}, log_compressed{0};
   {
     Store store(sopt);
+    // Value mix for puts: small (below the compression threshold), large
+    // compressible (the lz fast path), large incompressible (the bail-out
+    // path) — the kLogBytes* accounting below must stay coherent across all
+    // three, not just the friendly case.
+    std::string v_small = "churn!!!";
+    std::string v_comp;
+    for (int i = 0; i < 64; ++i) {
+      v_comp += "compressible-segment-" + std::to_string(i % 5);
+    }
+    std::string v_rand(1500, '\0');
+    {
+      Rng vr(4242);
+      for (auto& c : v_rand) {
+        c = static_cast<char>(vr.next());
+      }
+    }
+    const std::string* vals[4] = {&v_small, &v_small, &v_comp, &v_rand};
     std::vector<std::thread> churn;
     for (unsigned t = 0; t < e.threads; ++t) {
       churn.emplace_back([&, t] {
@@ -164,7 +182,7 @@ int main() {
           switch (rng.next() & 3) {
             case 0:
             case 1:
-              store.put(decimal_key(k), {{0, "churn!!!"}}, s);
+              store.put(decimal_key(k), {{0, *vals[rng.next() & 3]}}, s);
               ++writes;
               break;
             case 2:
@@ -179,6 +197,9 @@ int main() {
         log_appends += s.ti().counters().get(Counter::kLogAppends);
         log_stalls += s.ti().counters().get(Counter::kLogStalls);
         log_allocs += s.ti().counters().get(Counter::kLogAllocs);
+        log_physical += s.ti().counters().get(Counter::kLogBytesPhysical);
+        log_logical += s.ti().counters().get(Counter::kLogBytesLogical);
+        log_compressed += s.ti().counters().get(Counter::kLogCompressedRecords);
         log_writes += writes;
       });
     }
@@ -200,6 +221,25 @@ int main() {
                 "commits)\n",
                 static_cast<unsigned long long>(lt.flush_bytes),
                 static_cast<unsigned long long>(lt.flushes));
+    double bytes_per_op =
+        log_appends.load() == 0
+            ? 0.0
+            : static_cast<double>(log_physical.load()) /
+                  static_cast<double>(log_appends.load());
+    double ratio = log_physical.load() == 0
+                       ? 1.0
+                       : static_cast<double>(log_logical.load()) /
+                             static_cast<double>(log_physical.load());
+    std::printf("log bytes physical:           %llu (kLogBytesPhysical: %.1f bytes/op)\n",
+                static_cast<unsigned long long>(log_physical.load()), bytes_per_op);
+    std::printf("log bytes logical:            %llu (kLogBytesLogical: %.2fx compression)\n",
+                static_cast<unsigned long long>(log_logical.load()), ratio);
+    std::printf("log compressed records:       %llu (kLogCompressedRecords, %.1f%% of appends)\n",
+                static_cast<unsigned long long>(log_compressed.load()),
+                log_appends.load() == 0
+                    ? 0.0
+                    : 100.0 * static_cast<double>(log_compressed.load()) /
+                          static_cast<double>(log_appends.load()));
   }
   std::filesystem::remove_all(log_dir);
 

@@ -15,41 +15,140 @@
 // the MT_BENCH_* environment knobs of bench/common.h.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "bench/common.h"
 #include "bench/net_driver.h"
 #include "core/tree.h"
 #include "kvstore/store.h"
+#include "log/logrecord.h"
 #include "net/server.h"
 #include "util/rand.h"
 #include "workload/keys.h"
 
 namespace {
 
-// Store-level uniform fresh-key put throughput, with or without the §5
-// per-worker value logs; the pair yields log_overhead_pct, the paper's
-// "logging costs <10%" trajectory metric.
-double store_put_mops(const masstree::Store::Options& opt, const masstree::bench::Env& e) {
+// One logging-overhead duel (§5): fresh-key puts into a logged and an
+// unlogged Store, chunk-interleaved on ONE thread with fig11_skew's leg
+// discipline — an untimed warm leg, then unlogged-logged-logged-unlogged so
+// neither mode systematically runs on fresher data, with the verdict taken
+// as the MEDIAN per-pair ratio. A naive best-of-N of two separate runs
+// (the old scheme) is noise-dominated on small virtualized hosts: two
+// identical passes can disagree by more than the <10% budget being
+// measured, which is how the metric once read -5.8%.
+struct LogDuelResult {
+  double logged_mops = 0.0;
+  double unlogged_mops = 0.0;
+  double overhead_pct = 0.0;
+  // Logged-store counter deltas (v2 wire accounting).
+  uint64_t appends = 0;
+  uint64_t physical_bytes = 0;
+  uint64_t logical_bytes = 0;
+  uint64_t compressed_records = 0;
+  // What the same records would have cost in the fixed-width v1 framing.
+  uint64_t v1_bytes = 0;
+
+  double bytes_per_op() const {
+    return appends == 0 ? 0.0
+                        : static_cast<double>(physical_bytes) /
+                              static_cast<double>(appends);
+  }
+  double saved_vs_v1_pct() const {
+    return v1_bytes == 0 ? 0.0
+                         : 100.0 * (1.0 - static_cast<double>(physical_bytes) /
+                                              static_cast<double>(v1_bytes));
+  }
+  double compression_ratio() const {
+    return physical_bytes == 0
+               ? 1.0
+               : static_cast<double>(logical_bytes) /
+                     static_cast<double>(physical_bytes);
+  }
+};
+
+LogDuelResult log_duel(const std::string& log_dir, const std::string& value,
+                       uint64_t nops, uint64_t key_tag) {
   using namespace masstree;
-  Store store(opt);
-  std::atomic<uint64_t> next{0};
-  return bench::timed_mops(e.threads, e.secs, [&](unsigned t, const std::atomic<bool>& stop) {
-    Store::Session s(store, t);
-    uint64_t ops = 0;
-    while (!stop.load(std::memory_order_relaxed)) {
-      uint64_t chunk = next.fetch_add(128, std::memory_order_relaxed);
-      for (uint64_t i = chunk; i < chunk + 128; ++i) {
-        store.put(decimal_key(i), {{0, "12345678"}}, s);
-        ++ops;
+  std::filesystem::remove_all(log_dir);
+  std::filesystem::create_directories(log_dir);
+  Store unlogged;
+  Store::Options lopt;
+  lopt.log_dir = log_dir;
+  Store logged(lopt);
+  Store::Session su(unlogged, 0);
+  Store::Session sl(logged, 0);
+  Store* stores[2] = {&unlogged, &logged};
+  Store::Session* sessions[2] = {&su, &sl};
+
+  constexpr uint64_t kChunk = 4096;
+  // Warm leg first, then unlogged-logged-logged-unlogged timed legs.
+  static constexpr int kLegMode[] = {1, 0, 1, 1, 0};
+  uint64_t pairs = std::max<uint64_t>(nops / kChunk, 2);
+  uint64_t next_key[2] = {0, 0};  // per-mode keyspace: both trees grow alike
+  double total_secs[2] = {0.0, 0.0};
+  uint64_t total_ops[2] = {0, 0};
+  std::vector<double> ratios;
+  ratios.reserve(pairs);
+  uint64_t a0 = sl.ti().counters().get(Counter::kLogAppends);
+  uint64_t p0 = sl.ti().counters().get(Counter::kLogBytesPhysical);
+  uint64_t l0 = sl.ti().counters().get(Counter::kLogBytesLogical);
+  uint64_t c0 = sl.ti().counters().get(Counter::kLogCompressedRecords);
+  for (uint64_t i = 0; i < pairs; ++i) {
+    double secs[2] = {0.0, 0.0};
+    for (int leg = 0; leg < 5; ++leg) {
+      int mode = kLegMode[leg];
+      Store& st = *stores[mode];
+      Store::Session& ss = *sessions[mode];
+      auto t0 = std::chrono::steady_clock::now();
+      for (uint64_t k = 0; k < kChunk; ++k) {
+        st.put(decimal_key(key_tag + (static_cast<uint64_t>(mode) << 62) +
+                           next_key[mode]++),
+               {{0, value}}, ss);
+      }
+      if (leg > 0) {
+        double dt = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+        secs[mode] += dt;
+        total_secs[mode] += dt;
+        total_ops[mode] += kChunk;
       }
     }
-    return ops;
-  });
+    if (i > 0) {  // pair 0 additionally warms both stores
+      ratios.push_back(secs[0] / secs[1]);  // >1: logged side faster
+    }
+  }
+  LogDuelResult r;
+  r.appends = sl.ti().counters().get(Counter::kLogAppends) - a0;
+  r.physical_bytes = sl.ti().counters().get(Counter::kLogBytesPhysical) - p0;
+  r.logical_bytes = sl.ti().counters().get(Counter::kLogBytesLogical) - l0;
+  r.compressed_records =
+      sl.ti().counters().get(Counter::kLogCompressedRecords) - c0;
+  // Analytic v1 cost of the records the logged store actually appended,
+  // regenerated outside any timed leg: 29 fixed bytes + key + per-column
+  // (2 + 4 + len) with the 2-byte ncols count.
+  for (uint64_t k = 0; k < next_key[1]; ++k) {
+    std::string key = decimal_key(key_tag + (uint64_t{1} << 62) + k);
+    r.v1_bytes += logwire::kRecordOverheadV1 + key.size() + 2 + 2 + 4 +
+                  value.size();
+  }
+  std::sort(ratios.begin(), ratios.end());
+  double med = ratios[ratios.size() / 2];
+  r.overhead_pct = (1.0 / med - 1.0) * 100.0;
+  r.unlogged_mops = total_secs[0] > 0.0
+                        ? static_cast<double>(total_ops[0]) / total_secs[0] / 1e6
+                        : 0.0;
+  r.logged_mops = total_secs[1] > 0.0
+                      ? static_cast<double>(total_ops[1]) / total_secs[1] / 1e6
+                      : 0.0;
+  std::filesystem::remove_all(log_dir);
+  return r;
 }
 
 }  // namespace
@@ -162,25 +261,38 @@ int main(int argc, char** argv) {
         return pairs;
       });
 
-  // Write-side persistence cost (§5): Store-level puts with the per-session
-  // wait-free log shards on vs off. Group commit runs in background logging
-  // threads, so the overhead percentage is the paper's <10% claim.
+  // Write-side persistence cost (§5): chunk-interleaved logged-vs-unlogged
+  // put duels (see log_duel above). The 8-byte-value mix is the paper's
+  // <10% overhead trajectory metric and, since PR 8, also the wire-volume
+  // one: log_bytes_per_op and the saving against the fixed-width v1 framing
+  // come from the logged store's kLogBytes* counters. The second duel uses
+  // 1 KiB JSON-ish values — above the compression threshold — so its
+  // overhead and compression ratio exercise the lz path end to end.
   std::string log_dir = std::filesystem::temp_directory_path().string() + "/benchjson-logs";
-  Store::Options logged_opt;
-  logged_opt.log_dir = log_dir;
-  // Alternate the configs, best of two each: equalizes allocator warm-up
-  // and filters scheduler noise (a single pass can even read negative
-  // overhead on a busy box). Unlinking the logs right after the logged run
-  // keeps its dirty-page writeback out of the next phase.
-  double put_unlogged_mops = 0.0, put_logged_mops = 0.0;
-  for (int rep = 0; rep < 2; ++rep) {
-    put_unlogged_mops = std::max(put_unlogged_mops, store_put_mops(Store::Options{}, e));
-    std::filesystem::remove_all(log_dir);
-    put_logged_mops = std::max(put_logged_mops, store_put_mops(logged_opt, e));
-    std::filesystem::remove_all(log_dir);
+  uint64_t duel_ops = env_u64("MT_BENCH_LOG_DUEL_OPS", 300000);
+  LogDuelResult mix = log_duel(log_dir, "12345678", duel_ops, /*key_tag=*/0);
+  double put_unlogged_mops = mix.unlogged_mops;
+  double put_logged_mops = mix.logged_mops;
+  double log_overhead_pct = mix.overhead_pct;
+  std::printf("log duel (8B values): overhead %.2f%%, %.1f bytes/op, "
+              "%.1f%% saved vs v1\n",
+              mix.overhead_pct, mix.bytes_per_op(), mix.saved_vs_v1_pct());
+
+  std::string value_1kb;
+  for (int f = 0; value_1kb.size() < 1024; ++f) {
+    value_1kb += "\"field" + std::to_string(f % 12) + "\":\"payload-" +
+                 std::to_string(f % 7) + "\",";
   }
-  double log_overhead_pct =
-      put_unlogged_mops > 0.0 ? 100.0 * (1.0 - put_logged_mops / put_unlogged_mops) : 0.0;
+  value_1kb.resize(1024);
+  LogDuelResult kb = log_duel(log_dir, value_1kb, duel_ops / 4,
+                              /*key_tag=*/uint64_t{1} << 40);
+  double log_overhead_1kb_pct = kb.overhead_pct;
+  std::printf("log duel (1KiB values): overhead %.2f%%, %.1f bytes/op, "
+              "compression ratio %.2fx (%.1f%% records compressed)\n",
+              kb.overhead_pct, kb.bytes_per_op(), kb.compression_ratio(),
+              kb.appends == 0 ? 0.0
+                              : 100.0 * static_cast<double>(kb.compressed_records) /
+                                    static_cast<double>(kb.appends));
 
   // YCSB-A: 50% reads, 50% updates, Zipfian key popularity (§7).
   double ycsb_a_mops =
@@ -316,6 +428,11 @@ int main(int argc, char** argv) {
   add("    \"put_unlogged_mops\": %.4f,\n", put_unlogged_mops);
   add("    \"put_logged_mops\": %.4f,\n", put_logged_mops);
   add("    \"log_overhead_pct\": %.2f,\n", log_overhead_pct);
+  add("    \"log_bytes_per_op\": %.2f,\n", mix.bytes_per_op());
+  add("    \"log_bytes_saved_pct\": %.2f,\n", mix.saved_vs_v1_pct());
+  add("    \"log_overhead_1kb_pct\": %.2f,\n", log_overhead_1kb_pct);
+  add("    \"log_1kb_bytes_per_op\": %.2f,\n", kb.bytes_per_op());
+  add("    \"log_1kb_compression_ratio\": %.3f,\n", kb.compression_ratio());
   add("    \"ycsb_a_zipfian_mops\": %.4f,\n", ycsb_a_mops);
   add("    \"net_get_mops\": %.4f,\n", net_get_mops);
   add("    \"net_conns\": %u,\n", kNetConns);

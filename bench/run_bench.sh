@@ -81,6 +81,55 @@ if [ "$(printf '%s\n' "$ov" | awk '{ print ($1 > -1000 && $1 < 1000) ? "ok" : "b
 fi
 echo "== put_logged_mops = $pl, log_overhead_pct = $ov (present and finite)"
 
+# PR 8's wire-volume metrics: the v2 varint framing must actually be in
+# effect. log_bytes_per_op must be present and non-zero; log_bytes_saved_pct
+# (v2 physical bytes vs the analytic v1 cost of the same records) must be
+# >= 35, or the compact framing has regressed to roughly v1 sizes.
+bpo=$(sed -n 's/.*"log_bytes_per_op": \([0-9.]*\).*/\1/p' "$json_out")
+if [ -z "$bpo" ]; then
+    echo "run_bench.sh: log_bytes_per_op missing from $json_out" >&2
+    exit 1
+fi
+if [ "$(printf '%s\n' "$bpo" | awk '{ print ($1 > 0 && $1 < 100000) ? "ok" : "bad" }')" != "ok" ]; then
+    echo "run_bench.sh: log_bytes_per_op not positive/finite in $json_out: $bpo" >&2
+    exit 1
+fi
+sv=$(sed -n 's/.*"log_bytes_saved_pct": \(-\{0,1\}[0-9.]*\).*/\1/p' "$json_out")
+if [ -z "$sv" ]; then
+    echo "run_bench.sh: log_bytes_saved_pct missing from $json_out" >&2
+    exit 1
+fi
+if [ "$(printf '%s\n' "$sv" | awk '{ print ($1 >= 35) ? "ok" : "low" }')" != "ok" ]; then
+    echo "run_bench.sh: log_bytes_saved_pct below the 35% floor: $sv" >&2
+    exit 1
+fi
+echo "== log_bytes_per_op = $bpo, log_bytes_saved_pct = $sv (>= 35)"
+
+# The 1 KiB compressible-value duel: overhead must be present and finite
+# (the <10% paper budget is tracked, but a one-core CI box is too noisy to
+# hard-gate a timing ratio), and the compression ratio must be a real
+# number > 1 — these values are built to compress, so 1.0 means the lz path
+# is dead.
+ov1=$(sed -n 's/.*"log_overhead_1kb_pct": \(-\{0,1\}[0-9.]*\).*/\1/p' "$json_out")
+if [ -z "$ov1" ]; then
+    echo "run_bench.sh: log_overhead_1kb_pct missing from $json_out" >&2
+    exit 1
+fi
+if [ "$(printf '%s\n' "$ov1" | awk '{ print ($1 > -1000 && $1 < 1000) ? "ok" : "bad" }')" != "ok" ]; then
+    echo "run_bench.sh: log_overhead_1kb_pct not finite in $json_out: $ov1" >&2
+    exit 1
+fi
+cr=$(sed -n 's/.*"log_1kb_compression_ratio": \([0-9.]*\).*/\1/p' "$json_out")
+if [ -z "$cr" ]; then
+    echo "run_bench.sh: log_1kb_compression_ratio missing from $json_out" >&2
+    exit 1
+fi
+if [ "$(printf '%s\n' "$cr" | awk '{ print ($1 > 1.0 && $1 < 10000) ? "ok" : "bad" }')" != "ok" ]; then
+    echo "run_bench.sh: log_1kb_compression_ratio not > 1 in $json_out: $cr" >&2
+    exit 1
+fi
+echo "== log_overhead_1kb_pct = $ov1, log_1kb_compression_ratio = $cr (> 1)"
+
 # The §6.1 served path: net_get_mops (gets through the epoll event-loop
 # server over the wire) and net_conns (the pipelined connection count it was
 # measured at) must both be present and non-zero, so the network layer stays

@@ -10,8 +10,19 @@
 // covering a key range) plus a MANIFEST written last via rename, so an
 // interrupted checkpoint is simply invisible to recovery.
 //
-// Part record: u32 klen | key | u64 row_version | u16 ncols |
-//              (u32 len | bytes)* | u32 crc32(record).
+// Part format v2 (current): the file opens with "MTCK" u8 format_version,
+// then varint-framed records sharing the log's column encoding:
+//
+//   varint payload_len | payload | u32 crc32c(payload)
+//   payload: varint klen | key | varint row_version | varint ncols |
+//            per column: varint h = raw_len * 2 | compressed,
+//                        [varint stored_len when compressed], stored bytes
+//
+// Columns at or above the writer's compress threshold are lz-compressed
+// with an incompressible bail-out, mirroring the log. Headerless files are
+// read with the legacy v1 layout (u32 klen | key | u64 row_version |
+// u16 ncols | (u32 len | bytes)* | u32 crc32(record)); an unknown header
+// version fail-stops rather than reading as an empty checkpoint.
 
 #ifndef MASSTREE_CHECKPOINT_CHECKPOINT_H_
 #define MASSTREE_CHECKPOINT_CHECKPOINT_H_
@@ -21,12 +32,18 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "util/crc32.h"
+#include "util/lz.h"
+#include "util/varint.h"
 
 namespace masstree {
+
+inline constexpr char kCkptMagic[4] = {'M', 'T', 'C', 'K'};
+inline constexpr uint8_t kCkptFormatV2 = 2;
 
 struct CheckpointManifest {
   uint64_t start_ts_us = 0;      // wall clock when the checkpoint began
@@ -82,27 +99,52 @@ inline CheckpointManifest read_manifest(const std::string& dir) {
   return m;
 }
 
-// Streaming writer for one part file.
+// Streaming writer for one part file (v2: varint framing + per-column lz
+// compression above `compress_threshold`, 0 disables).
 class CheckpointPartWriter {
  public:
-  explicit CheckpointPartWriter(const std::string& path) : out_(path, std::ios::binary) {}
+  explicit CheckpointPartWriter(const std::string& path,
+                                size_t compress_threshold = 128)
+      : out_(path, std::ios::binary), threshold_(compress_threshold) {
+    char hdr[5];
+    std::memcpy(hdr, kCkptMagic, 4);
+    hdr[4] = static_cast<char>(kCkptFormatV2);
+    out_.write(hdr, sizeof(hdr));
+  }
 
   bool ok() const { return static_cast<bool>(out_); }
 
   void add(std::string_view key, uint64_t row_version,
            const std::vector<std::string_view>& cols) {
-    rec_.clear();
-    append_raw<uint32_t>(static_cast<uint32_t>(key.size()));
-    rec_.append(key);
-    append_raw<uint64_t>(row_version);
-    append_raw<uint16_t>(static_cast<uint16_t>(cols.size()));
+    // Compress eligible columns first so the payload varints carry final
+    // sizes. Checkpointing runs on background workers, so a heap scratch
+    // (reused across add calls) is fine here, unlike the log append path.
+    payload_.clear();
+    put_varint(key.size());
+    payload_.append(key);
+    put_varint(row_version);
+    put_varint(cols.size());
     for (const auto& c : cols) {
-      append_raw<uint32_t>(static_cast<uint32_t>(c.size()));
-      rec_.append(c);
+      size_t csize = 0;
+      if (threshold_ != 0 && c.size() >= threshold_) {
+        scratch_.resize(c.size() - 1);
+        csize = lz::compress(c.data(), c.size(), scratch_.data(),
+                             scratch_.size());
+      }
+      put_varint((static_cast<uint64_t>(c.size()) << 1) | (csize != 0));
+      if (csize != 0) {
+        put_varint(csize);
+        payload_.append(scratch_.data(), csize);
+      } else {
+        payload_.append(c);
+      }
     }
-    uint32_t crc = crc32(rec_);
-    rec_.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
-    out_.write(rec_.data(), static_cast<std::streamsize>(rec_.size()));
+    char frame[vint::kMaxBytes];
+    out_.write(frame, static_cast<std::streamsize>(
+                          vint::put(frame, payload_.size()) - frame));
+    out_.write(payload_.data(), static_cast<std::streamsize>(payload_.size()));
+    uint32_t crc = crc32(payload_);
+    out_.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
     ++records_;
   }
 
@@ -111,13 +153,15 @@ class CheckpointPartWriter {
   void finish() { out_.flush(); }
 
  private:
-  template <typename T>
-  void append_raw(T v) {
-    rec_.append(reinterpret_cast<const char*>(&v), sizeof(T));
+  void put_varint(uint64_t v) {
+    char buf[vint::kMaxBytes];
+    payload_.append(buf, static_cast<size_t>(vint::put(buf, v) - buf));
   }
 
   std::ofstream out_;
-  std::string rec_;
+  size_t threshold_;
+  std::string payload_;
+  std::string scratch_;
   uint64_t records_ = 0;
 };
 
@@ -127,9 +171,94 @@ struct CheckpointRecord {
   std::vector<std::string> cols;
 };
 
+namespace ckptwire {
+
+// v2 record stream starting at `pos` (just past the header).
+inline void read_v2_records(const std::string& data, size_t pos,
+                            std::vector<CheckpointRecord>* out) {
+  const char* base = data.data();
+  const char* dend = base + data.size();
+  while (pos < data.size()) {
+    uint64_t len;
+    const char* q = vint::get(base + pos, dend, &len);
+    if (q == nullptr || len > (1u << 30)) {
+      break;
+    }
+    size_t payload_off = static_cast<size_t>(q - base);
+    if (data.size() - payload_off < static_cast<size_t>(len) + 4) {
+      break;
+    }
+    uint32_t want;
+    std::memcpy(&want, base + payload_off + len, sizeof(want));
+    if (crc32(base + payload_off, static_cast<size_t>(len)) != want) {
+      break;
+    }
+    const char* p = base + payload_off;
+    const char* end = p + len;
+    CheckpointRecord r;
+    uint64_t klen;
+    p = vint::get(p, end, &klen);
+    if (p == nullptr || klen > static_cast<size_t>(end - p)) break;
+    r.key.assign(p, static_cast<size_t>(klen));
+    p += klen;
+    p = vint::get(p, end, &r.row_version);
+    if (p == nullptr) break;
+    uint64_t ncols;
+    p = vint::get(p, end, &ncols);
+    if (p == nullptr || ncols > 0xffff) break;
+    bool bad = false;
+    for (uint64_t i = 0; i < ncols; ++i) {
+      uint64_t h;
+      p = vint::get(p, end, &h);
+      if (p == nullptr) {
+        bad = true;
+        break;
+      }
+      uint64_t raw_len = h >> 1;
+      if (raw_len > (1u << 28)) {
+        bad = true;
+        break;
+      }
+      if (h & 1) {
+        uint64_t stored;
+        p = vint::get(p, end, &stored);
+        if (p == nullptr || stored > static_cast<size_t>(end - p)) {
+          bad = true;
+          break;
+        }
+        std::string col;
+        col.resize(static_cast<size_t>(raw_len));
+        if (!lz::decompress(p, static_cast<size_t>(stored), col.data(),
+                            col.size())) {
+          bad = true;
+          break;
+        }
+        p += stored;
+        r.cols.push_back(std::move(col));
+      } else {
+        if (raw_len > static_cast<size_t>(end - p)) {
+          bad = true;
+          break;
+        }
+        r.cols.emplace_back(p, static_cast<size_t>(raw_len));
+        p += raw_len;
+      }
+    }
+    if (bad || p != end) {
+      break;
+    }
+    out->push_back(std::move(r));
+    pos = payload_off + static_cast<size_t>(len) + 4;
+  }
+}
+
+}  // namespace ckptwire
+
 // Reads a whole part file; stops silently at a torn/corrupt tail (a crash
 // mid-part without a manifest would not be read at all; this is extra
-// defensiveness for damaged storage).
+// defensiveness for damaged storage). Headerless files decode with the
+// legacy v1 layout; an unknown "MTCK" header version throws instead of
+// reading as empty — fail-stop beats silently restoring nothing.
 inline std::vector<CheckpointRecord> read_checkpoint_part(const std::string& path) {
   std::vector<CheckpointRecord> out;
   std::ifstream in(path, std::ios::binary);
@@ -137,6 +266,19 @@ inline std::vector<CheckpointRecord> read_checkpoint_part(const std::string& pat
     return out;
   }
   std::string data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (data.size() >= 4 && std::memcmp(data.data(), kCkptMagic, 4) == 0) {
+    if (data.size() < 5) {
+      return out;  // torn header
+    }
+    uint8_t ver = static_cast<uint8_t>(data[4]);
+    if (ver != kCkptFormatV2) {
+      throw std::runtime_error(
+          "checkpoint: unsupported part format version " +
+          std::to_string(ver) + " in " + path);
+    }
+    ckptwire::read_v2_records(data, 5, &out);
+    return out;
+  }
   size_t pos = 0;
   auto read_raw = [&data](size_t at, auto* v) {
     std::memcpy(v, data.data() + at, sizeof(*v));

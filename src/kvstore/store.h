@@ -42,6 +42,9 @@ class Store {
     unsigned log_partitions = 4;
     // Per-shard buffering and group-commit cadence.
     Logger::Options logger;
+    // Values this size or larger are lz-compressed transparently in both
+    // the log and checkpoint parts (0 disables compression).
+    size_t log_compress_threshold = 128;
     // Dedicated background maintenance & epoch-advancement thread (§4.6.1,
     // §4.6.5): empty-layer GC and epoch advances leave the foreground write
     // path entirely. When disabled, both piggyback on write traffic as
@@ -305,7 +308,8 @@ class Store {
     for (unsigned w = 0; w < nworkers; ++w) {
       workers.emplace_back([&, w] {
         ThreadContext ti;
-        CheckpointPartWriter out(checkpoint_part_path(dir, w));
+        CheckpointPartWriter out(checkpoint_part_path(dir, w),
+                                 opt_.log_compress_threshold);
         if (!out.ok()) {
           ok = false;
           return;
@@ -564,7 +568,8 @@ class Store {
     std::string path = log_path(opt_.log_dir, next_log_file_++);
     log_shards_.push_back(std::make_unique<LogShard>(path, opt_.logger.buffer_bytes,
                                                      part, &s.ti_.counters(),
-                                                     /*repair_existing_tail=*/false));
+                                                     /*repair_existing_tail=*/false,
+                                                     opt_.log_compress_threshold));
     LogShard* fresh = log_shards_.back().get();
     log_writers_[part]->add_shard(fresh);
     return fresh;
@@ -582,7 +587,8 @@ class Store {
       unsigned part = idx % static_cast<unsigned>(log_writers_.size());
       log_shards_.push_back(std::make_unique<LogShard>(path, opt_.logger.buffer_bytes,
                                                        part, nullptr,
-                                                       /*repair_existing_tail=*/true));
+                                                       /*repair_existing_tail=*/true,
+                                                       opt_.log_compress_threshold));
       LogShard* shard = log_shards_.back().get();
       shard->park_adopted();
       log_writers_[part]->add_shard(shard);

@@ -76,8 +76,10 @@ class LogWriter;
 class LogShard {
  public:
   LogShard(const std::string& path, size_t half_bytes, unsigned partition,
-           ThreadCounters* counters, bool repair_existing_tail)
-      : path_(path), partition_(partition), counters_(counters) {
+           ThreadCounters* counters, bool repair_existing_tail,
+           size_t compress_threshold = 128)
+      : path_(path), partition_(partition),
+        compress_threshold_(compress_threshold), counters_(counters) {
     // O_RDWR, not O_WRONLY: tail repair preads the existing contents. No
     // O_APPEND — POSIX makes pwrite on an append-mode fd ignore its offset,
     // and the logging thread positions every write itself (inside
@@ -86,19 +88,33 @@ class LogShard {
     if (fd_ < 0) {
       throw std::runtime_error("LogShard: cannot open " + path);
     }
-    for (Buf& b : bufs_) {
-      b.cap = half_bytes;
-      b.data = std::make_unique<char[]>(half_bytes);
-      if (counters_ != nullptr) {
-        counters_->inc(Counter::kLogAllocs);
+    try {
+      for (Buf& b : bufs_) {
+        b.cap = half_bytes;
+        b.data = std::make_unique<char[]>(half_bytes);
+        if (counters_ != nullptr) {
+          counters_->inc(Counter::kLogAllocs);
+        }
       }
-    }
-    if (repair_existing_tail) {
-      chop_torn_tail();
+      if (repair_existing_tail) {
+        chop_torn_tail();  // throws on an unknown format version
+      }
+    } catch (...) {
+      ::close(fd_);
+      throw;
     }
     off_t end = ::lseek(fd_, 0, SEEK_END);
     write_off_ = end > 0 ? static_cast<size_t>(end) : 0;
     prealloc_end_ = write_off_;
+    // A surviving pre-v2 (headerless) file gets a mid-file format header
+    // before the first new append, so its own records keep decoding as v1
+    // while everything we write decodes as v2.
+    if (write_off_ > 0) {
+      char magic[4] = {0, 0, 0, 0};
+      ssize_t got = ::pread(fd_, magic, sizeof(magic), 0);
+      pending_midfile_header_ =
+          got < 4 || std::memcmp(magic, logwire::kLogMagic, 4) != 0;
+    }
   }
 
   ~LogShard() { ::close(fd_); }
@@ -109,41 +125,94 @@ class LogShard {
   // ---- producer side -------------------------------------------------
   // Appends return as soon as the record sits in the arena; durability
   // arrives with the logging thread's next group commit. The record's
-  // timestamp is read here, after the begin-counter bump, which is what
+  // timestamp is read after the begin_append announcement, which is what
   // lets the logging thread prove marker safety (see drain_shard).
+  //
+  // Values at or above compress_threshold_ are lz-compressed into a stack
+  // scratch before the record is sized, so the arena reservation is exact
+  // and the fast path stays allocation-free (Counter::kLogAllocs == 0 in
+  // steady state, compression included). Incompressible data bails out to
+  // raw storage: compress() is given a budget of raw_len - 1 bytes.
   void append_put(std::string_view key, const std::vector<ColumnUpdate>& updates,
                   uint64_t version) {
-    size_t need = logwire::put_record_size(key, updates);
-    if (MT_UNLIKELY(need > bufs_[0].cap)) {
-      append_jumbo(need, [&](char* dst, uint64_t ts) {
-        logwire::encode_put_to(dst, key, updates, version, ts);
-      });
-      return;
+    logwire::ColPlan stack_plans[kMaxPlanCols];
+    char scratch[kCompressScratchBytes];
+    std::vector<logwire::ColPlan> heap_plans;
+    logwire::ColPlan* plans = stack_plans;
+    size_t ncols = updates.size();
+    if (MT_UNLIKELY(ncols > kMaxPlanCols)) {
+      heap_plans.resize(ncols);
+      plans = heap_plans.data();
+      if (counters_ != nullptr) {
+        counters_->inc(Counter::kLogAllocs);
+      }
     }
-    char* dst = reserve(need);
-    if (MT_UNLIKELY(dst == nullptr)) {
-      return;  // writer shut down underneath us: record dropped
+    size_t used = 0;
+    size_t saved = 0;  // raw-minus-stored across compressed columns
+    bool any_compressed = false;
+    for (size_t i = 0; i < ncols; ++i) {
+      const ColumnUpdate& u = updates[i];
+      logwire::ColPlan& pl = plans[i];
+      pl.col = u.col;
+      pl.data = u.data.data();
+      pl.raw_len = static_cast<uint32_t>(u.data.size());
+      pl.stored_len = pl.raw_len;
+      pl.compressed = false;
+      if (compress_threshold_ != 0 && u.data.size() >= compress_threshold_ &&
+          u.data.size() <= logwire::kMaxColumnRaw) {
+        size_t cap = u.data.size() - 1;
+        size_t room = sizeof(scratch) - used;
+        if (cap > room) cap = room;
+        size_t c = cap == 0 ? 0
+                            : lz::compress(u.data.data(), u.data.size(),
+                                           scratch + used, cap);
+        if (c != 0) {
+          pl.data = scratch + used;
+          pl.stored_len = static_cast<uint32_t>(c);
+          pl.compressed = true;
+          used += c;
+          saved += u.data.size() - c;
+          any_compressed = true;
+        }
+      }
     }
-    begin_append(need);
-    logwire::encode_put_to(dst, key, updates, version, wall_us());
-    publish(need);
+    append_put_planned(key, plans, ncols, version, any_compressed, saved);
   }
 
   void append_remove(std::string_view key, uint64_t version) {
-    size_t need = logwire::remove_record_size(key);
-    if (MT_UNLIKELY(need > bufs_[0].cap)) {
-      append_jumbo(need, [&](char* dst, uint64_t ts) {
-        logwire::encode_remove_to(dst, key, version, ts);
-      });
+    begin_append();
+    uint64_t ts = wall_us();
+    if (MT_UNLIKELY(rebase_needed_.exchange(false, std::memory_order_relaxed))) {
+      prev_ts_valid_ = false;
+    }
+    for (;;) {
+      bool delta = prev_ts_valid_;
+      uint64_t ts_field =
+          delta ? vint::zigzag(static_cast<int64_t>(ts - prev_ts_us_)) : ts;
+      size_t need = logwire::remove_record_size_v2(key, version, ts_field);
+      if (MT_UNLIKELY(need > bufs_[0].cap)) {
+        need = logwire::remove_record_size_v2(key, version, ts);
+        append_jumbo(need, [&](char* dst) {
+          logwire::encode_remove_v2_to(dst, key, version, ts, false);
+        });
+        note_data_record(ts, need, need, false);
+        return;
+      }
+      char* dst = reserve(need);
+      if (MT_UNLIKELY(dst == nullptr)) {
+        return;  // writer shut down underneath us: record dropped
+      }
+      if (MT_UNLIKELY(delta && bufs_[cur_].wpos == 0)) {
+        // Reserve flipped to a fresh half: its first record anchors the
+        // delta chain, so re-size as absolute and try again.
+        prev_ts_valid_ = false;
+        continue;
+      }
+      logwire::encode_remove_v2_to(dst, key, version, ts_field, delta);
+      note_data_record(ts, need, need, false);
+      publish(need);
       return;
     }
-    char* dst = reserve(need);
-    if (MT_UNLIKELY(dst == nullptr)) {
-      return;
-    }
-    begin_append(need);
-    logwire::encode_remove_to(dst, key, version, wall_us());
-    publish(need);
   }
 
   // Detach the producer. The logging thread drains what is left, stamps the
@@ -163,6 +232,7 @@ class LogShard {
     counters_ = counters;
     cur_ = 0;
     next_seal_seq_ = 1;
+    prev_ts_valid_ = false;  // the new producer's first record is absolute
     for (Buf& b : bufs_) {
       b.wpos = 0;
     }
@@ -240,16 +310,82 @@ class LogShard {
     }
   }
 
+  // Shared tail of the planned put path: size with the current delta
+  // decision, reserve, encode, publish. Split from append_put so the
+  // column-planning scratch lives in the caller's frame.
+  void append_put_planned(std::string_view key, const logwire::ColPlan* plans,
+                          size_t ncols, uint64_t version, bool any_compressed,
+                          size_t saved) {
+    begin_append();
+    uint64_t ts = wall_us();
+    if (MT_UNLIKELY(rebase_needed_.exchange(false, std::memory_order_relaxed))) {
+      prev_ts_valid_ = false;
+    }
+    for (;;) {
+      bool delta = prev_ts_valid_;
+      uint64_t ts_field =
+          delta ? vint::zigzag(static_cast<int64_t>(ts - prev_ts_us_)) : ts;
+      size_t need =
+          logwire::put_record_size_v2(key, plans, ncols, version, ts_field);
+      if (MT_UNLIKELY(need > bufs_[0].cap)) {
+        // Jumbo records are written between arena flushes and always carry
+        // an absolute timestamp.
+        need = logwire::put_record_size_v2(key, plans, ncols, version, ts);
+        append_jumbo(need, [&](char* dst) {
+          logwire::encode_put_v2_to(dst, key, plans, ncols, version, ts, false);
+        });
+        note_data_record(ts, need, need + saved, any_compressed);
+        return;
+      }
+      char* dst = reserve(need);
+      if (MT_UNLIKELY(dst == nullptr)) {
+        return;  // writer shut down underneath us: record dropped
+      }
+      if (MT_UNLIKELY(delta && bufs_[cur_].wpos == 0)) {
+        // Reserve flipped to a fresh half: its first record anchors the
+        // delta chain, so re-size as absolute and try again.
+        prev_ts_valid_ = false;
+        continue;
+      }
+      logwire::encode_put_v2_to(dst, key, plans, ncols, version, ts_field,
+                                delta);
+      note_data_record(ts, need, need + saved, any_compressed);
+      publish(need);
+      return;
+    }
+  }
+
+  // Per-record byte accounting: physical is what hits the arena/file,
+  // logical approximates the same record with every column stored raw
+  // (physical + bytes saved by compression), so physical/logical is the
+  // observable compression ratio.
+  void note_data_record(uint64_t ts, size_t physical, size_t logical,
+                        bool compressed) {
+    prev_ts_us_ = ts;
+    prev_ts_valid_ = true;
+    if (counters_ != nullptr) {
+      counters_->inc(Counter::kLogBytesPhysical, physical);
+      counters_->inc(Counter::kLogBytesLogical, logical);
+      if (compressed) {
+        counters_->inc(Counter::kLogCompressedRecords);
+      }
+    }
+  }
+
   // Seqlock-style quiescence fence around the timestamp read: before
-  // reading the record's timestamp the producer announces where the byte
-  // stream WILL be once the record publishes (begin_total_); publishing
-  // moves pub_total_ up to meet it. The logging thread samples pub_total_
-  // before a drain round and begin_total_ after it; equal values prove no
-  // append overlapped the round, so no record with a timestamp older than
-  // the round's start can still be sitting unpublished. Both totals are
-  // monotone, so the comparison cannot ABA.
-  void begin_append(size_t need) {
-    begin_total_.store(pub_total_.load(std::memory_order_relaxed) + need,
+  // reading the record's timestamp the producer announces an in-flight
+  // append by moving begin_total_ off pub_total_; publish() re-announces
+  // the new pub_total_ once the record is visible. The logging thread
+  // samples pub_total_ before a drain round and begin_total_ after it;
+  // equal values prove no append was in flight across the round, so no
+  // record with a timestamp older than the round's start can still be
+  // sitting unpublished. (The announced value no longer needs to be the
+  // exact future total — v2 record sizes depend on the timestamp itself,
+  // which must be read after this announcement — any value != pub_total_
+  // marks the producer busy, and begin_total_ only ever equals pub_total_
+  // via publish()'s re-announcement, i.e. with nothing in flight.)
+  void begin_append() {
+    begin_total_.store(pub_total_.load(std::memory_order_relaxed) + 1,
                        std::memory_order_relaxed);
     full_fence();  // announcement visible before the timestamp is read
   }
@@ -258,8 +394,9 @@ class LogShard {
     Buf& b = bufs_[cur_];
     b.wpos += n;
     b.published.store(b.wpos, std::memory_order_release);
-    pub_total_.store(pub_total_.load(std::memory_order_relaxed) + n,
-                     std::memory_order_release);
+    uint64_t total = pub_total_.load(std::memory_order_relaxed) + n;
+    pub_total_.store(total, std::memory_order_release);
+    begin_total_.store(total, std::memory_order_relaxed);
     if (counters_ != nullptr) {
       counters_->inc(Counter::kLogAppends);
     }
@@ -298,7 +435,9 @@ class LogShard {
   // Records too large for an arena half take a slow path: one heap
   // encoding (counted as kLogAllocs), handed to the logging thread after
   // everything already buffered has drained, and waited out so file order
-  // (and thus timestamp monotonicity) is preserved.
+  // (and thus timestamp monotonicity) is preserved. The caller has already
+  // announced via begin_append() and read the timestamp baked into
+  // `encode`.
   template <typename Encode>
   void append_jumbo(size_t need, Encode&& encode) {
     if (counters_ != nullptr) {
@@ -310,11 +449,11 @@ class LogShard {
     }
     auto jumbo = std::make_unique<std::string>();
     jumbo->resize(need);
-    begin_append(need);
-    encode(jumbo->data(), wall_us());
+    encode(jumbo->data());
     jumbo_ = std::move(jumbo);
-    pub_total_.store(pub_total_.load(std::memory_order_relaxed) + need,
-                     std::memory_order_release);
+    uint64_t total = pub_total_.load(std::memory_order_relaxed) + need;
+    pub_total_.store(total, std::memory_order_release);
+    begin_total_.store(total, std::memory_order_relaxed);
     jumbo_pending_.store(true, std::memory_order_release);
     if (counters_ != nullptr) {
       counters_->inc(Counter::kLogAppends);
@@ -354,12 +493,33 @@ class LogShard {
   inline void kick_writer();
   inline bool writer_stopped() const;
 
+  // Column-planning limits for the zero-allocation fast path: puts with
+  // more columns fall back to one heap plan array (counted like a jumbo),
+  // and compressed output beyond the scratch budget stays raw.
+  static constexpr size_t kMaxPlanCols = 16;
+  static constexpr size_t kCompressScratchBytes = 40 << 10;
+
   std::string path_;
   unsigned partition_;
   int fd_;
+  size_t compress_threshold_;            // 0 disables compression
   Buf bufs_[2];
   unsigned cur_ = 0;                     // producer-owned active half
   uint64_t next_seal_seq_ = 1;           // producer-owned
+  // Delta-timestamp chain (producer-owned): valid when the previous data
+  // record in this shard can serve as the delta base — reset at half
+  // flips (each half starts absolute, so halves stay self-contained) and
+  // when the writer's truncate round discards the base (rebase_needed_).
+  uint64_t prev_ts_us_ = 0;
+  bool prev_ts_valid_ = false;
+  std::atomic<bool> rebase_needed_{false};
+  // Writer-thread-owned: set by truncate_round; while set, drain passes
+  // drop leading delta records (their base was discarded) until the
+  // producer's first absolute record re-anchors the chain.
+  bool skip_dangling_ = false;
+  // Set when the file holds pre-v2 (headerless) content: the first write
+  // prepends a mid-file format header so old and new records coexist.
+  bool pending_midfile_header_ = false;
   std::atomic<uint64_t> begin_total_{0};  // bytes announced (pre-timestamp)
   std::atomic<uint64_t> pub_total_{0};   // cumulative bytes published
   std::atomic<uint64_t> drain_total_{0}; // cumulative bytes consumed by writer
@@ -585,7 +745,7 @@ class LogWriter {
       // The producer is gone; one more pass picks up anything it published
       // before detaching, then the completion marker seals the file.
       bytes += drain_pass(s);
-      size_t n = logwire::encode_marker_to(scratch, LogType::kClose, wall_us());
+      size_t n = logwire::encode_marker_v2_to(scratch, LogType::kClose, wall_us());
       write_all(s, scratch, n);
       bytes += n;
       if (s.error() == 0) {
@@ -619,8 +779,8 @@ class LogWriter {
       // (plus explicit syncs): a busy sibling shard kicking this writer
       // many times a second must not make every idle shard grow a marker
       // per round.
-      size_t n = logwire::encode_marker_to(scratch, LogType::kMarker,
-                                           t0 == 0 ? 0 : t0 - 1);
+      size_t n = logwire::encode_marker_v2_to(scratch, LogType::kMarker,
+                                              t0 == 0 ? 0 : t0 - 1);
       write_all(s, scratch, n);
       bytes += n;
     }
@@ -653,6 +813,9 @@ class LogWriter {
     int niov = 0;
     size_t jumbo_bytes = 0;
     if (s.jumbo_pending_.load(std::memory_order_acquire)) {
+      // Jumbo records always carry absolute timestamps, so one re-anchors
+      // the delta chain just like a producer rebase would.
+      s.skip_dangling_ = false;
       jumbo_bytes = s.jumbo_->size();
       iov[niov].iov_base = s.jumbo_->data();
       iov[niov].iov_len = jumbo_bytes;
@@ -705,6 +868,20 @@ class LogWriter {
     if ((v[0].full && v[1].full && v[0].seq > v[1].seq) || (!v[0].full && v[1].full)) {
       std::swap(v[0], v[1]);
     }
+    // After a truncate round, leading delta records are dangling — their
+    // base was discarded — so consume them from the arena without writing
+    // until the producer's first absolute record arrives (views are in
+    // file order here, so this scans the oldest pending bytes first).
+    if (MT_UNLIKELY(s.skip_dangling_)) {
+      for (View& view : v) {
+        if (view.take > view.b->drained) {
+          skip_dangling_records(s, *view.b, view.take);
+        }
+        if (!s.skip_dangling_) {
+          break;
+        }
+      }
+    }
     size_t buf_bytes = 0;
     for (View& view : v) {
       LogShard::Buf& b = *view.b;
@@ -741,6 +918,36 @@ class LogWriter {
     return jumbo_bytes + buf_bytes;
   }
 
+  // Advance b.drained past records whose delta base a truncate discarded.
+  // Arena content is producer-encoded v2 data records at record-aligned
+  // offsets, so the cheap frame walk below cannot misparse; if it somehow
+  // fails anyway we stop skipping and let recovery's CRC checks rule.
+  void skip_dangling_records(LogShard& s, LogShard::Buf& b, size_t take) {
+    const char* base = b.data.get();
+    size_t pos = b.drained;
+    while (pos < take) {
+      uint64_t len;
+      const char* q = vint::get(base + pos, base + take, &len);
+      if (q == nullptr ||
+          static_cast<size_t>(len) + sizeof(uint32_t) >
+              take - static_cast<size_t>(q - base)) {
+        s.skip_dangling_ = false;
+        break;
+      }
+      uint8_t tag = static_cast<uint8_t>(*q);
+      if (!(tag & logwire::kFlagDeltaTs)) {
+        s.skip_dangling_ = false;  // absolute record re-anchors the chain
+        break;
+      }
+      pos = static_cast<size_t>(q - base) + static_cast<size_t>(len) +
+            sizeof(uint32_t);
+    }
+    if (pos > b.drained) {
+      s.drain_total_.fetch_add(pos - b.drained, std::memory_order_release);
+      b.drained = pos;
+    }
+  }
+
   // Grow the preallocated extent window so the coming pwrites stay inside
   // i_size. Doubling chunks amortize the (journaling) fallocate calls; on
   // filesystems without fallocate support the writes simply extend the file
@@ -773,6 +980,22 @@ class LogWriter {
   void writev_all(LogShard& s, struct iovec* iov, int niov) {
     if (s.error() != 0) {
       return;
+    }
+    // Every v2 stream opens with a format header: at byte 0 of a fresh (or
+    // truncated) file, and mid-file before the first append to an adopted
+    // pre-v2 file (whose existing records keep decoding as v1).
+    char hdr[logwire::kHeaderSize];
+    struct iovec hiov[4];
+    if (MT_UNLIKELY(s.write_off_ == 0 || s.pending_midfile_header_)) {
+      logwire::encode_header_to(hdr);
+      hiov[0].iov_base = hdr;
+      hiov[0].iov_len = logwire::kHeaderSize;
+      for (int i = 0; i < niov; ++i) {
+        hiov[i + 1] = iov[i];
+      }
+      iov = hiov;
+      ++niov;
+      s.pending_midfile_header_ = false;
     }
     size_t total = 0;
     for (int i = 0; i < niov; ++i) {
@@ -817,13 +1040,22 @@ class LogWriter {
   void truncate_round() {
     for (LogShard* s : cache_) {
       drain_discard(*s);
-      std::lock_guard<std::mutex> lock(s->geom_mu_);
-      if (::ftruncate(s->fd_, 0) != 0) {
-        note_error(*s, errno);
+      {
+        std::lock_guard<std::mutex> lock(s->geom_mu_);
+        if (::ftruncate(s->fd_, 0) != 0) {
+          note_error(*s, errno);
+        }
+        s->write_off_ = 0;
+        s->prealloc_end_ = 0;
+        s->unsynced_bytes_ = 0;
+        s->pending_midfile_header_ = false;
       }
-      s->write_off_ = 0;
-      s->prealloc_end_ = 0;
-      s->unsynced_bytes_ = 0;
+      // The discarded bytes may include the producer's delta base. Tell it
+      // to re-anchor (any append ordered after truncate_all's return sees
+      // this store), and drop the dangling delta records a concurrent
+      // append may still slip in before noticing.
+      s->rebase_needed_.store(true, std::memory_order_release);
+      s->skip_dangling_ = true;
     }
   }
 
@@ -912,6 +1144,8 @@ class Logger {
     // trickling small buffers.
     size_t buffer_bytes = 1 << 20;
     bool fsync_on_flush = true;
+    // Values this size or larger are lz-compressed in the log (0 disables).
+    size_t compress_threshold = 128;
   };
 
   explicit Logger(const std::string& path) : Logger(path, Options()) {}
@@ -922,7 +1156,8 @@ class Logger {
         // its torn/preallocated-zero tail, or every new record (and the
         // eventual kClose) would land beyond a gap recovery can never read
         // past.
-        shard_(path, opt.buffer_bytes, 0, &counters_, /*repair_existing_tail=*/true) {
+        shard_(path, opt.buffer_bytes, 0, &counters_, /*repair_existing_tail=*/true,
+               opt.compress_threshold) {
     writer_.add_shard(&shard_);
     writer_.start();
   }

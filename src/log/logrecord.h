@@ -4,41 +4,86 @@
 //  version numbers are written into the log along with the operation, and
 //  each log record is timestamped."
 //
-// Wire format (little-endian, as written):
-//   u32 payload_len        (bytes between this field and the trailing crc)
+// == Format v2 (current) ==
+//
+// A v2 stream begins with a 5-byte file header and may contain further
+// headers at record boundaries (a v1 file adopted by a newer build gets a
+// mid-file header before the first v2 append):
+//
+//   "MTLG" u8 format_version            (2 = this format)
+//
+// Each record is varint-framed (LEB128, canonical — overlong encodings
+// are rejected):
+//
+//   varint payload_len | payload | u32 crc32c(payload)
+//
 //   payload:
-//     u8  type             (1 = put, 2 = remove, 3 = marker, 4 = close)
-//     u64 timestamp_us
-//     u64 version
-//     u32 key_len, key bytes
-//     u16 ncols, then per column: u16 col, u32 len, bytes   (puts only)
-//   u32 crc32(payload)
+//     u8 tag             bits 0-2: wire type
+//                          1 = put (multi-column)   2 = remove
+//                          3 = marker               4 = close
+//                          5 = put (single column, no ncols/ncol framing)
+//                        0x10: timestamp is a zigzag delta
+//                        0x20: version field present (version != 0)
+//                        other bits must be zero
+//     varint ts          absolute microseconds, or zigzag(ts - prev_ts)
+//                        when the 0x10 flag is set; `prev_ts` is the
+//                        timestamp of the preceding put/remove record in
+//                        the stream (markers never carry or update the
+//                        delta base, and a format header resets it)
+//     [varint version]   only when the 0x20 flag is set
+//     varint klen, key   put/remove only
+//     columns            put only; single-column puts (tag 5) omit the
+//                        count, multi-column puts (tag 1) carry varint
+//                        ncols first.  Per column:
+//                          varint col
+//                          varint h = raw_len * 2 | compressed
+//                          [varint stored_len]  only when compressed
+//                          stored bytes         (lz block when compressed,
+//                                                raw bytes otherwise)
 //
-// Readers stop at a short or corrupt record: everything after a torn tail is
-// discarded, which is exactly the semantics group commit needs.
+// Readers stop at a short or corrupt record: everything after a torn tail
+// is discarded, which is exactly the semantics group commit needs.  A
+// header with an *unknown* version is different from corruption — the
+// file's contents are presumptively valid but unreadable, so decoding
+// fail-stops (throws) instead of silently truncating to the last point
+// this build understands.
 //
-// Format note: the checksum is CRC-32C (hardware-accelerated; see
-// util/crc32.h) and kClose is a new record type, so log and checkpoint
-// files written by builds predating both do not carry forward — their
-// records read as corrupt from byte 0 and startup tail repair truncates
-// them. There is no on-disk version field yet; if cross-version durability
-// ever matters, add one here before changing the format again.
+// == Format v1 (legacy, read-only) ==
+//
+// Headerless; fixed little-endian framing:
+//   u32 payload_len | (u8 type, u64 ts, u64 version, u32 klen, key,
+//   [u16 ncols, (u16 col, u32 len, bytes)*]) | u32 crc32c(payload)
+// A stream that does not start with the "MTLG" magic is decoded as v1
+// until a mid-stream header switches it.  v1 encoders survive below
+// (suffixed _v1) for fixtures and the v2-vs-v1 oracle tests; new files
+// are always v2.
+//
+// Version policy: bumping the format requires a new header version byte;
+// old readers fail-stop on it, new readers must keep decoding every
+// shipped version.  The CRC is CRC-32C (hardware-accelerated; see
+// util/crc32.h).
 //
 // The encoders come in two shapes: exact-size calculators plus in-place
 // `encode_*_to(char*)` writers for the wait-free per-worker log buffers
-// (the append fast path never allocates), and `std::string`-appending
-// wrappers for recovery tooling and tests.
+// (the append fast path never allocates — column payloads are described
+// by ColPlan entries pointing at caller-owned bytes, compressed or raw),
+// and `std::string`-appending wrappers for recovery tooling and tests
+// (these prepend a header when the string is empty and always write
+// absolute timestamps).
 
 #ifndef MASSTREE_LOG_LOGRECORD_H_
 #define MASSTREE_LOG_LOGRECORD_H_
 
 #include <cstdint>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "util/crc32.h"
+#include "util/lz.h"
+#include "util/varint.h"
 #include "value/row.h"
 
 namespace masstree {
@@ -63,33 +108,260 @@ struct LogEntry {
   uint64_t version;
   std::string key;
   std::vector<std::pair<uint16_t, std::string>> columns;
+  // Offset one past this record in the decoded buffer.  Variable-length
+  // framing (varints, deltas, compression) means the wire size is not
+  // reproducible from the decoded fields, so seal/truncate decisions use
+  // this instead of re-encoding.
+  size_t wire_end = 0;
 };
 
 namespace logwire {
 
-// Fixed per-record framing: u32 len + u8 type + u64 ts + u64 version +
-// u32 key_len ... + u32 crc.
-inline constexpr size_t kRecordOverhead = 4 + 1 + 8 + 8 + 4 + 4;
-inline constexpr size_t kMinPayload = 21;  // type + ts + version + key_len
+// -- File header --------------------------------------------------------
 
-inline size_t put_record_size(std::string_view key,
-                              const std::vector<ColumnUpdate>& updates) {
-  size_t n = kRecordOverhead + key.size() + 2;
+inline constexpr char kLogMagic[4] = {'M', 'T', 'L', 'G'};
+inline constexpr uint8_t kFormatV2 = 2;
+inline constexpr size_t kHeaderSize = 5;
+
+inline size_t encode_header_to(char* dst) {
+  std::memcpy(dst, kLogMagic, 4);
+  dst[4] = static_cast<char>(kFormatV2);
+  return kHeaderSize;
+}
+
+inline void encode_header(std::string* out) {
+  char h[kHeaderSize];
+  encode_header_to(h);
+  out->append(h, kHeaderSize);
+}
+
+// -- v2 wire constants --------------------------------------------------
+
+// Wire tag for a single-column put (decodes back to LogType::kPut).
+inline constexpr uint8_t kTagPutSingle = 5;
+inline constexpr uint8_t kFlagDeltaTs = 0x10;
+inline constexpr uint8_t kFlagHasVersion = 0x20;
+
+inline constexpr size_t kMinPayloadV2 = 2;          // tag + 1-byte ts
+inline constexpr size_t kMaxPayloadV2 = 1u << 30;   // sanity cap
+inline constexpr size_t kMaxColumnRaw = 1u << 28;   // cap decompressed size
+
+// One column of a planned put record.  `data` points at the bytes to be
+// stored verbatim (already-compressed bytes when `compressed`); the
+// caller owns them (LogShard points these at its stack scratch).
+struct ColPlan {
+  uint32_t col = 0;
+  const char* data = nullptr;
+  uint32_t stored_len = 0;
+  uint32_t raw_len = 0;  // == stored_len when not compressed
+  bool compressed = false;
+};
+
+namespace detail {
+
+inline size_t col_plan_bytes(const ColPlan* cols, size_t ncols) {
+  size_t n = 0;
+  for (size_t i = 0; i < ncols; ++i) {
+    const ColPlan& c = cols[i];
+    n += vint::size(c.col) +
+         vint::size((static_cast<uint64_t>(c.raw_len) << 1) |
+                    (c.compressed ? 1 : 0));
+    if (c.compressed) n += vint::size(c.stored_len);
+    n += c.stored_len;
+  }
+  return n;
+}
+
+inline size_t put_payload_size(std::string_view key, const ColPlan* cols,
+                               size_t ncols, uint64_t version,
+                               uint64_t ts_field) {
+  size_t n = 1 + vint::size(ts_field);
+  if (version != 0) n += vint::size(version);
+  n += vint::size(key.size()) + key.size();
+  if (ncols != 1) n += vint::size(ncols);
+  return n + col_plan_bytes(cols, ncols);
+}
+
+inline size_t remove_payload_size(std::string_view key, uint64_t version,
+                                  uint64_t ts_field) {
+  size_t n = 1 + vint::size(ts_field);
+  if (version != 0) n += vint::size(version);
+  return n + vint::size(key.size()) + key.size();
+}
+
+}  // namespace detail
+
+// Record sizes for the in-place encoders.  `ts_field` is the value the
+// timestamp varint will actually carry: the absolute microsecond stamp,
+// or vint::zigzag(ts - prev_ts) when encoding a delta — varint width
+// depends on it.
+inline size_t put_record_size_v2(std::string_view key, const ColPlan* cols,
+                                 size_t ncols, uint64_t version,
+                                 uint64_t ts_field) {
+  size_t payload =
+      detail::put_payload_size(key, cols, ncols, version, ts_field);
+  return vint::size(payload) + payload + sizeof(uint32_t);
+}
+
+inline size_t remove_record_size_v2(std::string_view key, uint64_t version,
+                                    uint64_t ts_field) {
+  size_t payload = detail::remove_payload_size(key, version, ts_field);
+  return vint::size(payload) + payload + sizeof(uint32_t);
+}
+
+inline size_t marker_record_size_v2(uint64_t timestamp_us) {
+  size_t payload = 1 + vint::size(timestamp_us);
+  return vint::size(payload) + payload + sizeof(uint32_t);
+}
+
+// In-place v2 encoders.  `dst` must have room for the matching
+// *_record_size_v2 (computed with the same ts_field).  Return bytes
+// written.  `delta` says whether ts_field is a zigzag delta.
+inline size_t encode_put_v2_to(char* dst, std::string_view key,
+                               const ColPlan* cols, size_t ncols,
+                               uint64_t version, uint64_t ts_field,
+                               bool delta) {
+  size_t payload =
+      detail::put_payload_size(key, cols, ncols, version, ts_field);
+  char* p = vint::put(dst, payload);
+  char* payload_start = p;
+  uint8_t tag = ncols == 1 ? kTagPutSingle
+                           : static_cast<uint8_t>(LogType::kPut);
+  if (delta) tag |= kFlagDeltaTs;
+  if (version != 0) tag |= kFlagHasVersion;
+  *p++ = static_cast<char>(tag);
+  p = vint::put(p, ts_field);
+  if (version != 0) p = vint::put(p, version);
+  p = vint::put(p, key.size());
+  std::memcpy(p, key.data(), key.size());
+  p += key.size();
+  if (ncols != 1) p = vint::put(p, ncols);
+  for (size_t i = 0; i < ncols; ++i) {
+    const ColPlan& c = cols[i];
+    p = vint::put(p, c.col);
+    p = vint::put(p, (static_cast<uint64_t>(c.raw_len) << 1) |
+                         (c.compressed ? 1 : 0));
+    if (c.compressed) p = vint::put(p, c.stored_len);
+    std::memcpy(p, c.data, c.stored_len);
+    p += c.stored_len;
+  }
+  uint32_t crc = crc32(payload_start, static_cast<size_t>(p - payload_start));
+  std::memcpy(p, &crc, sizeof(crc));
+  p += sizeof(crc);
+  return static_cast<size_t>(p - dst);
+}
+
+inline size_t encode_remove_v2_to(char* dst, std::string_view key,
+                                  uint64_t version, uint64_t ts_field,
+                                  bool delta) {
+  size_t payload = detail::remove_payload_size(key, version, ts_field);
+  char* p = vint::put(dst, payload);
+  char* payload_start = p;
+  uint8_t tag = static_cast<uint8_t>(LogType::kRemove);
+  if (delta) tag |= kFlagDeltaTs;
+  if (version != 0) tag |= kFlagHasVersion;
+  *p++ = static_cast<char>(tag);
+  p = vint::put(p, ts_field);
+  if (version != 0) p = vint::put(p, version);
+  p = vint::put(p, key.size());
+  std::memcpy(p, key.data(), key.size());
+  p += key.size();
+  uint32_t crc = crc32(payload_start, static_cast<size_t>(p - payload_start));
+  std::memcpy(p, &crc, sizeof(crc));
+  p += sizeof(crc);
+  return static_cast<size_t>(p - dst);
+}
+
+// Markers and kClose always carry an absolute timestamp and never
+// participate in delta chains: the log writer stamps them directly into
+// the file between arena flushes, so they can land between two records
+// whose delta link must survive them.
+inline size_t encode_marker_v2_to(char* dst, LogType type,
+                                  uint64_t timestamp_us) {
+  size_t payload = 1 + vint::size(timestamp_us);
+  char* p = vint::put(dst, payload);
+  char* payload_start = p;
+  *p++ = static_cast<char>(static_cast<uint8_t>(type));
+  p = vint::put(p, timestamp_us);
+  uint32_t crc = crc32(payload_start, static_cast<size_t>(p - payload_start));
+  std::memcpy(p, &crc, sizeof(crc));
+  p += sizeof(crc);
+  return static_cast<size_t>(p - dst);
+}
+
+// -- String-appending wrappers (recovery tooling, tests) ----------------
+//
+// These write v2 with absolute timestamps and no compression, and
+// prepend a format header when `out` is empty so the result is a valid
+// standalone v2 stream.
+
+inline void encode_put(std::string* out, std::string_view key,
+                       const std::vector<ColumnUpdate>& updates,
+                       uint64_t version, uint64_t timestamp_us) {
+  if (out->empty()) encode_header(out);
+  std::vector<ColPlan> plans(updates.size());
+  for (size_t i = 0; i < updates.size(); ++i) {
+    plans[i].col = updates[i].col;
+    plans[i].data = updates[i].data.data();
+    plans[i].stored_len = static_cast<uint32_t>(updates[i].data.size());
+    plans[i].raw_len = plans[i].stored_len;
+    plans[i].compressed = false;
+  }
+  size_t old = out->size();
+  out->resize(old + put_record_size_v2(key, plans.data(), plans.size(),
+                                       version, timestamp_us));
+  encode_put_v2_to(out->data() + old, key, plans.data(), plans.size(),
+                   version, timestamp_us, /*delta=*/false);
+}
+
+inline void encode_remove(std::string* out, std::string_view key,
+                          uint64_t version, uint64_t timestamp_us) {
+  if (out->empty()) encode_header(out);
+  size_t old = out->size();
+  out->resize(old + remove_record_size_v2(key, version, timestamp_us));
+  encode_remove_v2_to(out->data() + old, key, version, timestamp_us,
+                      /*delta=*/false);
+}
+
+inline void encode_marker(std::string* out, uint64_t timestamp_us) {
+  if (out->empty()) encode_header(out);
+  size_t old = out->size();
+  out->resize(old + marker_record_size_v2(timestamp_us));
+  encode_marker_v2_to(out->data() + old, LogType::kMarker, timestamp_us);
+}
+
+inline void encode_close(std::string* out, uint64_t timestamp_us) {
+  if (out->empty()) encode_header(out);
+  size_t old = out->size();
+  out->resize(old + marker_record_size_v2(timestamp_us));
+  encode_marker_v2_to(out->data() + old, LogType::kClose, timestamp_us);
+}
+
+// -- v1 encoders (legacy; fixtures and oracle tests only) ---------------
+
+// Fixed per-record v1 framing: u32 len + u8 type + u64 ts + u64 version +
+// u32 key_len ... + u32 crc.
+inline constexpr size_t kRecordOverheadV1 = 4 + 1 + 8 + 8 + 4 + 4;
+inline constexpr size_t kMinPayloadV1 = 21;  // type + ts + version + key_len
+
+inline size_t put_record_size_v1(std::string_view key,
+                                 const std::vector<ColumnUpdate>& updates) {
+  size_t n = kRecordOverheadV1 + key.size() + 2;
   for (const auto& u : updates) {
     n += 2 + 4 + u.data.size();
   }
   return n;
 }
 
-inline size_t remove_record_size(std::string_view key) {
-  return kRecordOverhead + key.size();
+inline size_t remove_record_size_v1(std::string_view key) {
+  return kRecordOverheadV1 + key.size();
 }
 
-inline constexpr size_t marker_record_size() { return kRecordOverhead; }
+inline constexpr size_t marker_record_size_v1() { return kRecordOverheadV1; }
 
 namespace detail {
 
-struct RawWriter {
+struct RawWriterV1 {
   char* p;
   char* payload_start;
 
@@ -120,12 +392,12 @@ struct RawWriter {
 
 }  // namespace detail
 
-// In-place encoders: `dst` must have room for the matching *_record_size().
-// Return the number of bytes written.
-inline size_t encode_put_to(char* dst, std::string_view key,
-                            const std::vector<ColumnUpdate>& updates, uint64_t version,
-                            uint64_t timestamp_us) {
-  detail::RawWriter w{dst, nullptr};
+inline void encode_put_v1(std::string* out, std::string_view key,
+                          const std::vector<ColumnUpdate>& updates,
+                          uint64_t version, uint64_t timestamp_us) {
+  size_t old = out->size();
+  out->resize(old + put_record_size_v1(key, updates));
+  detail::RawWriterV1 w{out->data() + old, nullptr};
   w.begin(LogType::kPut, timestamp_us, version);
   w.raw<uint32_t>(static_cast<uint32_t>(key.size()));
   w.bytes(key);
@@ -135,153 +407,326 @@ inline size_t encode_put_to(char* dst, std::string_view key,
     w.raw<uint32_t>(static_cast<uint32_t>(u.data.size()));
     w.bytes(u.data);
   }
-  return w.finish();
+  w.finish();
 }
 
-inline size_t encode_remove_to(char* dst, std::string_view key, uint64_t version,
-                               uint64_t timestamp_us) {
-  detail::RawWriter w{dst, nullptr};
+inline void encode_remove_v1(std::string* out, std::string_view key,
+                             uint64_t version, uint64_t timestamp_us) {
+  size_t old = out->size();
+  out->resize(old + remove_record_size_v1(key));
+  detail::RawWriterV1 w{out->data() + old, nullptr};
   w.begin(LogType::kRemove, timestamp_us, version);
   w.raw<uint32_t>(static_cast<uint32_t>(key.size()));
   w.bytes(key);
-  return w.finish();
+  w.finish();
 }
 
-inline size_t encode_marker_to(char* dst, LogType type, uint64_t timestamp_us) {
-  detail::RawWriter w{dst, nullptr};
+inline void encode_marker_v1(std::string* out, LogType type,
+                             uint64_t timestamp_us) {
+  size_t old = out->size();
+  out->resize(old + marker_record_size_v1());
+  detail::RawWriterV1 w{out->data() + old, nullptr};
   w.begin(type, timestamp_us, 0);
   w.raw<uint32_t>(0);  // key length
-  return w.finish();
+  w.finish();
 }
 
-// String-appending wrappers (recovery tooling, tests).
-inline void encode_put(std::string* out, std::string_view key,
-                       const std::vector<ColumnUpdate>& updates, uint64_t version,
-                       uint64_t timestamp_us) {
-  size_t old = out->size();
-  out->resize(old + put_record_size(key, updates));
-  encode_put_to(out->data() + old, key, updates, version, timestamp_us);
+// -- Decoding (v1 + v2, mid-stream format switches) ---------------------
+
+namespace detail {
+
+// Header probe at a record boundary.  Returns:
+//   0  no header here (parse as a record)
+//   1  header consumed, *fmt updated, pos advanced
+//   2  torn header prefix — stop cleanly at pos
+// Throws on an unknown format version: that file is valid but
+// unreadable, and truncating it would silently destroy committed data.
+inline int probe_header(std::string_view buf, size_t* pos, uint8_t* fmt) {
+  size_t rem = buf.size() - *pos;
+  size_t cmp = rem < 4 ? rem : 4;
+  if (cmp == 0 || std::memcmp(buf.data() + *pos, kLogMagic, cmp) != 0) {
+    return 0;
+  }
+  if (rem < kHeaderSize) return 2;  // torn header
+  uint8_t ver = static_cast<uint8_t>(buf[*pos + 4]);
+  if (ver != 1 && ver != kFormatV2) {
+    throw std::runtime_error(
+        "log: unsupported format version " + std::to_string(ver) +
+        " (this build reads v1-v2); refusing to truncate");
+  }
+  *fmt = ver;
+  *pos += kHeaderSize;
+  return 1;
 }
 
-inline void encode_remove(std::string* out, std::string_view key, uint64_t version,
-                          uint64_t timestamp_us) {
-  size_t old = out->size();
-  out->resize(old + remove_record_size(key));
-  encode_remove_to(out->data() + old, key, version, timestamp_us);
+struct V2Frame {
+  size_t payload_off;
+  size_t payload_len;
+  size_t end;  // one past the crc
+};
+
+// Validate the v2 frame (length varint, bounds, crc) at `pos`.
+// Returns false on a torn or corrupt frame (stop at pos).
+inline bool check_frame_v2(std::string_view buf, size_t pos, V2Frame* f) {
+  const char* base = buf.data();
+  uint64_t len;
+  const char* q = vint::get(base + pos, base + buf.size(), &len);
+  if (!q || len < kMinPayloadV2 || len > kMaxPayloadV2) return false;
+  size_t payload_off = static_cast<size_t>(q - base);
+  if (buf.size() - payload_off < len + sizeof(uint32_t)) return false;
+  uint32_t want_crc;
+  std::memcpy(&want_crc, base + payload_off + len, sizeof(uint32_t));
+  if (crc32(base + payload_off, static_cast<size_t>(len)) != want_crc) {
+    return false;
+  }
+  f->payload_off = payload_off;
+  f->payload_len = static_cast<size_t>(len);
+  f->end = payload_off + static_cast<size_t>(len) + sizeof(uint32_t);
+  return true;
 }
 
-inline void encode_marker(std::string* out, uint64_t timestamp_us) {
-  size_t old = out->size();
-  out->resize(old + marker_record_size());
-  encode_marker_to(out->data() + old, LogType::kMarker, timestamp_us);
+// Tag sanity shared by the cheap validator and the full decoder.
+inline bool tag_ok(uint8_t tag) {
+  uint8_t type = tag & 0x07;
+  if (type < static_cast<uint8_t>(LogType::kPut) || type > kTagPutSingle) {
+    return false;
+  }
+  if (tag & ~uint8_t(0x07 | kFlagDeltaTs | kFlagHasVersion)) return false;
+  if (type == static_cast<uint8_t>(LogType::kMarker) ||
+      type == static_cast<uint8_t>(LogType::kClose)) {
+    // Markers are always absolute and versionless.
+    if (tag & (kFlagDeltaTs | kFlagHasVersion)) return false;
+  }
+  return true;
 }
 
-inline void encode_close(std::string* out, uint64_t timestamp_us) {
-  size_t old = out->size();
-  out->resize(old + marker_record_size());
-  encode_marker_to(out->data() + old, LogType::kClose, timestamp_us);
-}
+}  // namespace detail
 
 // Length of the valid record prefix of buf: frames and checksums are
 // verified, but no entries are materialized — O(1) memory, used by startup
 // tail repair where decode_all's owning copies of every key and value would
-// be a pointless allocation spike.
+// be a pointless allocation spike.  Throws on an unknown header version.
 inline size_t valid_prefix_bytes(std::string_view buf) {
   size_t pos = 0;
+  uint8_t fmt = 1;
   for (;;) {
-    if (buf.size() - pos < sizeof(uint32_t)) {
-      return pos;
+    if (pos == buf.size()) return pos;
+    int h = detail::probe_header(buf, &pos, &fmt);
+    if (h == 2) return pos;
+    if (h == 1) continue;
+    if (fmt == 1) {
+      if (buf.size() - pos < sizeof(uint32_t)) return pos;
+      uint32_t len;
+      std::memcpy(&len, buf.data() + pos, sizeof(uint32_t));
+      size_t payload = pos + sizeof(uint32_t);
+      if (len < kMinPayloadV1 ||
+          buf.size() - payload < len + sizeof(uint32_t)) {
+        return pos;
+      }
+      uint32_t want_crc;
+      std::memcpy(&want_crc, buf.data() + payload + len, sizeof(uint32_t));
+      if (crc32(buf.data() + payload, static_cast<size_t>(len)) != want_crc) {
+        return pos;
+      }
+      uint8_t type = static_cast<uint8_t>(buf[payload]);
+      if (type < static_cast<uint8_t>(LogType::kPut) ||
+          type > static_cast<uint8_t>(LogType::kClose)) {
+        return pos;
+      }
+      pos = payload + len + sizeof(uint32_t);
+    } else {
+      detail::V2Frame f;
+      if (!detail::check_frame_v2(buf, pos, &f)) return pos;
+      if (!detail::tag_ok(static_cast<uint8_t>(buf[f.payload_off]))) {
+        return pos;
+      }
+      pos = f.end;
     }
-    uint32_t len;
-    std::memcpy(&len, buf.data() + pos, sizeof(uint32_t));
-    size_t payload = pos + sizeof(uint32_t);
-    if (len < kMinPayload || buf.size() - payload < len + sizeof(uint32_t)) {
-      return pos;
-    }
-    uint32_t want_crc;
-    std::memcpy(&want_crc, buf.data() + payload + len, sizeof(uint32_t));
-    if (crc32(buf.data() + payload, static_cast<size_t>(len)) != want_crc) {
-      return pos;
-    }
-    uint8_t type = static_cast<uint8_t>(buf[payload]);
-    if (type < static_cast<uint8_t>(LogType::kPut) ||
-        type > static_cast<uint8_t>(LogType::kClose)) {
-      return pos;
-    }
-    pos = payload + len + sizeof(uint32_t);
   }
 }
 
+namespace detail {
+
+// Decode the v2 record whose frame was already validated.  Returns false
+// on a malformed payload (decoder stops at the record start).  Updates
+// the delta base via *prev_ts / *have_prev.
+inline bool decode_record_v2(std::string_view buf, const V2Frame& f,
+                             LogEntry* e, uint64_t* prev_ts,
+                             bool* have_prev) {
+  const char* p = buf.data() + f.payload_off;
+  const char* end = p + f.payload_len;
+  uint8_t tag = static_cast<uint8_t>(*p++);
+  if (!tag_ok(tag)) return false;
+  uint8_t type = tag & 0x07;
+  uint64_t ts_field;
+  p = vint::get(p, end, &ts_field);
+  if (!p) return false;
+  if (tag & kFlagDeltaTs) {
+    if (!*have_prev) return false;  // dangling delta: base was discarded
+    e->timestamp_us = *prev_ts +
+        static_cast<uint64_t>(vint::unzigzag(ts_field));
+  } else {
+    e->timestamp_us = ts_field;
+  }
+  e->version = 0;
+  if (tag & kFlagHasVersion) {
+    p = vint::get(p, end, &e->version);
+    if (!p || e->version == 0) return false;
+  }
+  if (type == static_cast<uint8_t>(LogType::kMarker) ||
+      type == static_cast<uint8_t>(LogType::kClose)) {
+    if (p != end) return false;
+    e->type = static_cast<LogType>(type);
+    return true;
+  }
+  uint64_t klen;
+  p = vint::get(p, end, &klen);
+  if (!p || klen > static_cast<size_t>(end - p)) return false;
+  e->key.assign(p, static_cast<size_t>(klen));
+  p += klen;
+  if (type == static_cast<uint8_t>(LogType::kRemove)) {
+    if (p != end) return false;
+    e->type = LogType::kRemove;
+  } else {
+    e->type = LogType::kPut;
+    uint64_t ncols = 1;
+    if (type == static_cast<uint8_t>(LogType::kPut)) {
+      p = vint::get(p, end, &ncols);
+      if (!p || ncols > 0xffff) return false;
+    }
+    for (uint64_t i = 0; i < ncols; ++i) {
+      uint64_t col, h;
+      p = vint::get(p, end, &col);
+      if (!p || col > 0xffff) return false;
+      p = vint::get(p, end, &h);
+      if (!p) return false;
+      uint64_t raw_len = h >> 1;
+      if (raw_len > kMaxColumnRaw) return false;
+      if (h & 1) {
+        uint64_t stored_len;
+        p = vint::get(p, end, &stored_len);
+        if (!p || stored_len > static_cast<size_t>(end - p)) return false;
+        std::string out;
+        out.resize(static_cast<size_t>(raw_len));
+        if (!lz::decompress(p, static_cast<size_t>(stored_len), out.data(),
+                            out.size())) {
+          return false;
+        }
+        p += stored_len;
+        e->columns.emplace_back(static_cast<uint16_t>(col), std::move(out));
+      } else {
+        if (raw_len > static_cast<size_t>(end - p)) return false;
+        e->columns.emplace_back(static_cast<uint16_t>(col),
+                                std::string(p, static_cast<size_t>(raw_len)));
+        p += raw_len;
+      }
+    }
+    if (p != end) return false;
+  }
+  // Only data records move the delta base; the caller skips this for
+  // markers via the early return above.
+  *prev_ts = e->timestamp_us;
+  *have_prev = true;
+  return true;
+}
+
+}  // namespace detail
+
 // Decode every complete, checksum-valid record from buf. Stops (without
 // error) at a torn or corrupt tail. Returns the number of bytes consumed.
+// Throws on an unknown format-header version (fail-stop, never truncate).
 inline size_t decode_all(std::string_view buf, std::vector<LogEntry>* out) {
   size_t pos = 0;
+  uint8_t fmt = 1;
+  uint64_t prev_ts = 0;
+  bool have_prev = false;
   auto read_raw = [&buf](size_t at, auto* v) {
     std::memcpy(v, buf.data() + at, sizeof(*v));
   };
   for (;;) {
-    if (buf.size() - pos < sizeof(uint32_t)) {
-      return pos;
+    if (pos == buf.size()) return pos;
+    int h = detail::probe_header(buf, &pos, &fmt);
+    if (h == 2) return pos;
+    if (h == 1) {
+      have_prev = false;  // a header resets the delta base
+      continue;
     }
-    uint32_t len;
-    read_raw(pos, &len);
-    size_t payload = pos + sizeof(uint32_t);
-    if (len < kMinPayload || buf.size() - payload < len + sizeof(uint32_t)) {
-      return pos;  // torn tail
-    }
-    uint32_t want_crc;
-    read_raw(payload + len, &want_crc);
-    if (crc32(buf.data() + payload, static_cast<size_t>(len)) != want_crc) {
-      return pos;  // corrupt record: discard it and everything after
-    }
-    size_t p = payload;
-    LogEntry e;
-    uint8_t type;
-    read_raw(p, &type);
-    p += 1;
-    if (type < static_cast<uint8_t>(LogType::kPut) ||
-        type > static_cast<uint8_t>(LogType::kClose)) {
-      return pos;
-    }
-    e.type = static_cast<LogType>(type);
-    read_raw(p, &e.timestamp_us);
-    p += 8;
-    read_raw(p, &e.version);
-    p += 8;
-    uint32_t klen;
-    read_raw(p, &klen);
-    p += 4;
-    if (p + klen > payload + len) {
-      return pos;
-    }
-    e.key.assign(buf.data() + p, klen);
-    p += klen;
-    if (e.type == LogType::kPut) {
-      if (p + 2 > payload + len) {
+    if (fmt == 1) {
+      if (buf.size() - pos < sizeof(uint32_t)) {
         return pos;
       }
-      uint16_t ncols;
-      read_raw(p, &ncols);
-      p += 2;
-      for (uint16_t i = 0; i < ncols; ++i) {
-        if (p + 6 > payload + len) {
-          return pos;
-        }
-        uint16_t col;
-        uint32_t clen;
-        read_raw(p, &col);
-        p += 2;
-        read_raw(p, &clen);
-        p += 4;
-        if (p + clen > payload + len) {
-          return pos;
-        }
-        e.columns.emplace_back(col, std::string(buf.data() + p, clen));
-        p += clen;
+      uint32_t len;
+      read_raw(pos, &len);
+      size_t payload = pos + sizeof(uint32_t);
+      if (len < kMinPayloadV1 ||
+          buf.size() - payload < len + sizeof(uint32_t)) {
+        return pos;  // torn tail
       }
+      uint32_t want_crc;
+      read_raw(payload + len, &want_crc);
+      if (crc32(buf.data() + payload, static_cast<size_t>(len)) != want_crc) {
+        return pos;  // corrupt record: discard it and everything after
+      }
+      size_t p = payload;
+      LogEntry e;
+      uint8_t type;
+      read_raw(p, &type);
+      p += 1;
+      if (type < static_cast<uint8_t>(LogType::kPut) ||
+          type > static_cast<uint8_t>(LogType::kClose)) {
+        return pos;
+      }
+      e.type = static_cast<LogType>(type);
+      read_raw(p, &e.timestamp_us);
+      p += 8;
+      read_raw(p, &e.version);
+      p += 8;
+      uint32_t klen;
+      read_raw(p, &klen);
+      p += 4;
+      if (p + klen > payload + len) {
+        return pos;
+      }
+      e.key.assign(buf.data() + p, klen);
+      p += klen;
+      if (e.type == LogType::kPut) {
+        if (p + 2 > payload + len) {
+          return pos;
+        }
+        uint16_t ncols;
+        read_raw(p, &ncols);
+        p += 2;
+        for (uint16_t i = 0; i < ncols; ++i) {
+          if (p + 6 > payload + len) {
+            return pos;
+          }
+          uint16_t col;
+          uint32_t clen;
+          read_raw(p, &col);
+          p += 2;
+          read_raw(p, &clen);
+          p += 4;
+          if (p + clen > payload + len) {
+            return pos;
+          }
+          e.columns.emplace_back(col, std::string(buf.data() + p, clen));
+          p += clen;
+        }
+      }
+      pos = payload + len + sizeof(uint32_t);
+      e.wire_end = pos;
+      out->push_back(std::move(e));
+    } else {
+      detail::V2Frame f;
+      if (!detail::check_frame_v2(buf, pos, &f)) return pos;
+      LogEntry e;
+      if (!detail::decode_record_v2(buf, f, &e, &prev_ts, &have_prev)) {
+        return pos;
+      }
+      pos = f.end;
+      e.wire_end = pos;
+      out->push_back(std::move(e));
     }
-    out->push_back(std::move(e));
-    pos = payload + len + sizeof(uint32_t);
   }
 }
 

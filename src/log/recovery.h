@@ -109,20 +109,6 @@ inline RecoverySet load_logs(const std::vector<std::string>& paths) {
   return rs;
 }
 
-// Byte length of `e` as encoded on disk (framing included). Exact mirror of
-// the logwire encoders, used to map entry counts back to file offsets.
-inline size_t entry_wire_size(const LogEntry& e) {
-  size_t n = logwire::kRecordOverhead + e.key.size();
-  if (e.type == LogType::kPut) {
-    n += 2;
-    for (const auto& [col, data] : e.columns) {
-      (void)col;
-      n += 6 + data.size();
-    }
-  }
-  return n;
-}
-
 // Once recovery has consumed a log, seal it: trim the file to its
 // crash-consistent prefix (data records with timestamp <= cutoff, which
 // also severs any torn tail) and stamp a kClose completion marker. Without
@@ -142,7 +128,12 @@ inline void seal_recovered_log(const std::string& path, const LogFileData& lf,
       beyond_cutoff = true;
       break;
     }
-    keep += entry_wire_size(e);
+    // Variable-length v2 framing (varints, timestamp deltas, compression)
+    // makes wire sizes irreproducible from decoded fields, so the decoder
+    // records each record's end offset. Truncating at a record boundary
+    // keeps every surviving delta chain self-contained: deltas only ever
+    // reference earlier records in the same file.
+    keep = e.wire_end;
   }
   if (lf.complete && !beyond_cutoff) {
     return;  // already exactly the state the next recovery should see
@@ -152,11 +143,16 @@ inline void seal_recovered_log(const std::string& path, const LogFileData& lf,
     return;
   }
   if (::ftruncate(fd, static_cast<off_t>(keep)) == 0) {
-    char buf[64];
-    size_t n = logwire::encode_marker_to(buf, LogType::kClose, wall_us());
+    // A fresh format header before the kClose keeps the seal readable no
+    // matter what format the kept prefix ends in (v1 files get their
+    // mid-file upgrade here; in a v2 stream a repeated header is a no-op
+    // boundary marker).
+    std::string tail;
+    logwire::encode_header(&tail);
+    logwire::encode_close(&tail, wall_us());
     size_t off = 0;
-    while (off < n) {
-      ssize_t w = ::write(fd, buf + off, n - off);
+    while (off < tail.size()) {
+      ssize_t w = ::write(fd, tail.data() + off, tail.size() - off);
       if (w <= 0 && errno != EINTR) {
         break;
       }

@@ -43,6 +43,14 @@ enum class Counter : unsigned {
                            //   allocation-free, so steady state is zero
                            //   (same discipline as kScanAllocs)
   kLogFlushBytes,          // bytes group-committed by logging threads
+  kLogBytesLogical,        // data-record bytes as if every column were
+                           //   stored raw (physical + compression savings)
+  kLogBytesPhysical,       // data-record bytes actually encoded (varint v2
+                           //   framing, post-compression); physical/logical
+                           //   is the observable compression ratio, and
+                           //   physical/appends is log_bytes_per_op
+  kLogCompressedRecords,   // put records with >= 1 lz-compressed column
+                           //   (bail-outs on incompressible data excluded)
   kNetBatchedGets,         // gets that reached Tree::multiget via a server
                            //   batch formed across >= 2 request ops (§6.1
                            //   event loop; the cross-connection PALM claim)

@@ -1,0 +1,234 @@
+// In-repo LZ4-block-style byte compressor for log and checkpoint values.
+//
+// The log's residual cost after PR 4 is write *volume* (ROADMAP:
+// "Compact + compressed log/value encoding"), and ZipCache (PAPERS.md)
+// makes the case that transparent compression in the storage path is a
+// throughput lever.  We cannot take an external dependency, so this is a
+// minimal, allocation-free implementation of the LZ4 *block* format:
+//
+//   sequence := token | [literal-run ext bytes] | literals
+//              | 2-byte LE match offset | [match-run ext bytes]
+//   token    := (literal_len << 4) | (match_len - 4), each nibble
+//               saturating at 15 with 255-run extension bytes.
+//
+// Compressor: greedy match finder over a small stack-resident hash table
+// (two-way: current + previous candidate per bucket).  It never reads
+// before `src` or past `src + n`, emits matches of >= 4 bytes, and leaves
+// the final 5 bytes as literals (format rule: the last match must start
+// at least 12 bytes before the end in the reference implementation; we
+// use the stricter-but-simple "no match in the last 5 bytes + last
+// sequence is literals" rule which every LZ4 decoder accepts).
+//
+// compress() returns the compressed size, or 0 when the output would not
+// fit in dst_cap -- callers pass dst_cap = n - 1 to get an automatic
+// "incompressible, store raw" bail-out with bounded work.
+//
+// Decompressor: safe and bounded.  Every read and write is checked
+// against the declared buffer sizes; returns false on any malformed
+// input (truncated runs, offset past start, output overflow/underflow).
+// Overlapping matches (offset < length, e.g. RLE with offset 1) are
+// copied bytewise, which is the defined semantics.
+//
+// Both directions are zero-allocation: the hash table lives on the
+// caller's stack frame, so the wait-free log append path can compress
+// directly into the LogShard arena (Counter::kLogAllocs == 0 holds).
+
+#ifndef MASSTREE_UTIL_LZ_H_
+#define MASSTREE_UTIL_LZ_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace masstree {
+namespace lz {
+
+inline constexpr size_t kMinMatch = 4;
+// Matches may not start within the last 5 bytes; those are always
+// emitted as trailing literals.
+inline constexpr size_t kTailLiterals = 5;
+// Hash-table geometry: at most 2048 buckets x 2 ways x u32 = 16 KiB of
+// stack, but the bucket count adapts downward to the input (smallest
+// power of two >= n/4, floor 64) — the table must be zeroed per call, and
+// a fixed 16 KiB memset would cost more than compressing a typical ~1 KiB
+// log value.
+inline constexpr size_t kHashBits = 11;
+inline constexpr size_t kHashSize = size_t{1} << kHashBits;
+inline constexpr size_t kMinHashBits = 6;
+
+// Worst-case compressed size: one extra byte per 255 literals plus the
+// leading token.  Matches LZ4_compressBound's shape.
+inline constexpr size_t compress_bound(size_t n) {
+  return n + n / 255 + 16;
+}
+
+namespace detail {
+
+inline uint32_t read32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline uint32_t hash4(uint32_t v, unsigned bits) {
+  // Fibonacci hashing; top `bits` bits.
+  return (v * 2654435761u) >> (32 - bits);
+}
+
+// Emit one sequence: `lit_n` literals starting at `lit`, then (unless
+// final) a match of `match_n` bytes at distance `offset`.  Returns the
+// new output cursor, or nullptr if it would pass `dend`.
+inline uint8_t* emit(uint8_t* d, uint8_t* dend, const uint8_t* lit,
+                     size_t lit_n, size_t offset, size_t match_n) {
+  size_t token_lit = lit_n < 15 ? lit_n : 15;
+  size_t ext = lit_n >= 15 ? 1 + (lit_n - 15) / 255 : 0;
+  // token + run extension + literals (+2 offset bytes checked later).
+  if (static_cast<size_t>(dend - d) < 1 + ext + lit_n) return nullptr;
+  uint8_t* token = d++;
+  *token = static_cast<uint8_t>(token_lit << 4);
+  if (lit_n >= 15) {
+    size_t rest = lit_n - 15;
+    while (rest >= 255) { *d++ = 255; rest -= 255; }
+    *d++ = static_cast<uint8_t>(rest);
+  }
+  std::memcpy(d, lit, lit_n);
+  d += lit_n;
+  if (match_n == 0) return d;  // final literal-only sequence
+  size_t mlen = match_n - kMinMatch;
+  size_t token_m = mlen < 15 ? mlen : 15;
+  size_t mext = mlen >= 15 ? 1 + (mlen - 15) / 255 : 0;
+  if (static_cast<size_t>(dend - d) < 2 + mext) return nullptr;
+  *d++ = static_cast<uint8_t>(offset & 0xff);
+  *d++ = static_cast<uint8_t>(offset >> 8);
+  *token |= static_cast<uint8_t>(token_m);
+  if (mlen >= 15) {
+    size_t rest = mlen - 15;
+    while (rest >= 255) { *d++ = 255; rest -= 255; }
+    *d++ = static_cast<uint8_t>(rest);
+  }
+  return d;
+}
+
+}  // namespace detail
+
+// Compress src[0..n) into dst[0..dst_cap).  Returns the compressed size,
+// or 0 if the result would exceed dst_cap (bail out, store raw).
+// Zero heap allocation; 16 KiB of stack for the hash table.
+inline size_t compress(const void* src_v, size_t n, void* dst_v,
+                       size_t dst_cap) {
+  const uint8_t* src = static_cast<const uint8_t*>(src_v);
+  uint8_t* dst = static_cast<uint8_t*>(dst_v);
+  uint8_t* dend = dst + dst_cap;
+  if (n == 0) return 0;
+  if (n < kMinMatch + kTailLiterals + 1) {
+    // Too small to ever contain a match; single literal run.
+    uint8_t* out = detail::emit(dst, dend, src, n, 0, 0);
+    return out ? static_cast<size_t>(out - dst) : 0;
+  }
+
+  // Two-way hash table: [h][0] = most recent position + 1, [h][1] = the
+  // one before it.  0 means empty.  Positions fit u32 (log records and
+  // checkpoint values are far below 4 GiB).  Only the first 2^bits rows
+  // are used (and zeroed) — sized to the input, capped at kHashBits.
+  unsigned bits = kMinHashBits;
+  while (bits < kHashBits && (size_t{1} << bits) < n / 4) ++bits;
+  uint32_t table[kHashSize][2];
+  std::memset(table, 0, (size_t{2} << bits) * sizeof(uint32_t));
+
+  uint8_t* d = dst;
+  const size_t match_limit = n - kTailLiterals;  // matches must end by here
+  size_t anchor = 0;  // start of pending literal run
+  size_t i = 0;
+  while (i + kMinMatch <= match_limit) {
+    uint32_t seq = detail::read32(src + i);
+    uint32_t h = detail::hash4(seq, bits);
+    size_t best_len = 0, best_off = 0;
+    for (int way = 0; way < 2; ++way) {
+      uint32_t cand1 = table[h][way];
+      if (cand1 == 0) continue;
+      size_t cand = cand1 - 1;
+      size_t off = i - cand;
+      if (off == 0 || off > 0xffff) continue;
+      if (detail::read32(src + cand) != seq) continue;
+      size_t len = kMinMatch;
+      while (i + len < match_limit && src[cand + len] == src[i + len]) ++len;
+      if (len > best_len) { best_len = len; best_off = off; }
+    }
+    table[h][1] = table[h][0];
+    table[h][0] = static_cast<uint32_t>(i + 1);
+    if (best_len >= kMinMatch) {
+      d = detail::emit(d, dend, src + anchor, i - anchor, best_off, best_len);
+      if (!d) return 0;
+      // Insert a couple of positions inside the match so runs still chain.
+      size_t end = i + best_len;
+      for (size_t j = i + 1; j + kMinMatch <= match_limit && j < i + 3; ++j) {
+        uint32_t hj = detail::hash4(detail::read32(src + j), bits);
+        table[hj][1] = table[hj][0];
+        table[hj][0] = static_cast<uint32_t>(j + 1);
+      }
+      i = end;
+      anchor = end;
+    } else {
+      ++i;
+    }
+  }
+  d = detail::emit(d, dend, src + anchor, n - anchor, 0, 0);
+  return d ? static_cast<size_t>(d - dst) : 0;
+}
+
+// Decompress src[0..n) into exactly dst[0..raw_n).  Returns true iff the
+// input is well-formed and produced exactly raw_n bytes.  Never reads or
+// writes out of bounds regardless of input.
+inline bool decompress(const void* src_v, size_t n, void* dst_v,
+                       size_t raw_n) {
+  const uint8_t* s = static_cast<const uint8_t*>(src_v);
+  const uint8_t* send = s + n;
+  uint8_t* dst = static_cast<uint8_t*>(dst_v);
+  uint8_t* d = dst;
+  uint8_t* dend = dst + raw_n;
+  if (n == 0) return raw_n == 0;
+  for (;;) {
+    if (s >= send) return false;
+    uint8_t token = *s++;
+    size_t lit = token >> 4;
+    if (lit == 15) {
+      uint8_t b;
+      do {
+        if (s >= send) return false;
+        b = *s++;
+        lit += b;
+      } while (b == 255);
+    }
+    if (static_cast<size_t>(send - s) < lit) return false;
+    if (static_cast<size_t>(dend - d) < lit) return false;
+    std::memcpy(d, s, lit);
+    s += lit;
+    d += lit;
+    if (s == send) break;  // final literal-only sequence
+    if (send - s < 2) return false;
+    size_t offset = static_cast<size_t>(s[0]) | (static_cast<size_t>(s[1]) << 8);
+    s += 2;
+    if (offset == 0 || offset > static_cast<size_t>(d - dst)) return false;
+    size_t mlen = (token & 0x0f);
+    if (mlen == 15) {
+      uint8_t b;
+      do {
+        if (s >= send) return false;
+        b = *s++;
+        mlen += b;
+      } while (b == 255);
+    }
+    mlen += kMinMatch;
+    if (static_cast<size_t>(dend - d) < mlen) return false;
+    const uint8_t* m = d - offset;
+    // Bytewise: offset < mlen (overlap) is legal and means "repeat".
+    for (size_t j = 0; j < mlen; ++j) d[j] = m[j];
+    d += mlen;
+  }
+  return d == dend;
+}
+
+}  // namespace lz
+}  // namespace masstree
+
+#endif  // MASSTREE_UTIL_LZ_H_

@@ -10,6 +10,7 @@
 #include <fstream>
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -119,6 +120,89 @@ TEST(CheckpointFormat, PartFileRoundTripsBinaryRecords) {
   EXPECT_TRUE(records[1].cols.empty());
   EXPECT_EQ(records[2].key, std::string(300, 'L'));
   EXPECT_EQ(records[2].cols[0], std::string(5000, 'v'));
+}
+
+TEST(CheckpointFormat, CompressibleColumnsShrinkPartFile) {
+  TempDir dir("compress");
+  std::string path = checkpoint_part_path(dir.str(), 0);
+  std::string big;
+  for (int i = 0; i < 500; ++i) {
+    big += "row-payload-" + std::to_string(i % 9);
+  }
+  std::string incompressible;
+  Rng rng = ts::seeded_rng(42);
+  for (int i = 0; i < 4000; ++i) {
+    incompressible += static_cast<char>(rng.next());
+  }
+  {
+    CheckpointPartWriter out(path);
+    ASSERT_TRUE(out.ok());
+    out.add("compressible", 1, {big});
+    out.add("random", 2, {incompressible});  // bail-out path: stored raw
+    out.add("small", 3, {"tiny"});           // below threshold: stored raw
+    out.finish();
+  }
+  // The compressible row dominates raw size; the file must be far smaller.
+  EXPECT_LT(fs::file_size(path), big.size() / 2 + incompressible.size() + 256);
+  auto records = read_checkpoint_part(path);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].cols[0], big);
+  EXPECT_EQ(records[1].cols[0], incompressible);
+  EXPECT_EQ(records[2].cols[0], "tiny");
+}
+
+// Headerless part files from a pre-v2 build must still restore. The bytes
+// are hand-built to the old fixed-width layout (u32 klen | key | u64
+// row_version | u16 ncols | (u32 len | bytes)* | u32 crc32(record)).
+TEST(CheckpointFormat, LegacyV1PartStillReads) {
+  TempDir dir("legacy");
+  std::string path = checkpoint_part_path(dir.str(), 0);
+  std::string data;
+  auto raw = [&data](const auto& v) {
+    data.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  auto add_v1 = [&](const std::string& key, uint64_t rv,
+                    const std::vector<std::string>& cols) {
+    size_t start = data.size();
+    raw(static_cast<uint32_t>(key.size()));
+    data += key;
+    raw(rv);
+    raw(static_cast<uint16_t>(cols.size()));
+    for (const auto& c : cols) {
+      raw(static_cast<uint32_t>(c.size()));
+      data += c;
+    }
+    raw(crc32(data.data() + start, data.size() - start));
+  };
+  add_v1("old-key", 5, {"colA", std::string(200, 'z')});
+  add_v1("old-key2", 6, {});
+  std::ofstream(path, std::ios::binary) << data;
+  auto records = read_checkpoint_part(path);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].key, "old-key");
+  EXPECT_EQ(records[0].row_version, 5u);
+  ASSERT_EQ(records[0].cols.size(), 2u);
+  EXPECT_EQ(records[0].cols[1], std::string(200, 'z'));
+  EXPECT_EQ(records[1].key, "old-key2");
+}
+
+TEST(CheckpointFormat, UnknownPartVersionThrows) {
+  TempDir dir("future");
+  std::string path = checkpoint_part_path(dir.str(), 0);
+  {
+    CheckpointPartWriter out(path);
+    out.add("k", 1, {"v"});
+    out.finish();
+  }
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(4);
+  f.put('\x09');  // future format version
+  f.close();
+  EXPECT_THROW(read_checkpoint_part(path), std::runtime_error);
+  // A torn header (file shorter than 5 bytes) reads as empty, not a throw.
+  std::string torn = checkpoint_part_path(dir.str(), 1);
+  std::ofstream(torn, std::ios::binary) << "MTCK";
+  EXPECT_TRUE(read_checkpoint_part(torn).empty());
 }
 
 TEST(CheckpointFormat, CorruptedRecordStopsCleanly) {

@@ -9,9 +9,12 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -19,6 +22,8 @@
 #include "log/logger.h"
 #include "log/logrecord.h"
 #include "log/recovery.h"
+#include "util/lz.h"
+#include "util/varint.h"
 
 namespace masstree {
 namespace {
@@ -38,7 +43,6 @@ std::string ReadFileBytes(const std::string& path) {
 TEST(LogRecord, PutRoundTrip) {
   std::string buf;
   logwire::encode_put(&buf, "mykey", {{0, "val0"}, {3, "val3"}}, 42, 1000);
-  EXPECT_EQ(buf.size(), logwire::put_record_size("mykey", {{0, "val0"}, {3, "val3"}}));
   std::vector<LogEntry> out;
   EXPECT_EQ(logwire::decode_all(buf, &out), buf.size());
   ASSERT_EQ(out.size(), 1u);
@@ -51,26 +55,28 @@ TEST(LogRecord, PutRoundTrip) {
   EXPECT_EQ(out[0].columns[0].second, "val0");
   EXPECT_EQ(out[0].columns[1].first, 3);
   EXPECT_EQ(out[0].columns[1].second, "val3");
-  EXPECT_EQ(entry_wire_size(out[0]), buf.size());
+  EXPECT_EQ(out[0].wire_end, buf.size());
 }
 
 TEST(LogRecord, RemoveRoundTrip) {
   std::string buf;
   logwire::encode_remove(&buf, "gone", 7, 2000);
-  EXPECT_EQ(buf.size(), logwire::remove_record_size("gone"));
   std::vector<LogEntry> out;
   logwire::decode_all(buf, &out);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].type, LogType::kRemove);
   EXPECT_EQ(out[0].key, "gone");
-  EXPECT_EQ(entry_wire_size(out[0]), buf.size());
+  EXPECT_EQ(out[0].version, 7u);
+  EXPECT_EQ(out[0].wire_end, buf.size());
 }
 
 TEST(LogRecord, MarkerAndCloseRoundTrip) {
   std::string buf;
   logwire::encode_marker(&buf, 111);
   logwire::encode_close(&buf, 222);
-  EXPECT_EQ(buf.size(), 2 * logwire::marker_record_size());
+  EXPECT_EQ(buf.size(), logwire::kHeaderSize +
+                            logwire::marker_record_size_v2(111) +
+                            logwire::marker_record_size_v2(222));
   std::vector<LogEntry> out;
   EXPECT_EQ(logwire::decode_all(buf, &out), buf.size());
   ASSERT_EQ(out.size(), 2u);
@@ -78,6 +84,37 @@ TEST(LogRecord, MarkerAndCloseRoundTrip) {
   EXPECT_EQ(out[0].timestamp_us, 111u);
   EXPECT_EQ(out[1].type, LogType::kClose);
   EXPECT_EQ(out[1].timestamp_us, 222u);
+}
+
+// The single-column tag drops the ncols/per-column framing; a v2 record for
+// the bench's typical small put must be well under half the fixed 29-byte
+// v1 overhead + payload.
+TEST(LogRecord, SingleColumnPutIsCompact) {
+  std::string buf;
+  logwire::encode_put(&buf, "key12345", {{0, "value"}}, 3, 1700000000000000u);
+  std::vector<LogEntry> out;
+  EXPECT_EQ(logwire::decode_all(buf, &out), buf.size());
+  ASSERT_EQ(out.size(), 1u);
+  ASSERT_EQ(out[0].columns.size(), 1u);
+  EXPECT_EQ(out[0].columns[0].second, "value");
+  size_t record = buf.size() - logwire::kHeaderSize;
+  size_t v1 = logwire::put_record_size_v1("key12345", {{0, "value"}});
+  EXPECT_LT(record, v1);
+  // tag(1) + ts(8) + version(1) + klen(1)+8 + col(1) + h(1) + 5 + crc(4) +
+  // frame(1) = 31 vs v1's 48.
+  EXPECT_LE(record, 31u);
+}
+
+// Version 0 drops the version field entirely (the 0x20 flag is clear).
+TEST(LogRecord, ZeroVersionOmitted) {
+  std::string with0, with1;
+  logwire::encode_put(&with0, "k", {{0, "v"}}, 0, 50);
+  logwire::encode_put(&with1, "k", {{0, "v"}}, 1, 50);
+  EXPECT_EQ(with0.size() + 1, with1.size());
+  std::vector<LogEntry> out;
+  EXPECT_EQ(logwire::decode_all(with0, &out), with0.size());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].version, 0u);
 }
 
 TEST(LogRecord, BinaryKeyRoundTrip) {
@@ -141,11 +178,280 @@ TEST(LogRecord, EveryTruncationPointYieldsExactPrefix) {
     std::vector<LogEntry> out;
     size_t consumed = logwire::decode_all(std::string_view(buf.data(), cut), &out);
     ASSERT_EQ(out.size(), expect) << "cut at " << cut;
-    ASSERT_EQ(consumed, expect == 0 ? 0 : ends[expect - 1]) << "cut at " << cut;
+    // With zero whole records the decoder still consumes the 5-byte format
+    // header once the cut clears it.
+    size_t want_consumed = expect > 0 ? ends[expect - 1]
+                           : cut >= logwire::kHeaderSize ? logwire::kHeaderSize
+                                                         : 0;
+    ASSERT_EQ(consumed, want_consumed) << "cut at " << cut;
     for (size_t r = 0; r < out.size(); ++r) {
       EXPECT_EQ(out[r].timestamp_us, 100 + r);  // order preserved
     }
   }
+}
+
+// ---------------- varint properties ----------------
+
+TEST(Varint, RoundTripBoundaries) {
+  const uint64_t vals[] = {0,
+                           1,
+                           127,
+                           128,
+                           16383,
+                           16384,
+                           (1ull << 21) - 1,
+                           1ull << 21,
+                           (1ull << 28) - 1,
+                           1ull << 28,
+                           (1ull << 35),
+                           (1ull << 42),
+                           (1ull << 49),
+                           (1ull << 56),
+                           (1ull << 63),
+                           ~0ull};
+  for (uint64_t v : vals) {
+    char buf[vint::kMaxBytes];
+    char* end = vint::put(buf, v);
+    EXPECT_EQ(static_cast<size_t>(end - buf), vint::size(v)) << v;
+    uint64_t back = 0;
+    const char* q = vint::get(buf, end, &back);
+    ASSERT_EQ(q, end) << v;
+    EXPECT_EQ(back, v);
+    // Every strict prefix is rejected as truncated.
+    for (const char* cut = buf; cut < end; ++cut) {
+      EXPECT_EQ(vint::get(buf, cut, &back), nullptr) << v;
+    }
+  }
+}
+
+TEST(Varint, OverlongEncodingRejected) {
+  uint64_t out;
+  // 1 encoded in two bytes (0x81 0x00) and zero in two (0x80 0x00): the
+  // canonical encodings are one byte, so both must be rejected.
+  const char two_one[] = {'\x81', '\x00'};
+  const char two_zero[] = {'\x80', '\x00'};
+  EXPECT_EQ(vint::get(two_one, two_one + 2, &out), nullptr);
+  EXPECT_EQ(vint::get(two_zero, two_zero + 2, &out), nullptr);
+  // ~0ull has a canonical 10-byte form ending in 0x01; a redundant
+  // continuation past it cannot decode.
+  char buf[12];
+  std::memset(buf, '\x80', sizeof(buf));
+  EXPECT_EQ(vint::get(buf, buf + 11, &out), nullptr);
+}
+
+TEST(Varint, OversizedValueRejected) {
+  // 10th byte may only be 0x00/0x01; anything else overflows 64 bits.
+  char buf[10];
+  std::memset(buf, '\xff', 9);
+  buf[9] = '\x02';
+  uint64_t out;
+  EXPECT_EQ(vint::get(buf, buf + 10, &out), nullptr);
+  buf[9] = '\x01';
+  const char* q = vint::get(buf, buf + 10, &out);
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(out, ~0ull);
+}
+
+TEST(Varint, ZigzagRoundTrip) {
+  const int64_t vals[] = {0, 1, -1, 2, -2, 1000000, -1000000,
+                          std::numeric_limits<int64_t>::max(),
+                          std::numeric_limits<int64_t>::min()};
+  for (int64_t v : vals) {
+    EXPECT_EQ(vint::unzigzag(vint::zigzag(v)), v);
+  }
+  EXPECT_EQ(vint::zigzag(0), 0u);
+  EXPECT_EQ(vint::zigzag(-1), 1u);
+  EXPECT_EQ(vint::zigzag(1), 2u);
+}
+
+// A record whose frame length varint is overlong must stop the decode even
+// though the payload and crc behind it are intact.
+TEST(LogRecord, OverlongFrameVarintStopsDecode) {
+  std::string buf;
+  logwire::encode_put(&buf, "k", {{0, "v"}}, 1, 9);
+  size_t len = buf.size() - logwire::kHeaderSize - 1 - 4;  // payload bytes
+  ASSERT_LT(len, 128u);
+  std::string evil = buf.substr(0, logwire::kHeaderSize);
+  evil.push_back(static_cast<char>(len | 0x80));
+  evil.push_back('\x00');
+  evil.append(buf, logwire::kHeaderSize + 1, std::string::npos);
+  std::vector<LogEntry> out;
+  EXPECT_EQ(logwire::decode_all(evil, &out), logwire::kHeaderSize);
+  EXPECT_TRUE(out.empty());
+}
+
+// ---------------- v1 compatibility + format versioning ----------------
+
+// The v1 encoders are the oracle: the same logical records written in both
+// formats must decode to identical entries (and the v2 stream must be
+// smaller, header included).
+TEST(LogRecord, V2MatchesV1Oracle) {
+  const std::string long_col(40, 'q');  // ColumnUpdate holds a view
+  std::vector<ColumnUpdate> cols = {{0, "short"}, {7, long_col}};
+  std::string v1, v2;
+  for (int i = 0; i < 20; ++i) {
+    uint64_t ts = 1700000000000000u + i * 13;
+    logwire::encode_put_v1(&v1, "key" + std::to_string(i), cols, i, ts);
+    logwire::encode_put(&v2, "key" + std::to_string(i), cols, i, ts);
+    logwire::encode_remove_v1(&v1, "gone" + std::to_string(i), i + 100, ts + 1);
+    logwire::encode_remove(&v2, "gone" + std::to_string(i), i + 100, ts + 1);
+  }
+  logwire::encode_marker_v1(&v1, LogType::kClose, 5);
+  logwire::encode_close(&v2, 5);
+  std::vector<LogEntry> from_v1, from_v2;
+  ASSERT_EQ(logwire::decode_all(v1, &from_v1), v1.size());
+  ASSERT_EQ(logwire::decode_all(v2, &from_v2), v2.size());
+  ASSERT_EQ(from_v1.size(), from_v2.size());
+  for (size_t i = 0; i < from_v1.size(); ++i) {
+    EXPECT_EQ(from_v1[i].type, from_v2[i].type) << i;
+    EXPECT_EQ(from_v1[i].timestamp_us, from_v2[i].timestamp_us) << i;
+    EXPECT_EQ(from_v1[i].version, from_v2[i].version) << i;
+    EXPECT_EQ(from_v1[i].key, from_v2[i].key) << i;
+    EXPECT_EQ(from_v1[i].columns, from_v2[i].columns) << i;
+  }
+  EXPECT_LT(v2.size(), v1.size());
+}
+
+// A headerless v1 file written by an old build still decodes, and a header
+// may appear at ANY later record boundary (the mid-file upgrade an adopting
+// new build performs).
+TEST(LogRecord, MidFileUpgradeV1ThenV2) {
+  std::string buf;
+  logwire::encode_put_v1(&buf, "old1", {{0, "a"}}, 1, 10);
+  logwire::encode_put_v1(&buf, "old2", {{0, "b"}}, 2, 20);
+  logwire::encode_header(&buf);  // upgrade point
+  logwire::encode_put(&buf, "new1", {{0, "c"}}, 3, 30);
+  logwire::encode_close(&buf, 40);
+  std::vector<LogEntry> out;
+  ASSERT_EQ(logwire::decode_all(buf, &out), buf.size());
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].key, "old1");
+  EXPECT_EQ(out[1].key, "old2");
+  EXPECT_EQ(out[2].key, "new1");
+  EXPECT_EQ(out[3].type, LogType::kClose);
+  EXPECT_EQ(logwire::valid_prefix_bytes(buf), buf.size());
+}
+
+// An unknown future format version must fail-stop — loudly refusing to
+// read is recoverable, silently truncating committed data is not.
+TEST(LogRecord, UnknownFutureVersionThrows) {
+  std::string buf;
+  logwire::encode_put(&buf, "k", {{0, "v"}}, 1, 1);
+  buf[4] = '\x09';  // future version byte
+  std::vector<LogEntry> out;
+  EXPECT_THROW(logwire::decode_all(buf, &out), std::runtime_error);
+  EXPECT_THROW(logwire::valid_prefix_bytes(buf), std::runtime_error);
+  // Mid-file too: a valid v2 prefix followed by a future-version header.
+  std::string mixed;
+  logwire::encode_put(&mixed, "k", {{0, "v"}}, 1, 1);
+  size_t boundary = mixed.size();
+  logwire::encode_header(&mixed);
+  mixed[boundary + 4] = '\x07';
+  EXPECT_THROW(logwire::decode_all(mixed, &out), std::runtime_error);
+}
+
+// ---------------- compression + timestamp deltas on the wire ----------------
+
+TEST(LogRecord, CompressedColumnRoundTrip) {
+  std::string raw;
+  for (int i = 0; i < 100; ++i) {
+    raw += "abcdefgh" + std::to_string(i % 10);
+  }
+  std::string comp(raw.size() - 1, '\0');
+  size_t csize = lz::compress(raw.data(), raw.size(), comp.data(), comp.size());
+  ASSERT_GT(csize, 0u);
+  ASSERT_LT(csize, raw.size());
+  logwire::ColPlan plan;
+  plan.col = 3;
+  plan.data = comp.data();
+  plan.stored_len = static_cast<uint32_t>(csize);
+  plan.raw_len = static_cast<uint32_t>(raw.size());
+  plan.compressed = true;
+  std::string buf;
+  logwire::encode_header(&buf);
+  size_t old = buf.size();
+  buf.resize(old + logwire::put_record_size_v2("ckey", &plan, 1, 42, 777));
+  logwire::encode_put_v2_to(buf.data() + old, "ckey", &plan, 1, 42, 777,
+                            /*delta=*/false);
+  std::vector<LogEntry> out;
+  ASSERT_EQ(logwire::decode_all(buf, &out), buf.size());
+  ASSERT_EQ(out.size(), 1u);
+  ASSERT_EQ(out[0].columns.size(), 1u);
+  EXPECT_EQ(out[0].columns[0].first, 3);
+  EXPECT_EQ(out[0].columns[0].second, raw);
+  EXPECT_EQ(out[0].version, 42u);
+}
+
+TEST(LogRecord, DeltaTimestampDecodes) {
+  logwire::ColPlan plan;
+  plan.col = 0;
+  plan.data = "v";
+  plan.stored_len = 1;
+  plan.raw_len = 1;
+  std::string buf;
+  logwire::encode_header(&buf);
+  size_t old = buf.size();
+  buf.resize(old + logwire::put_record_size_v2("a", &plan, 1, 1, 1000));
+  buf.resize(old + logwire::encode_put_v2_to(buf.data() + old, "a", &plan, 1,
+                                             1, 1000, /*delta=*/false));
+  // Second record 5us EARLIER, as a zigzag delta (clock skew happens).
+  uint64_t zz = vint::zigzag(-5);
+  old = buf.size();
+  buf.resize(old + logwire::put_record_size_v2("b", &plan, 1, 2, zz));
+  buf.resize(old + logwire::encode_put_v2_to(buf.data() + old, "b", &plan, 1,
+                                             2, zz, /*delta=*/true));
+  std::vector<LogEntry> out;
+  ASSERT_EQ(logwire::decode_all(buf, &out), buf.size());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].timestamp_us, 1000u);
+  EXPECT_EQ(out[1].timestamp_us, 995u);
+}
+
+// A delta record with no preceding absolute base in the stream (its base
+// was truncated away) must be treated as corruption, not decoded off ts 0.
+TEST(LogRecord, DanglingDeltaRejected) {
+  logwire::ColPlan plan;
+  plan.col = 0;
+  plan.data = "v";
+  plan.stored_len = 1;
+  plan.raw_len = 1;
+  std::string buf;
+  logwire::encode_header(&buf);
+  uint64_t zz = vint::zigzag(7);
+  size_t old = buf.size();
+  buf.resize(old + logwire::put_record_size_v2("a", &plan, 1, 1, zz));
+  buf.resize(old + logwire::encode_put_v2_to(buf.data() + old, "a", &plan, 1,
+                                             1, zz, /*delta=*/true));
+  std::vector<LogEntry> out;
+  EXPECT_EQ(logwire::decode_all(buf, &out), logwire::kHeaderSize);
+  EXPECT_TRUE(out.empty());
+}
+
+// A format header also severs the delta chain: base before, delta after ->
+// the delta is dangling.
+TEST(LogRecord, HeaderResetsDeltaBase) {
+  logwire::ColPlan plan;
+  plan.col = 0;
+  plan.data = "v";
+  plan.stored_len = 1;
+  plan.raw_len = 1;
+  std::string buf;
+  logwire::encode_header(&buf);
+  size_t old = buf.size();
+  buf.resize(old + logwire::put_record_size_v2("a", &plan, 1, 1, 1000));
+  buf.resize(old + logwire::encode_put_v2_to(buf.data() + old, "a", &plan, 1,
+                                             1, 1000, /*delta=*/false));
+  logwire::encode_header(&buf);
+  size_t stop = buf.size();
+  uint64_t zz = vint::zigzag(3);
+  old = buf.size();
+  buf.resize(old + logwire::put_record_size_v2("b", &plan, 1, 2, zz));
+  buf.resize(old + logwire::encode_put_v2_to(buf.data() + old, "b", &plan, 1,
+                                             2, zz, /*delta=*/true));
+  std::vector<LogEntry> out;
+  EXPECT_EQ(logwire::decode_all(buf, &out), stop);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].key, "a");
 }
 
 // ---------------- Logger (single shard + its logging thread) ----------------
@@ -247,6 +553,7 @@ TEST(Logger, JumboRecordTakesSlowPathIntact) {
   std::remove(path.c_str());
   Logger::Options opt;
   opt.buffer_bytes = 1 << 10;
+  opt.compress_threshold = 0;  // 8 KiB of 'J' would otherwise fit a half
   {
     Logger log(path, opt);
     log.append_put("small-before", {{0, "x"}}, 1);
@@ -267,6 +574,38 @@ TEST(Logger, JumboRecordTakesSlowPathIntact) {
   EXPECT_EQ(puts[1]->key, "jumbo");
   EXPECT_EQ(puts[1]->columns[0].second.size(), size_t{8 << 10});
   EXPECT_EQ(puts[2]->key, "small-after");
+}
+
+// A large-but-compressible value that would overflow a 1 KiB arena half raw
+// must compress onto the normal wait-free path: no jumbo allocation, exact
+// round-trip, and a file much smaller than the logical bytes.
+TEST(Logger, CompressedLargeValueStaysInArena) {
+  std::string path = TempPath("logger_compress.bin");
+  std::remove(path.c_str());
+  std::string value;
+  for (int i = 0; i < 400; ++i) {
+    value += "pattern" + std::to_string(i % 7);
+  }
+  ASSERT_GT(value.size(), size_t{2 << 10});
+  {
+    Logger::Options opt;
+    opt.buffer_bytes = 1 << 10;
+    Logger log(path, opt);
+    log.append_put("bigc", {{0, value}}, 1);
+    log.sync();
+    EXPECT_EQ(log.error(), 0);
+    EXPECT_EQ(log.counters().get(Counter::kLogAllocs), 2u);  // halves only
+    EXPECT_EQ(log.counters().get(Counter::kLogCompressedRecords), 1u);
+    EXPECT_GT(log.counters().get(Counter::kLogBytesLogical),
+              log.counters().get(Counter::kLogBytesPhysical));
+  }
+  EXPECT_LT(std::filesystem::file_size(path), value.size() / 2);
+  auto entries = read_log_file(path);
+  ASSERT_FALSE(entries.empty());
+  ASSERT_EQ(entries[0].type, LogType::kPut);
+  EXPECT_EQ(entries[0].key, "bigc");
+  ASSERT_EQ(entries[0].columns.size(), 1u);
+  EXPECT_EQ(entries[0].columns[0].second, value);
 }
 
 TEST(Logger, TruncateDropsOldKeepsNew) {
@@ -637,6 +976,53 @@ TEST(Recovery, ListLogFilesFindsStoreNames) {
   EXPECT_NE(paths[0].find("log-0.bin"), std::string::npos);
   EXPECT_NE(paths[1].find("log-12.bin"), std::string::npos);
   EXPECT_TRUE(list_log_files(TempPath("no_such_dir")).empty());
+}
+
+// A data directory can legitimately mix formats after a version upgrade:
+// untouched v1 files from the old build next to v2 files from the new one.
+// Both must feed recovery, and sealing must leave every file readable
+// (v1 files get their mid-file header upgrade from the seal).
+TEST(Recovery, MixedVersionFilesRecover) {
+  std::string p1 = TempPath("mixed_v1.bin");
+  std::string p2 = TempPath("mixed_v2.bin");
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+  std::string old_fmt;  // headerless v1, as an old build wrote it
+  logwire::encode_put_v1(&old_fmt, "v1-key", {{0, "v1-value"}}, 1, 100);
+  logwire::encode_put_v1(&old_fmt, "v1-key2", {{0, "v1-value2"}}, 2, 200);
+  std::ofstream(p1, std::ios::binary) << old_fmt;
+  std::string new_fmt;
+  logwire::encode_put(&new_fmt, "v2-key", {{0, "v2-value"}}, 3, 150);
+  std::ofstream(p2, std::ios::binary) << new_fmt;
+
+  RecoverySet rs = load_logs({p1, p2});
+  // Both live: cutoff = min(200, 150).
+  EXPECT_EQ(rs.cutoff_us, 150u);
+  seal_recovered_log(p1, rs.logs[0], rs.cutoff_us);
+  seal_recovered_log(p2, rs.logs[1], rs.cutoff_us);
+  auto plan = replay_plan(std::move(rs));
+  ASSERT_EQ(plan.size(), 2u);  // v1-key (ts100) + v2-key (ts150); ts200 dropped
+
+  // After sealing, both re-read complete and the drop cannot resurrect.
+  RecoverySet rs2 = load_logs({p1, p2});
+  ASSERT_TRUE(rs2.logs[0].complete);
+  ASSERT_TRUE(rs2.logs[1].complete);
+  auto plan2 = replay_plan(std::move(rs2));
+  ASSERT_EQ(plan2.size(), 2u);
+  EXPECT_EQ(plan2[0].key, "v1-key");
+  EXPECT_EQ(plan2[1].key, "v2-key");
+}
+
+// read_log_file propagates the unknown-version fail-stop instead of
+// returning a silently truncated record list.
+TEST(Recovery, UnknownVersionFileFailsStop) {
+  std::string p = TempPath("future_version.bin");
+  std::remove(p.c_str());
+  std::string buf;
+  logwire::encode_put(&buf, "k", {{0, "v"}}, 1, 1);
+  buf[4] = '\x06';
+  std::ofstream(p, std::ios::binary) << buf;
+  EXPECT_THROW(read_log_file(p), std::runtime_error);
 }
 
 TEST(Recovery, SincePrunesCheckpointedEntries) {
