@@ -12,6 +12,13 @@
 // the same churn: node snapshots vs snapshot retries vs reach_border
 // re-descents (kScanNodes / kScanRetries / kScanRedescents). Chain walking
 // is working iff re-descents stay a small fraction of node visits.
+//
+// The put-heavy zipf churn section reports the write-side pipeline's
+// counters under the same pressure (kMultiputBatches / kMultiputRetries),
+// asserts the record cache's hit/miss accounting stays exact with batched
+// writers (hits + misses == gets feeds the exit code), and a short
+// event-loop burst reports kNetBatchedPuts — cross-connection write
+// coalescing into Store::multiput.
 
 #include <filesystem>
 #include <span>
@@ -19,8 +26,10 @@
 #include <vector>
 
 #include "bench/common.h"
+#include "bench/net_driver.h"
 #include "core/tree.h"
 #include "kvstore/store.h"
+#include "net/server.h"
 #include "util/rand.h"
 #include "workload/keys.h"
 
@@ -243,13 +252,20 @@ int main() {
   }
   std::filesystem::remove_all(log_dir);
 
-  // ---- record-cache counters under a skewed-get write-churn mix ----
+  // ---- record-cache counters under a put-heavy skewed churn mix ----
   // Zipfian (theta=0.99) gets through the record cache while the same
-  // threads update/remove/re-insert the same hot keys: the tracked numbers
-  // are the invalidation rate (validated hits killed because a writer
-  // touched the cached slot's border version) and the CLOCK eviction rate
-  // under deliberate capacity pressure (a small cache, low admission bar).
+  // threads hammer the same hot keys with BATCHED writes — half the ops are
+  // multiput batches (puts + removes, §4.8 write side), so the pipelined
+  // writer's retry rate and the cache's invalidation behavior are measured
+  // together. The tracked numbers are the invalidation rate (validated hits
+  // killed because a writer touched the cached slot's border version), the
+  // CLOCK eviction rate under deliberate capacity pressure, and the
+  // multiput batch/retry counters under the same churn. Every cached get is
+  // exactly one hit or one miss — hits + misses == gets is asserted below
+  // (the exit code), proving the batched write path never corrupts the
+  // cache's hit/miss accounting.
   std::atomic<uint64_t> c_hits{0}, c_misses{0}, c_inval{0}, c_evict{0}, c_gets{0};
+  std::atomic<uint64_t> mp_batches{0}, mp_retries{0}, mp_writes{0};
   {
     RecordCache<Tree::Config> cache(RecordCache<Tree::Config>::Config{1 << 12, 2});
     tree.set_record_cache(&cache);
@@ -257,17 +273,27 @@ int main() {
     for (unsigned t = 0; t < e.threads; ++t) {
       churn2.emplace_back([&, t] {
         ThreadContext ti;
+        uint64_t b0 = ti.counters().get(Counter::kMultiputBatches);
+        uint64_t r0 = ti.counters().get(Counter::kMultiputRetries);
         Rng rng(9100 + t);
         SkewGen gen = SkewGen::zipf(e.keys, 0.99, 9300 + t);
-        uint64_t v, old;
-        uint64_t ngets = 0;
+        uint64_t v;
+        uint64_t ngets = 0, nwrites = 0;
+        std::string wkeys[kBatch];
+        Tree::PutRequest wreqs[kBatch];
+        size_t wpend = 0;
         for (uint64_t i = 0; i < per_thread / 2; ++i) {
           uint64_t k = gen.next_index();
-          if ((rng.next() & 3) == 0) {
-            if (rng.next() & 1) {
-              tree.insert(decimal_key(k), i, &old, ti);
-            } else {
-              tree.remove(decimal_key(k), &old, ti);
+          if (rng.next() & 1) {
+            // Accumulate hot-key writes; every kBatch of them goes through
+            // one pipelined multiput (~1/8 removes).
+            wkeys[wpend] = decimal_key(k);
+            wreqs[wpend] = Tree::PutRequest{wkeys[wpend], i};
+            wreqs[wpend].remove = (rng.next() & 7) == 0;
+            if (++wpend == kBatch) {
+              tree.multiput(std::span<Tree::PutRequest>(wreqs, kBatch), ti);
+              nwrites += kBatch;
+              wpend = 0;
             }
           } else {
             tree.get(decimal_key(k), &v, ti);
@@ -279,6 +305,9 @@ int main() {
         c_inval += ti.counters().get(Counter::kCacheInvalidations);
         c_evict += ti.counters().get(Counter::kCacheEvictions);
         c_gets += ngets;
+        mp_batches += ti.counters().get(Counter::kMultiputBatches) - b0;
+        mp_retries += ti.counters().get(Counter::kMultiputRetries) - r0;
+        mp_writes += nwrites;
       });
     }
     for (auto& th : churn2) {
@@ -300,6 +329,47 @@ int main() {
               static_cast<double>(c_inval.load()) * c_per_m);
   std::printf("cache evictions / M gets:     %8.2f   (kCacheEvictions: CLOCK displacement)\n",
               static_cast<double>(c_evict.load()) * c_per_m);
+  double mp_per_m =
+      mp_writes.load() == 0 ? 0.0 : 1e6 / static_cast<double>(mp_writes.load());
+  std::printf("multiput batches:             %llu (kMultiputBatches, batch=%zu, %llu writes)\n",
+              static_cast<unsigned long long>(mp_batches.load()), kBatch,
+              static_cast<unsigned long long>(mp_writes.load()));
+  std::printf("multiput retries / M writes:  %8.2f   (kMultiputRetries: per-key fallbacks)\n",
+              static_cast<double>(mp_retries.load()) * mp_per_m);
+  bool cache_accounting_ok = c_hits.load() + c_misses.load() == c_gets.load();
+  std::printf("cache hits+misses == gets:    %s   (batched fill-path accounting)\n",
+              cache_accounting_ok ? "OK" : "VIOLATED");
 
-  return log_allocs.load() == 0 ? 0 : 1;
+  // ---- cross-connection write coalescing (kNetBatchedPuts) ----
+  // A short burst of single-put frames from pipelined connections against a
+  // 2-worker event-loop server: batched_puts mirrors Counter::kNetBatchedPuts
+  // — puts that reached Store::multiput only because the worker coalesced
+  // runs from DIFFERENT connections in one wakeup.
+  {
+    Store net_store;
+    {
+      Store::Session s(net_store, 0);
+      for (uint64_t i = 0; i < 10000; ++i) {
+        net_store.put(decimal_key(i), {{0, "seed"}}, s);
+      }
+    }
+    Server server(net_store, Server::Options{0, 2});
+    server.start();
+    NetDriveConfig cfg;
+    cfg.nconns = 16;
+    cfg.depth = 4;
+    cfg.keyspace = 10000;
+    cfg.threads = std::min(e.threads, 4u);
+    cfg.secs = std::min(e.secs, 1.0);
+    double net_put_mops = drive_puts(server.port(), cfg);
+    uint64_t batched_puts = server.batched_puts();
+    server.stop();
+    std::printf("net puts served:              %.3f Mops (16 conns, single-put frames)\n",
+                net_put_mops);
+    std::printf("net batched puts:             %llu (kNetBatchedPuts: cross-connection "
+                "coalescing)\n",
+                static_cast<unsigned long long>(batched_puts));
+  }
+
+  return log_allocs.load() == 0 && cache_accounting_ok ? 0 : 1;
 }

@@ -238,6 +238,72 @@ int main(int argc, char** argv) {
         return ops;
       });
 
+  // Batched writes through the §4.8 write-side pipeline: multiput vs
+  // sequential single puts, uniform overwrites on ONE thread,
+  // chunk-interleaved with fig11's leg discipline (warm leg, then
+  // seq-batched-batched-seq so neither mode systematically runs on a
+  // warmer cache) and the verdict taken as the MEDIAN per-pair ratio —
+  // small-host noise would otherwise swamp the ~1.4x being measured.
+  constexpr size_t kMultiputBatch = 16;
+  double multiput_mops, put_seq_mops, multiput_speedup;
+  {
+    constexpr uint64_t kChunk = 4096;
+    static constexpr int kLegMode[] = {1, 0, 1, 1, 0};  // 1 = multiput leg
+    uint64_t mp_ops = env_u64("MT_BENCH_MULTIPUT_OPS", 400000);
+    uint64_t pairs = std::max<uint64_t>(mp_ops / kChunk, 2);
+    ThreadContext ti;
+    Rng rng(900);
+    std::string keybuf[kMultiputBatch];
+    Tree::PutRequest reqs[kMultiputBatch];
+    double total_secs[2] = {0.0, 0.0};
+    uint64_t total_ops[2] = {0, 0};
+    std::vector<double> ratios;
+    ratios.reserve(pairs);
+    for (uint64_t p = 0; p < pairs; ++p) {
+      double secs[2] = {0.0, 0.0};
+      for (int leg = 0; leg < 5; ++leg) {
+        int mode = kLegMode[leg];
+        auto t0 = std::chrono::steady_clock::now();
+        if (mode == 0) {
+          uint64_t old;
+          for (uint64_t k = 0; k < kChunk; ++k) {
+            tree.insert(decimal_key(rng.next_range(loaded)), k, &old, ti);
+          }
+        } else {
+          for (uint64_t k = 0; k < kChunk; k += kMultiputBatch) {
+            for (size_t i = 0; i < kMultiputBatch; ++i) {
+              keybuf[i] = decimal_key(rng.next_range(loaded));
+              reqs[i] = Tree::PutRequest{keybuf[i], k + i};
+            }
+            tree.multiput(std::span<Tree::PutRequest>(reqs, kMultiputBatch), ti);
+          }
+        }
+        if (leg > 0) {
+          double dt = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+          secs[mode] += dt;
+          total_secs[mode] += dt;
+          total_ops[mode] += kChunk;
+        }
+      }
+      if (p > 0) {  // pair 0 additionally warms both paths
+        ratios.push_back(secs[0] / secs[1]);  // >1: batched side faster
+      }
+    }
+    std::sort(ratios.begin(), ratios.end());
+    multiput_speedup = ratios[ratios.size() / 2];
+    put_seq_mops = total_secs[0] > 0.0
+                       ? static_cast<double>(total_ops[0]) / total_secs[0] / 1e6
+                       : 0.0;
+    multiput_mops = total_secs[1] > 0.0
+                        ? static_cast<double>(total_ops[1]) / total_secs[1] / 1e6
+                        : 0.0;
+    std::printf("multiput duel (batch=%zu, 1 thread): seq %.3f Mops, batched "
+                "%.3f Mops, median speedup %.2fx\n",
+                kMultiputBatch, put_seq_mops, multiput_mops, multiput_speedup);
+  }
+
   // Range scans (§3 getrange) through the snapshot-batched ScanCursor:
   // random start keys, kScanLen pairs per scan, scan_batch's next-border
   // prefetch on. Reported as pairs/second.
@@ -382,8 +448,8 @@ int main(int argc, char** argv) {
   // depth kNetDepth, frames of 32 gets, cross-connection runs coalesced into
   // Tree::multiget. The trajectory metric every PR must keep non-zero.
   constexpr unsigned kNetConns = 64, kNetDepth = 16;
-  double net_get_mops;
-  uint64_t net_batched_gets;
+  double net_get_mops, net_put_mops;
+  uint64_t net_batched_gets, net_batched_puts;
   {
     Store net_store;
     bench::NetDriveConfig cfg;
@@ -402,6 +468,11 @@ int main(int argc, char** argv) {
     server.start();
     net_get_mops = bench::drive_gets(server.port(), cfg);
     net_batched_gets = server.batched_gets();
+    // Write-side serving: same offered load shape with single-put frames, so
+    // every server-side write batch is cross-connection coalescing into
+    // Store::multiput (the kNetBatchedPuts trajectory metric).
+    net_put_mops = bench::drive_puts(server.port(), cfg);
+    net_batched_puts = server.batched_puts();
     server.stop();
   }
 
@@ -422,6 +493,10 @@ int main(int argc, char** argv) {
   add("    \"get_uniform_mops\": %.4f,\n", get_uniform_mops);
   add("    \"multiget_mops\": %.4f,\n", multiget_mops);
   add("    \"multiget_batch\": %zu,\n", kMultigetBatch);
+  add("    \"multiput_mops\": %.4f,\n", multiput_mops);
+  add("    \"multiput_batch\": %zu,\n", kMultiputBatch);
+  add("    \"put_seq_mops\": %.4f,\n", put_seq_mops);
+  add("    \"multiput_speedup\": %.3f,\n", multiput_speedup);
   add("    \"scan_mops\": %.4f,\n", scan_mops);
   add("    \"scan_len\": %zu,\n", kScanLen);
   add("    \"update_uniform_mops\": %.4f,\n", update_mops);
@@ -439,6 +514,9 @@ int main(int argc, char** argv) {
   add("    \"net_pipeline_depth\": %u,\n", kNetDepth);
   add("    \"net_batched_gets\": %llu,\n",
       static_cast<unsigned long long>(net_batched_gets));
+  add("    \"net_put_mops\": %.4f,\n", net_put_mops);
+  add("    \"net_batched_puts\": %llu,\n",
+      static_cast<unsigned long long>(net_batched_puts));
   add("    \"zipf_get_mops\": %.4f,\n", zipf_get_mops);
   add("    \"cache_hit_pct\": %.2f,\n", cache_hit_pct);
   add("    \"cache_capacity\": %zu\n", rcache.capacity());

@@ -123,8 +123,9 @@ void BM_RowUpdateCow(benchmark::State& state) {
   }
   Row* row = Row::make(ti, init, 1);
   uint64_t ver = 2;
+  const ColumnUpdate upd[] = {{3, "WXYZ"}};
   for (auto _ : state) {
-    Row* next = Row::update(ti, row, {{3, "WXYZ"}}, ver++);
+    Row* next = Row::update(ti, row, upd, ver++);
     Row::deallocate(row);
     row = next;
   }

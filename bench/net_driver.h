@@ -78,6 +78,43 @@ inline double drive_gets(uint16_t port, const NetDriveConfig& cfg) {
   });
 }
 
+// Write-side twin of drive_gets: frames of single-key uniform puts (8-byte
+// values), so every server-side write batch that forms is CROSS-connection
+// coalescing into Store::multiput — the kNetBatchedPuts trajectory metric.
+inline double drive_puts(uint16_t port, const NetDriveConfig& cfg) {
+  unsigned threads = std::max(1u, std::min(cfg.threads, cfg.nconns));
+  std::vector<std::unique_ptr<Client>> conns;
+  conns.reserve(cfg.nconns);
+  for (unsigned i = 0; i < cfg.nconns; ++i) {
+    conns.push_back(std::make_unique<Client>(port));
+  }
+  return timed_mops(threads, cfg.secs, [&](unsigned t, const std::atomic<bool>& stop) {
+    unsigned lo = cfg.nconns * t / threads;
+    unsigned hi = cfg.nconns * (t + 1) / threads;
+    Rng rng(7300 + t);
+    auto send_frame = [&](Client& c) {
+      for (unsigned g = 0; g < cfg.gets_per_frame; ++g) {
+        c.put(decimal_key(rng.next_range(cfg.keyspace)), {{0, "87654321"}});
+      }
+      c.send();
+    };
+    for (unsigned i = lo; i < hi; ++i) {
+      for (unsigned d = 0; d < cfg.depth; ++d) {
+        send_frame(*conns[i]);
+      }
+    }
+    uint64_t ops = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (unsigned i = lo; i < hi; ++i) {
+        conns[i]->receive();
+        ops += cfg.gets_per_frame;
+        send_frame(*conns[i]);
+      }
+    }
+    return ops;
+  });
+}
+
 }  // namespace bench
 }  // namespace masstree
 

@@ -44,6 +44,39 @@ if [ "$(printf '%s\n' "$mg" | awk '{ print ($1 > 0) ? "ok" : "zero" }')" != "ok"
 fi
 echo "== multiget_mops = $mg (present and non-zero)"
 
+# The batched-WRITE path (PR 9): multiput_mops and multiput_batch must be
+# present and non-zero, and net_batched_puts must be present and non-zero —
+# the server must actually coalesce write runs across connections into
+# Store::multiput, not just serve them one by one.
+mp=$(sed -n 's/.*"multiput_mops": \([0-9.]*\).*/\1/p' "$json_out")
+if [ -z "$mp" ]; then
+    echo "run_bench.sh: multiput_mops missing from $json_out" >&2
+    exit 1
+fi
+if [ "$(printf '%s\n' "$mp" | awk '{ print ($1 > 0) ? "ok" : "zero" }')" != "ok" ]; then
+    echo "run_bench.sh: multiput_mops is zero in $json_out" >&2
+    exit 1
+fi
+mpb=$(sed -n 's/.*"multiput_batch": \([0-9]*\).*/\1/p' "$json_out")
+if [ -z "$mpb" ]; then
+    echo "run_bench.sh: multiput_batch missing from $json_out" >&2
+    exit 1
+fi
+if [ "$(printf '%s\n' "$mpb" | awk '{ print ($1 > 0) ? "ok" : "zero" }')" != "ok" ]; then
+    echo "run_bench.sh: multiput_batch is zero in $json_out" >&2
+    exit 1
+fi
+nbp=$(sed -n 's/.*"net_batched_puts": \([0-9]*\).*/\1/p' "$json_out")
+if [ -z "$nbp" ]; then
+    echo "run_bench.sh: net_batched_puts missing from $json_out" >&2
+    exit 1
+fi
+if [ "$(printf '%s\n' "$nbp" | awk '{ print ($1 > 0) ? "ok" : "zero" }')" != "ok" ]; then
+    echo "run_bench.sh: net_batched_puts is zero in $json_out" >&2
+    exit 1
+fi
+echo "== multiput_mops = $mp at batch $mpb, net_batched_puts = $nbp"
+
 # Same for the range-scan path: scan_mops must be present and non-zero so the
 # snapshot-batched getrange fast path stays measured on every run.
 sc=$(sed -n 's/.*"scan_mops": \([0-9.]*\).*/\1/p' "$json_out")

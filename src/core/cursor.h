@@ -37,6 +37,7 @@
 #include <cassert>
 #include <cstdint>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -370,6 +371,140 @@ class LookupCursor {
   uint32_t retries_ = 0;
   State state_ = State::kLayerEntry;
   Status result_ = Status::kInProgress;
+};
+
+// WriteCursor — the locked-writer variant of the resumable descent (§4.8's
+// batched operation applied to puts/removes).
+//
+// A border-location LookupCursor finds the border responsible for a slice;
+// the locked writers then need locate_locked's tail: take the border's lock,
+// restart through the forwarding parent if the node was deleted in the
+// meantime, and follow the B-link next() chain right hand-over-hand under
+// lock when a concurrent split moved the slice's range. Before this existed
+// that tail lived only inside BasicTree::locate_locked's synchronous loop;
+// WriteCursor packages descent + acquire as one resumable machine so
+// BasicTree::multiput can round-robin a window of in-flight write descents
+// exactly like multiget does with LookupCursors — every cursor's next cache
+// line announced via prefetch() before any node is touched — while
+// locate_locked itself becomes the one-cursor synchronous driver.
+//
+// Terminal states: kLocked (border() is LOCKED and responsible for the
+// slice; the caller applies its write and must unlock or consume the lock)
+// or kDeadLayer (the entered layer was removed; the caller restarts from
+// layer 0 via reset()). At most one border lock is ever held per cursor, and
+// a batch driver applies-and-releases at each kLocked before stepping any
+// other cursor, so batched writers acquire exactly like sequential ones and
+// cannot invert lock order.
+
+template <typename C>
+class WriteCursor {
+ public:
+  using Node = NodeBase<C>;
+  using Border = BorderNode<C>;
+
+  enum class Status : uint8_t {
+    kInProgress,
+    kLocked,     // border() locked and responsible for the slice
+    kDeadLayer,  // the entered layer was removed entirely
+  };
+
+  // Locate-and-lock the border responsible for `slice` in the layer entered
+  // at `entry`.
+  WriteCursor(Node* entry, uint64_t slice) : slice_(slice) {
+    look_.emplace(entry, slice);
+  }
+
+  // Re-arm for a new (entry, slice) — used after a layer shift or a restart
+  // from the tree root.
+  void reset(Node* entry, uint64_t slice) {
+    slice_ = slice;
+    locked_ = nullptr;
+    root_ = nullptr;
+    look_.emplace(entry, slice);
+  }
+
+  void prefetch() const {
+    if (look_) {
+      look_->prefetch();
+    }
+  }
+
+  // Advance by roughly one DRAM touch. `ctrs` (nullable) receives the
+  // kGetForward events the synchronous locate_locked counted; descent-side
+  // retries are aggregated in retries() like LookupCursor's.
+  Status step(ThreadCounters* ctrs) {
+    using LStatus = typename LookupCursor<C>::Status;
+    LStatus st = look_->step(nullptr);
+    if (st == LStatus::kInProgress) {
+      return Status::kInProgress;
+    }
+    if (st == LStatus::kDeadLayer) {
+      return Status::kDeadLayer;
+    }
+    assert(st == LStatus::kAtBorder);
+    // locate_locked's tail: acquire, then settle responsibility under lock.
+    Border* n = look_->border();
+    root_ = look_->layer_root();
+    n->version().lock();
+    if (n->version().load().deleted()) {
+      n->version().unlock();
+      return restart_at(n);
+    }
+    for (;;) {
+      Border* nx = n->next();
+      if (nx == nullptr || slice_ < nx->lowkey()) {
+        locked_ = n;
+        return Status::kLocked;
+      }
+      if (ctrs != nullptr) {
+        ctrs->inc(Counter::kGetForward);
+      }
+      nx->version().lock();
+      n->version().unlock();
+      n = nx;
+      if (n->version().load().deleted()) {
+        n->version().unlock();
+        return restart_at(n);
+      }
+    }
+  }
+
+  // Synchronous driver: prefetch-then-step to completion (locate_locked).
+  Status run(ThreadCounters* ctrs) {
+    for (;;) {
+      prefetch();
+      Status s = step(ctrs);
+      if (s != Status::kInProgress) {
+        return s;
+      }
+    }
+  }
+
+  // Valid after kLocked: the LOCKED responsible border, still held.
+  Border* locked() const { return locked_; }
+  // The observed true root of the current layer (reach_border's in-out root).
+  Node* layer_root() const { return root_; }
+  // Descent retries eaten so far (restarts after losing a deleted border plus
+  // the inner lookup's revalidations).
+  uint32_t retries() const {
+    return retries_ + (look_ ? look_->retries() : 0);
+  }
+
+ private:
+  // The locked border died under us: re-descend through its forwarding
+  // parent pointer, exactly like locate_locked's deleted-node retry.
+  Status restart_at(Border* n) {
+    ++retries_;
+    retries_ += look_->retries();
+    look_.emplace(static_cast<Node*>(n), slice_);
+    return Status::kInProgress;
+  }
+
+  std::optional<LookupCursor<C>> look_;
+  uint64_t slice_ = 0;
+  Border* locked_ = nullptr;
+  Node* root_ = nullptr;
+  uint32_t retries_ = 0;
 };
 
 // ScanCursor — the resumable sibling of LookupCursor for §3's getrange.

@@ -8,7 +8,12 @@
 // multiget() round-robins a window of in-flight cursors and prefetches each
 // cursor's next node before touching any of them (§4.8 / PALM software
 // pipelining), and reach_border() — the border-location step shared by scan
-// and the locked writers — is the same machine stopped at its border.
+// and the locked writers — is the same machine stopped at its border. The
+// write side mirrors it: WriteCursor (also core/cursor.h) packages descend +
+// lock-acquire as one resumable machine, locate_locked() runs one
+// synchronously, and multiput()/multiremove() round-robin a window of them
+// (sorted-key application, last-write-wins dedupe, per-key fallback to the
+// single-put path on suffix conflicts and splits).
 // scan()/scan_batch() drive the resumable ScanCursor (also core/cursor.h):
 // whole-border-node snapshots chain-walked along next() pointers,
 // allocation- and re-descent-free in steady state.
@@ -27,6 +32,7 @@
 #ifndef MASSTREE_CORE_TREE_H_
 #define MASSTREE_CORE_TREE_H_
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <mutex>
@@ -207,6 +213,212 @@ class BasicTree {
       ctrs->inc(Counter::kMultigetRetry, retry_sum);
     }
     return nfound;
+  }
+
+  // --------------------------------------------------------------------
+  // multiput / multiremove — the write-side twin of multiget (§4.8 / PALM).
+  //
+  // Round-robins up to kMultigetWindow in-flight WriteCursors (core/cursor.h:
+  // descend + lock-acquire as one resumable machine): each round issues every
+  // cursor's prefetch() before touching any node, then steps each once. When
+  // a cursor reaches its locked border the write is applied immediately and
+  // the lock released before any other cursor is stepped, so at most one
+  // border lock is held at a time — batched writers cannot invert lock order.
+  // Requests are applied in sorted-key order (duplicate-key runs dedupe to
+  // last-write-wins; see below), and the hard cases — suffix conflict
+  // (make_layer) and full-node split — fall back per-key through the existing
+  // single-put path (Counter::kMultiputRetries).
+  //
+  // Duplicate-key semantics: only the LAST request for a key (in span order)
+  // touches the tree; earlier duplicates are never applied, so a batch
+  // mutates and (at the kvstore layer) logs exactly one record per surviving
+  // write. Response flags are still as-if-sequential: every request's
+  // inserted/found is derived by replaying the key's request run over the
+  // pre-batch existence the survivor observed. The one documented divergence
+  // from sequential puts is value composition across overwritten duplicates:
+  // a later put's payload is NOT layered over an earlier duplicate's within
+  // one batch (last write wins wholesale), and a put surviving over an
+  // earlier duplicate remove applies against the pre-batch value (the remove
+  // is never executed). Final tree state and durable log state stay
+  // consistent with each other either way — exactly one record per
+  // surviving write, so recovery replays to the same state the batch left
+  // in memory.
+  //
+  // Returns the number of requests that modified the tree, counted
+  // as-if-sequential (every put + every remove whose as-if-sequential
+  // `found` is true) — exactly what applying the span one request at a
+  // time would have returned, even when duplicate runs dedupe to fewer
+  // physical applications. One epoch guard spans the batch.
+  struct PutRequest {
+    std::string_view key;
+    uint64_t value = 0;     // put: the value to store (ignored by *_with)
+    bool remove = false;    // true: remove the key instead of putting
+    // Results (as-if-sequential; see the duplicate-key note above):
+    bool inserted = false;  // put: key was newly inserted
+    bool found = false;     // key existed beforehand (put: replaced; remove: removed)
+    uint64_t old_value = 0; // replaced/removed value (surviving requests only)
+  };
+
+  size_t multiput(std::span<PutRequest> reqs, ThreadContext& ti) {
+    return multiput_with(
+        reqs, [&reqs](size_t r, bool, uint64_t) { return reqs[r].value; },
+        [](size_t, uint64_t) {}, ti);
+  }
+
+  size_t multiremove(std::span<PutRequest> reqs, ThreadContext& ti) {
+    for (PutRequest& rq : reqs) {
+      rq.remove = true;
+    }
+    return multiput(reqs, ti);
+  }
+
+  // Transform flavor, for callers that build values under the border lock
+  // (the kvstore layer's copy-on-write rows, §4.7): make_value(i, found, old)
+  // -> new_value runs under the lock for surviving puts, on_remove(i, old)
+  // under the lock for surviving removes that found their key — so no
+  // concurrent same-key operation can interleave between read and write, and
+  // neither callback ever runs for a deduplicated (overwritten) request.
+  template <typename MakeValue, typename OnRemove>
+  size_t multiput_with(std::span<PutRequest> reqs, MakeValue&& make_value,
+                       OnRemove&& on_remove, ThreadContext& ti) {
+    if (reqs.empty()) {
+      return 0;
+    }
+    EpochGuard guard(ti.slot());
+    ThreadCounters* ctrs = &ti.counters();
+    ctrs->inc(Counter::kMultiputBatches);
+    const size_t n = reqs.size();
+
+    // Application order: request indices sorted by (key, index). Sorted-key
+    // application gives duplicate detection for free and makes adjacent
+    // requests hit the same border; ties keep span order so the last request
+    // for a key is the run's last element (the survivor).
+    thread_local std::vector<uint32_t> order_tls;
+    std::vector<uint32_t>& order = order_tls;
+    order.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      order[i] = static_cast<uint32_t>(i);
+    }
+    std::sort(order.begin(), order.end(), [&reqs](uint32_t a, uint32_t b) {
+      int c = reqs[a].key.compare(reqs[b].key);
+      return c != 0 ? c < 0 : a < b;
+    });
+
+    size_t next = 0;  // cursor into order[]
+    auto next_surviving = [&]() -> size_t {
+      while (next < n) {
+        size_t i = next++;
+        if (i + 1 < n && reqs[order[i]].key == reqs[order[i + 1]].key) {
+          continue;  // a later request overwrites this key (last-write-wins)
+        }
+        return i;
+      }
+      return n;
+    };
+
+    struct Slot {
+      Key key;
+      WriteCursor<C> cur;
+      uint32_t req;
+      Slot(Node* root, std::string_view k, uint32_t r)
+          : key(k), cur(root, key.slice()), req(r) {}
+    };
+    const size_t nslots = n < kMultigetWindow ? n : kMultigetWindow;
+    std::optional<Slot> sl[kMultigetWindow];
+    size_t live = 0;
+    size_t napplied = 0;
+    Node* treeroot = root_.load(std::memory_order_acquire);
+    for (size_t i = 0; i < nslots; ++i) {
+      size_t oi = next_surviving();
+      if (oi == n) {
+        break;
+      }
+      sl[i].emplace(treeroot, reqs[order[oi]].key, order[oi]);
+      ++live;
+    }
+    while (live > 0) {
+      // Announce every in-flight cursor's next cache line before touching
+      // any node, so the window's DRAM fetches are all outstanding at once.
+      for (size_t i = 0; i < nslots; ++i) {
+        if (sl[i]) {
+          sl[i]->cur.prefetch();
+        }
+      }
+      for (size_t i = 0; i < nslots; ++i) {
+        if (!sl[i]) {
+          continue;
+        }
+        Slot& s = *sl[i];
+        typename WriteCursor<C>::Status st = s.cur.step(ctrs);
+        if (st == WriteCursor<C>::Status::kInProgress) {
+          continue;
+        }
+        if (st == WriteCursor<C>::Status::kDeadLayer) {
+          // The whole layer vanished: restart this key from layer 0.
+          ctrs->inc(Counter::kPutRetryFromRoot);
+          ctrs->inc(Counter::kMultiputRetries);
+          s.key.unshift_all();
+          s.cur.reset(root_.load(std::memory_order_acquire), s.key.slice());
+          continue;
+        }
+        // kLocked: apply under the held lock (released before any other
+        // cursor is stepped), or continue the descent into a sub-layer.
+        Node* subroot = nullptr;
+        if (!multiput_apply(s.cur.locked(), s.key, reqs[s.req], s.req,
+                            make_value, on_remove, &subroot, &napplied, ctrs,
+                            ti)) {
+          s.key.shift();
+          s.cur.reset(subroot, s.key.slice());
+          continue;
+        }
+        size_t oi = next_surviving();
+        if (oi != n) {
+          sl[i].emplace(treeroot, reqs[order[oi]].key, order[oi]);
+        } else {
+          sl[i].reset();
+          --live;
+        }
+      }
+    }
+
+    // Last-write-wins flag reconciliation: deduplicated requests never
+    // touched the tree, so replay each duplicate run over the pre-batch
+    // existence its survivor observed (for both put and remove survivors,
+    // `found` is exactly "key existed before the batch").
+    for (size_t i = 0; i < n;) {
+      size_t j = i + 1;
+      while (j < n && reqs[order[i]].key == reqs[order[j]].key) {
+        ++j;
+      }
+      if (j - i > 1) {
+        bool exists = reqs[order[j - 1]].found;
+        for (size_t k = i; k < j; ++k) {
+          PutRequest& rq = reqs[order[k]];
+          if (k != j - 1) {
+            rq.old_value = 0;
+          }
+          if (rq.remove) {
+            rq.found = exists;
+            rq.inserted = false;
+            exists = false;
+          } else {
+            rq.inserted = !exists;
+            rq.found = exists;
+            exists = true;
+          }
+        }
+      }
+      i = j;
+    }
+    // Report the as-if-sequential modification count: duplicate runs applied
+    // fewer physical writes than their request count (napplied tracks those),
+    // but callers see the same answer sequential application would give.
+    (void)napplied;
+    size_t as_if_applied = 0;
+    for (const PutRequest& rq : reqs) {
+      as_if_applied += rq.remove ? (rq.found ? 1u : 0u) : 1u;
+    }
+    return as_if_applied;
   }
 
   // --------------------------------------------------------------------
@@ -771,38 +983,15 @@ class BasicTree {
   // Writer-side locate: returns the locked border node responsible for
   // `slice`, following splits right under lock. Returns null if the layer is
   // dead (caller restarts from the top); `root` is updated like reach_border.
+  // This is a locked-writer WriteCursor run synchronously — the same
+  // descend-and-acquire machine multiput() pipelines one step at a time.
   Border* locate_locked(Node*& root, uint64_t slice, ThreadContext& ti) const {
-    for (;;) {
-      Border* n;
-      VersionValue v;
-      if (!reach_border(root, slice, &n, &v)) {
-        return nullptr;
-      }
-      n->version().lock();
-      if (n->version().load().deleted()) {
-        n->version().unlock();
-        root = n;  // follow forwarding on the next reach_border
-        continue;
-      }
-      for (;;) {
-        Border* nx = n->next();
-        if (nx == nullptr || slice < nx->lowkey()) {
-          return n;
-        }
-        ti.counters().inc(Counter::kGetForward);
-        nx->version().lock();
-        n->version().unlock();
-        n = nx;
-        if (n->version().load().deleted()) {
-          n->version().unlock();
-          n = nullptr;
-          break;
-        }
-      }
-      if (n == nullptr) {
-        continue;
-      }
+    WriteCursor<C> cur(root, slice);
+    if (cur.run(&ti.counters()) == WriteCursor<C>::Status::kDeadLayer) {
+      return nullptr;
     }
+    root = cur.layer_root();
+    return cur.locked();
   }
 
   // Figure 4 lockedparent: lock n's parent, revalidating that it is still
@@ -820,6 +1009,109 @@ class BasicTree {
       }
       p->version().unlock();
     }
+  }
+
+  // ---------------- multiput apply (§4.8 write pipeline) ----------------
+
+  // Apply one batched write to the locked border `n` responsible for `key`'s
+  // current slice. Returns true when the request completed (the lock was
+  // released or consumed); false when the descent continues into a sub-layer
+  // whose root is stored in *subroot (lock released, key not yet shifted).
+  // The simple cases — exact-match update, in-node insert, remove — run
+  // inline with exactly the single-put protocol; suffix conflicts and
+  // full-node splits fall back per-key through insert_transform.
+  template <typename MakeValue, typename OnRemove>
+  bool multiput_apply(Border* n, const Key& key, PutRequest& rq, uint32_t ridx,
+                      MakeValue& make_value, OnRemove& on_remove,
+                      Node** subroot, size_t* napplied, ThreadCounters* ctrs,
+                      ThreadContext& ti) {
+    uint64_t slice = key.slice();
+    int ord = search_ord(key);
+    Permuter perm(n->raw_permutation().load(std::memory_order_relaxed));
+    int pos;
+    int slot = n->find(perm, slice, ord, &pos);
+    if (slot >= 0) {
+      uint8_t kx = n->keylenx(slot);
+      assert(!keylenx_is_unstable(kx));
+      if (keylenx_is_layer(kx)) {
+        *subroot = descend_layer_locked(n, slot);
+        n->version().unlock();
+        return false;
+      }
+      if (keylenx_has_suffix(kx) && !n->suffixes()->equals(slot, key.suffix())) {
+        n->version().unlock();
+        if (rq.remove) {
+          rq.found = false;
+          return true;
+        }
+        // Two long keys share this slice: single-put fallback runs
+        // make_layer and re-descends (§4.6.3).
+        multiput_fallback(rq, ridx, make_value, napplied, ctrs, ti);
+        return true;
+      }
+      uint64_t old = n->lv(slot);
+      if (rq.remove) {
+        on_remove(static_cast<size_t>(ridx), old);
+        rq.found = true;
+        rq.old_value = old;
+        // See remove_with(): unpublish + vinsert bump under the same lock.
+        n->version().mark_inserting();
+        perm.remove(pos);
+        n->set_permutation(perm);
+        if (n->nremoved_ < 255) {
+          ++n->nremoved_;
+        }
+        if (perm.size() == 0) {
+          handle_empty_border(n, key, ti);  // consumes the lock
+        } else {
+          n->version().unlock();
+        }
+        ++*napplied;
+        return true;
+      }
+      rq.found = true;
+      rq.inserted = false;
+      rq.old_value = old;
+      n->set_lv(slot, make_value(static_cast<size_t>(ridx), true, old));
+      n->version().unlock();
+      ++*napplied;
+      return true;
+    }
+    if (rq.remove) {
+      n->version().unlock();
+      rq.found = false;
+      return true;
+    }
+    if (perm.size() < Border::kWidth) {
+      uint64_t value = make_value(static_cast<size_t>(ridx), false, 0);
+      insert_into_border(n, pos, key, value, ti);
+      n->version().unlock();
+      rq.inserted = true;
+      rq.found = false;
+      ++*napplied;
+      return true;
+    }
+    // Full node: single-put fallback runs split_insert.
+    n->version().unlock();
+    multiput_fallback(rq, ridx, make_value, napplied, ctrs, ti);
+    return true;
+  }
+
+  template <typename MakeValue>
+  void multiput_fallback(PutRequest& rq, uint32_t ridx, MakeValue& make_value,
+                         size_t* napplied, ThreadCounters* ctrs,
+                         ThreadContext& ti) {
+    ctrs->inc(Counter::kMultiputRetries);
+    uint64_t old = 0;
+    rq.inserted = insert_transform(
+        rq.key,
+        [&](bool found, uint64_t o) {
+          return make_value(static_cast<size_t>(ridx), found, o);
+        },
+        &old, ti);
+    rq.found = !rq.inserted;
+    rq.old_value = rq.found ? old : 0;
+    ++*napplied;
   }
 
   // ---------------- border insert helpers ----------------
@@ -971,9 +1263,12 @@ class BasicTree {
     // Split point: the right sibling receives ents[m..W]. Prefer the middle,
     // but never separate keys sharing a slice (at most 10 keys share one, so
     // a boundary always exists); if the insert is a rightmost append with no
-    // next sibling, move only the new key (§4.3's sequential optimization).
+    // next sibling, move only the new key (§4.3's sequential optimization) —
+    // unless the new key shares its slice with the node's last entry: the
+    // sibling's lowkey is a slice, so a same-slice straddle would route gets
+    // for the kept entry to the new node and miss it.
     int m = -1;
-    if (pos == W && n->next() == nullptr) {
+    if (pos == W && n->next() == nullptr && ents[W - 1].slice != ents[W].slice) {
       m = W;
     } else {
       int mid = (W + 1) / 2;

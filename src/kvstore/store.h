@@ -87,6 +87,10 @@ class Store {
     // steady state.
     std::vector<Tree::GetRequest> mg_reqs_;
     std::vector<const Row*> mg_rows_;
+    // Reusable multiput scratch (same discipline, write side).
+    std::vector<Tree::PutRequest> mp_reqs_;
+    std::vector<uint64_t> mp_vers_;
+    std::vector<LogShard::BatchOp> mp_log_;
   };
 
   Store() : Store(Options()) {}
@@ -247,6 +251,89 @@ class Store {
     }
     maybe_maintain(s);
     return removed;
+  }
+
+  // Batched putc/removec — the write-side twin of multiget (§4.8). One
+  // EpochGuard spans the tree batch, versions are assigned under each
+  // border's lock (so per-key version order matches application order, §5),
+  // and everything the batch applies goes to the log through one grouped
+  // arena reservation (LogShard::append_batch) — the append path stays
+  // wait-free and allocation-free, exactly like put(). Duplicate keys follow
+  // Tree::multiput's last-write-wins contract: only the last op per key is
+  // applied and logged (exactly one record per surviving write), and each
+  // op's inserted/found results read as if the batch had run sequentially.
+  // Record-cache coherence needs no extra work here: hits validate against
+  // border versions, so in-place row swaps are picked up by slot re-reads
+  // and the remove/layer paths' vinsert bumps kill stale entries — the same
+  // invariants single puts rely on.
+  struct PutOp {
+    std::string_view key;
+    std::span<const ColumnUpdate> updates;  // ignored when remove == true
+    bool remove = false;
+    // Out: as-if-sequential results (see above).
+    bool inserted = false;
+    bool found = false;
+  };
+
+  size_t multiput(std::span<PutOp> ops, Session& s) {
+    if (ops.empty()) {
+      return 0;
+    }
+    EpochGuard guard(s.ti_.slot());  // spans the tree batch and the log append
+    std::vector<Tree::PutRequest>& reqs = s.mp_reqs_;
+    std::vector<uint64_t>& vers = s.mp_vers_;
+    reqs.resize(ops.size());
+    vers.assign(ops.size(), 0);
+    for (size_t i = 0; i < ops.size(); ++i) {
+      reqs[i] = Tree::PutRequest{ops[i].key};
+      reqs[i].remove = ops[i].remove;
+    }
+    size_t applied = tree_->multiput_with(
+        std::span<Tree::PutRequest>(reqs),
+        [&](size_t i, bool found, uint64_t old) -> uint64_t {
+          // Runs under the border lock, like put()'s transform: versions of
+          // one value stay strictly increasing in application order (§5).
+          uint64_t version = next_version();
+          vers[i] = version;
+          const Row* old_row = found ? Row::from_slot(old) : nullptr;
+          Row* row = Row::update(s.ti_, old_row, ops[i].updates, version);
+          if (old_row != nullptr) {
+            s.ti_.retire(const_cast<Row*>(old_row), Row::deallocate);
+          }
+          return Row::to_slot(row);
+        },
+        [&](size_t i, uint64_t old) {
+          vers[i] = next_version();
+          s.ti_.retire(Row::from_slot(old), Row::deallocate);
+        },
+        s.ti_);
+    for (size_t i = 0; i < ops.size(); ++i) {
+      ops[i].inserted = reqs[i].inserted;
+      ops[i].found = reqs[i].found;
+    }
+    if (!log_writers_.empty()) {
+      // vers[i] != 0 <=> op i survived dedupe and was applied. A remove of
+      // an absent key assigns no version and logs nothing, like remove().
+      std::vector<LogShard::BatchOp>& lops = s.mp_log_;
+      lops.clear();
+      // Distinguishes an empty-column put from a remove (null updates):
+      // an empty span's data() may be null.
+      static constexpr ColumnUpdate kNoCols[1] = {{0u, {}}};
+      for (size_t i = 0; i < ops.size(); ++i) {
+        if (vers[i] == 0) {
+          continue;
+        }
+        const PutOp& o = ops[i];
+        const ColumnUpdate* up =
+            o.remove ? nullptr : (o.updates.empty() ? kNoCols : o.updates.data());
+        lops.push_back(LogShard::BatchOp{o.key, up, o.remove ? 0 : o.updates.size(), vers[i]});
+      }
+      if (!lops.empty()) {
+        ensure_log(s)->append_batch(std::span<const LogShard::BatchOp>(lops));
+      }
+    }
+    maybe_maintain(s);
+    return applied;
   }
 
   // getrangec(k, n): up to n pairs starting at or after `key`, one selected

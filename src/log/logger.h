@@ -55,6 +55,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -133,7 +134,7 @@ class LogShard {
   // and the fast path stays allocation-free (Counter::kLogAllocs == 0 in
   // steady state, compression included). Incompressible data bails out to
   // raw storage: compress() is given a budget of raw_len - 1 bytes.
-  void append_put(std::string_view key, const std::vector<ColumnUpdate>& updates,
+  void append_put(std::string_view key, std::span<const ColumnUpdate> updates,
                   uint64_t version) {
     logwire::ColPlan stack_plans[kMaxPlanCols];
     char scratch[kCompressScratchBytes];
@@ -179,6 +180,13 @@ class LogShard {
     append_put_planned(key, plans, ncols, version, any_compressed, saved);
   }
 
+  // Braced-list convenience: append_put(key, {{0, "v"}}, ver).
+  void append_put(std::string_view key, std::initializer_list<ColumnUpdate> updates,
+                  uint64_t version) {
+    append_put(key, std::span<const ColumnUpdate>(updates.begin(), updates.size()),
+               version);
+  }
+
   void append_remove(std::string_view key, uint64_t version) {
     begin_append();
     uint64_t ts = wall_us();
@@ -212,6 +220,186 @@ class LogShard {
       note_data_record(ts, need, need, false);
       publish(need);
       return;
+    }
+  }
+
+  // One grouped arena reservation for a whole batch of puts/removes — §4.8's
+  // write pipeline meeting §5's wait-free append. Records are planned
+  // (compressed) in chunks sized by exact logrecord.h cost, then written
+  // with a single begin_append()/wall_us()/reserve()/publish() per chunk, so
+  // a batch of B records pays one seqlock announcement, one clock read and
+  // one release store instead of B of each — while the path stays
+  // allocation-free (Counter::kLogAllocs == 0, same discipline as
+  // append_put). All records of a chunk share one timestamp: the first
+  // carries it absolute or delta-chained like any record, the followers are
+  // delta-0 against it, so per-file timestamp monotonicity (the §5 recovery
+  // cutoff invariant) is untouched. Record order is preserved; records that
+  // do not fit the grouped fast path (jumbo, > kMaxPlanCols columns) take
+  // the single-record path alone, in order. A null `updates` marks a remove.
+  struct BatchOp {
+    std::string_view key;
+    const ColumnUpdate* updates = nullptr;  // null => remove record
+    size_t ncols = 0;
+    uint64_t version = 0;
+  };
+
+  void append_batch(std::span<const BatchOp> ops) {
+    logwire::ColPlan plans[kBatchPlanCols];
+    char scratch[kCompressScratchBytes];
+    struct RecMeta {
+      size_t plan_off;
+      size_t ncols;
+      size_t size_rest;  // record size as a follower (1-byte delta-0 ts)
+      size_t saved;
+      bool compressed;
+    };
+    RecMeta recs[kBatchChunkRecords];
+    size_t i = 0;
+    while (i < ops.size()) {
+      // ---- plan one chunk [i, i+nrec): pack greedily while plan slots,
+      // compression scratch, and a worst-case (absolute-ts first record)
+      // arena half all have room.
+      size_t nrec = 0;
+      size_t plan_used = 0;
+      size_t scratch_used = 0;
+      size_t first_abs = 0;   // first record sized with a worst-case abs ts
+      size_t total_rest = 0;  // follower sizes
+      while (i + nrec < ops.size() && nrec < kBatchChunkRecords) {
+        const BatchOp& op = ops[i + nrec];
+        size_t ncols = op.updates != nullptr ? op.ncols : 0;
+        if (MT_UNLIKELY(op.updates != nullptr && ncols > kMaxPlanCols)) {
+          break;  // heap-plan record: flush the chunk, handle it alone below
+        }
+        if (plan_used + ncols > kBatchPlanCols) {
+          break;
+        }
+        RecMeta& rm = recs[nrec];
+        rm.plan_off = plan_used;
+        rm.ncols = ncols;
+        rm.saved = 0;
+        rm.compressed = false;
+        size_t scratch_before = scratch_used;
+        for (size_t c = 0; c < ncols; ++c) {
+          const ColumnUpdate& u = op.updates[c];
+          logwire::ColPlan& pl = plans[plan_used + c];
+          pl.col = u.col;
+          pl.data = u.data.data();
+          pl.raw_len = static_cast<uint32_t>(u.data.size());
+          pl.stored_len = pl.raw_len;
+          pl.compressed = false;
+          if (compress_threshold_ != 0 && u.data.size() >= compress_threshold_ &&
+              u.data.size() <= logwire::kMaxColumnRaw) {
+            size_t cap = u.data.size() - 1;
+            size_t room = sizeof(scratch) - scratch_used;
+            if (cap > room) cap = room;
+            size_t z = cap == 0 ? 0
+                                : lz::compress(u.data.data(), u.data.size(),
+                                               scratch + scratch_used, cap);
+            if (z != 0) {
+              pl.data = scratch + scratch_used;
+              pl.stored_len = static_cast<uint32_t>(z);
+              pl.compressed = true;
+              scratch_used += z;
+              rm.saved += u.data.size() - z;
+              rm.compressed = true;
+            }
+          }
+        }
+        size_t sz_rest =
+            op.updates != nullptr
+                ? logwire::put_record_size_v2(op.key, plans + rm.plan_off,
+                                              ncols, op.version, uint64_t{0})
+                : logwire::remove_record_size_v2(op.key, op.version,
+                                                 uint64_t{0});
+        size_t sz_abs =
+            op.updates != nullptr
+                ? logwire::put_record_size_v2(op.key, plans + rm.plan_off,
+                                              ncols, op.version, ~uint64_t{0})
+                : logwire::remove_record_size_v2(op.key, op.version,
+                                                 ~uint64_t{0});
+        size_t worst = nrec == 0 ? sz_abs : first_abs + total_rest + sz_rest;
+        if (MT_UNLIKELY(worst > bufs_[0].cap && nrec > 0)) {
+          scratch_used = scratch_before;  // record re-plans in the next chunk
+          break;
+        }
+        if (MT_UNLIKELY(nrec == 0 && sz_abs > bufs_[0].cap)) {
+          break;  // lone jumbo record: single-record path below
+        }
+        if (nrec == 0) {
+          first_abs = sz_abs;
+        } else {
+          total_rest += sz_rest;
+        }
+        rm.size_rest = sz_rest;
+        plan_used += ncols;
+        ++nrec;
+      }
+      if (nrec == 0) {
+        // Jumbo or heap-plan record: the single-record path already handles
+        // both slow cases (in order, one record).
+        const BatchOp& op = ops[i];
+        if (op.updates != nullptr) {
+          append_put(op.key,
+                     std::span<const ColumnUpdate>(op.updates, op.ncols),
+                     op.version);
+        } else {
+          append_remove(op.key, op.version);
+        }
+        ++i;
+        continue;
+      }
+      // ---- emit the chunk: one announcement, one timestamp, one
+      // reservation, one publish.
+      begin_append();
+      uint64_t ts = wall_us();
+      if (MT_UNLIKELY(rebase_needed_.exchange(false, std::memory_order_relaxed))) {
+        prev_ts_valid_ = false;
+      }
+      for (;;) {
+        bool delta = prev_ts_valid_;
+        uint64_t ts0 =
+            delta ? vint::zigzag(static_cast<int64_t>(ts - prev_ts_us_)) : ts;
+        const BatchOp& f = ops[i];
+        size_t first_sz =
+            f.updates != nullptr
+                ? logwire::put_record_size_v2(f.key, plans + recs[0].plan_off,
+                                              recs[0].ncols, f.version, ts0)
+                : logwire::remove_record_size_v2(f.key, f.version, ts0);
+        size_t total = first_sz + total_rest;
+        char* dst = reserve(total);
+        if (MT_UNLIKELY(dst == nullptr)) {
+          return;  // writer shut down underneath us: batch tail dropped
+        }
+        if (MT_UNLIKELY(delta && bufs_[cur_].wpos == 0)) {
+          // Reserve flipped to a fresh half: its first record anchors the
+          // delta chain, so re-size the chunk head as absolute and retry.
+          prev_ts_valid_ = false;
+          continue;
+        }
+        size_t off = 0;
+        for (size_t r = 0; r < nrec; ++r) {
+          const BatchOp& op = ops[i + r];
+          bool d = r == 0 ? delta : true;
+          uint64_t tf = r == 0 ? ts0 : 0;
+          size_t sz = r == 0 ? first_sz : recs[r].size_rest;
+          if (op.updates != nullptr) {
+            logwire::encode_put_v2_to(dst + off, op.key,
+                                      plans + recs[r].plan_off, recs[r].ncols,
+                                      op.version, tf, d);
+            note_data_record(ts, sz, sz + recs[r].saved, recs[r].compressed);
+          } else {
+            logwire::encode_remove_v2_to(dst + off, op.key, op.version, tf, d);
+            note_data_record(ts, sz, sz, false);
+          }
+          off += sz;
+        }
+        publish(total);  // counts one kLogAppends...
+        if (counters_ != nullptr && nrec > 1) {
+          counters_->inc(Counter::kLogAppends, nrec - 1);  // ...so top up
+        }
+        break;
+      }
+      i += nrec;
     }
   }
 
@@ -498,6 +686,10 @@ class LogShard {
   // and compressed output beyond the scratch budget stays raw.
   static constexpr size_t kMaxPlanCols = 16;
   static constexpr size_t kCompressScratchBytes = 40 << 10;
+  // Batch-append chunking: up to this many records share one grouped
+  // reservation, drawing column plans from one shared stack arena.
+  static constexpr size_t kBatchChunkRecords = 16;
+  static constexpr size_t kBatchPlanCols = 64;
 
   std::string path_;
   unsigned partition_;
@@ -1167,7 +1359,12 @@ class Logger {
   Logger(const Logger&) = delete;
   Logger& operator=(const Logger&) = delete;
 
-  void append_put(std::string_view key, const std::vector<ColumnUpdate>& updates,
+  void append_put(std::string_view key, std::span<const ColumnUpdate> updates,
+                  uint64_t version) {
+    shard_.append_put(key, updates, version);
+  }
+
+  void append_put(std::string_view key, std::initializer_list<ColumnUpdate> updates,
                   uint64_t version) {
     shard_.append_put(key, updates, version);
   }

@@ -26,9 +26,10 @@ namespace masstree {
 
 class Client {
  public:
-  // One entry of a multiget batch result.
+  // One entry of a multiget (or multiput) batch result.
   struct BatchGet {
-    bool found = false;
+    bool found = false;     // multiget: key present
+    bool inserted = false;  // multiput: this entry created the key
     std::vector<std::string> columns;
   };
 
@@ -110,6 +111,25 @@ class Client {
     }
     netwire::encode_multiget(&batch_, keys, cols);
     ops_.push_back(NetOp::kMultiGet);
+  }
+  // One op carrying a whole batch of puts: a single round-trip drives the
+  // server's software-pipelined multiput (§4.8, write side). Repeated keys
+  // within one batch apply last-write-wins; the per-entry inserted flags
+  // (Result::batch[i].inserted) still read as if the batch had run
+  // sequentially. Batches over kMaxMultigetBatch are rejected by the server
+  // with NetStatus::kRejected; batches that do not even fit the wire's u16
+  // count are refused here.
+  void multiput(const std::vector<netwire::MultiputEntry>& entries) {
+    if (entries.size() > 0xFFFF) {
+      throw std::length_error("Client: multiput batch exceeds the wire's u16 count");
+    }
+    for (const auto& e : entries) {
+      if (e.cols.size() > 0xFFFF) {
+        throw std::length_error("Client: multiput entry exceeds the wire's u16 ncols");
+      }
+    }
+    netwire::encode_multiput(&batch_, entries);
+    ops_.push_back(NetOp::kMultiPut);
   }
 
   size_t pending() const { return ops_.size(); }
@@ -233,6 +253,22 @@ class Client {
                 }
                 res.batch[i].columns.emplace_back(data);
               }
+            }
+          }
+          break;
+        case NetOp::kMultiPut:
+          if (res.status == NetStatus::kOk) {
+            uint16_t count;
+            if (!r.read(&count)) {
+              throw std::runtime_error("Client: bad multiput response");
+            }
+            res.batch.resize(count);
+            for (uint16_t i = 0; i < count; ++i) {
+              uint8_t inserted;
+              if (!r.read(&inserted)) {
+                throw std::runtime_error("Client: bad multiput response");
+              }
+              res.batch[i].inserted = inserted != 0;
             }
           }
           break;

@@ -21,6 +21,14 @@
 //                — one op carrying a whole batch of gets (§4.8); the column
 //                selection applies to every key. Batches larger than
 //                kMaxMultigetBatch are rejected.
+//     kMultiPut: u16 count | count x (u32 klen key | u16 ncols
+//                (u16 col u32 len bytes)*)
+//                — one op carrying a whole batch of puts, the write-side
+//                twin of kMultiGet: the server drives it through the
+//                store's pipelined multiput. Within one op, repeated keys
+//                apply last-write-wins (results still read as if applied
+//                sequentially). Batches larger than kMaxMultigetBatch are
+//                rejected.
 // Response body: one result per op.
 //   u8 status (0 = ok, 1 = not found, 2 = rejected)
 //     kGet ok:      u16 ncols (u32 len bytes)*
@@ -31,6 +39,7 @@
 //     kPing:        -
 //     kMultiGet ok: u16 count | count x (u8 found | found: u16 ncols
 //                   (u32 len bytes)*); rejected: no payload
+//     kMultiPut ok: u16 count | count x (u8 inserted); rejected: no payload
 //
 // Pipelining contract: a client may send any number of request frames
 // back-to-back without waiting; the server answers every request frame with
@@ -66,6 +75,7 @@ enum class NetOp : uint8_t {
   kScan = 4,
   kPing = 5,
   kMultiGet = 6,
+  kMultiPut = 7,
 };
 
 enum class NetStatus : uint8_t {
@@ -74,8 +84,9 @@ enum class NetStatus : uint8_t {
   kRejected = 2,  // well-formed but refused (e.g. oversized multiget batch)
 };
 
-// Upper bound on keys per kMultiGet op. One multiget holds an epoch guard
-// across the whole batch server-side, so unbounded batches would stall
+// Upper bound on keys per kMultiGet op (and per kMultiPut op: one multiput
+// spans a whole batch under one epoch guard and one grouped log reservation
+// server-side, so the same bound applies). Unbounded batches would stall
 // memory reclamation; clients should split larger batches into several ops
 // in the same frame.
 inline constexpr size_t kMaxMultigetBatch = 1024;
@@ -184,6 +195,27 @@ inline void encode_multiget(std::string* out, const std::vector<std::string_view
   for (std::string_view k : keys) {
     put_raw<uint32_t>(out, static_cast<uint32_t>(k.size()));
     out->append(k);
+  }
+}
+
+// One kMultiPut entry: a key and its column writes.
+struct MultiputEntry {
+  std::string_view key;
+  std::vector<std::pair<uint16_t, std::string_view>> cols;
+};
+
+inline void encode_multiput(std::string* out, const std::vector<MultiputEntry>& entries) {
+  put_raw<uint8_t>(out, static_cast<uint8_t>(NetOp::kMultiPut));
+  put_raw<uint16_t>(out, static_cast<uint16_t>(entries.size()));
+  for (const MultiputEntry& e : entries) {
+    put_raw<uint32_t>(out, static_cast<uint32_t>(e.key.size()));
+    out->append(e.key);
+    put_raw<uint16_t>(out, static_cast<uint16_t>(e.cols.size()));
+    for (const auto& [c, data] : e.cols) {
+      put_raw<uint16_t>(out, c);
+      put_raw<uint32_t>(out, static_cast<uint32_t>(data.size()));
+      out->append(data);
+    }
   }
 }
 

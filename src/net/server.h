@@ -15,11 +15,14 @@
 //      rx buffer, no allocation per request in steady state,
 //   3. forms batches ACROSS connections: maximal runs of read ops (kGet,
 //      kMultiGet) from every connection are coalesced into single
-//      Tree::multiget drives (§4.8/PALM — the pipelined read path finally
-//      applies to independent network clients, not just in-process callers),
-//      while writes/scans interleave inline so each connection still sees its
-//      own ops execute in order (read-your-writes per connection holds:
-//      a connection's pending reads execute before its next write does),
+//      Tree::multiget drives, and maximal runs of write ops (kPut, kRemove,
+//      kMultiPut) are coalesced symmetrically into single Store::multiput
+//      drives (§4.8/PALM — both pipelined paths apply to independent network
+//      clients, not just in-process callers), while scans interleave inline.
+//      Each connection still sees its own ops execute in order: a connection
+//      contributes exactly one run per round, and within a round its reads
+//      execute before its next write would (read-your-writes per connection
+//      holds),
 //   4. encodes responses straight into per-connection tx rings and flushes
 //      with writev; a connection whose client stops reading gets EPOLLOUT
 //      re-arm and an rx pause above the tx high-water mark — never a blocked
@@ -71,6 +74,31 @@ concept HasMultigetRows =
              typename S::Session& sess) {
       { s.multiget_rows(keys, rows, sess) } -> std::convertible_to<size_t>;
     };
+
+// Backends with the batched-write seam (Store::multiput over Store::PutOp)
+// get symmetric cross-connection write coalescing; others execute writes
+// inline, one store call per op, exactly as before.
+template <typename S>
+concept HasMultiput =
+    requires(S& s, std::span<typename S::PutOp> ops, typename S::Session& sess) {
+      { s.multiput(ops, sess) } -> std::convertible_to<size_t>;
+    };
+
+namespace netdetail {
+// The write-batch pools hold StoreT::PutOp elements, a type that only exists
+// for multiput-capable backends; this indirection keeps BasicServer
+// instantiable for the others (the pools degenerate to an empty-struct
+// vector that is never touched).
+template <typename S, bool = HasMultiput<S>>
+struct PutOpPool {
+  using type = std::vector<typename S::PutOp>;
+};
+template <typename S>
+struct PutOpPool<S, false> {
+  struct None {};
+  using type = std::vector<None>;
+};
+}  // namespace netdetail
 
 // The server is a template so alternative backends (§6.3 benches a binary
 // tree behind the same network stack) can reuse it; any type with Store's
@@ -167,6 +195,13 @@ class BasicServer {
   uint64_t batches_formed() const {
     return batches_formed_.load(std::memory_order_relaxed);
   }
+  // Write-side twins: puts/removes that reached Store::multiput through a
+  // formed batch coalescing >= 2 request ops, and the number of such
+  // batches. (Workers also count Counter::kNetBatchedPuts.)
+  uint64_t batched_puts() const { return batched_puts_.load(std::memory_order_relaxed); }
+  uint64_t wbatches_formed() const {
+    return wbatches_formed_.load(std::memory_order_relaxed);
+  }
 
   // ---- partition-affinity routing ------------------------------------
   // The ownership function. Same hash as the record cache's buckets
@@ -185,6 +220,10 @@ class BasicServer {
   // Batched-read keys shipped to their owning worker's session.
   uint64_t steered_gets() const {
     return steered_gets_.load(std::memory_order_relaxed);
+  }
+  // Batched-write ops shipped to their owning worker's session.
+  uint64_t steered_puts() const {
+    return steered_puts_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -215,7 +254,8 @@ class BasicServer {
     std::string_view key;
     uint32_t scan_limit = 0;
     uint16_t scan_col = 0;
-    uint32_t cols_off = 0, cols_cnt = 0;  // -> cols_pool
+    uint32_t cols_off = 0, cols_cnt = 0;  // -> cols_pool (kMultiPut: cols_off
+                                          //    -> wcnt_pool per-key counts)
     uint32_t upd_off = 0, upd_cnt = 0;    // -> upd_pool
     uint32_t keys_off = 0, keys_cnt = 0;  // -> keys_pool
   };
@@ -238,6 +278,16 @@ class BasicServer {
     uint32_t nkeys;
   };
 
+  // One batchable write op's slot in the formed write batch: `nops`
+  // StoreT::PutOps starting at store_ops[op_off] (kPut/kRemove contribute
+  // one, kMultiPut one per wire entry).
+  struct WBatchRef {
+    uint32_t work;    // -> works
+    uint32_t opi;     // -> ops
+    uint32_t op_off;  // first op in store_ops
+    uint32_t nops;
+  };
+
   // One steered slice of a formed batch: the owning worker runs `keys`
   // through its own session, writes `rows`, then bumps *done (release; the
   // spinning origin's acquire load makes the row writes visible).
@@ -245,6 +295,16 @@ class BasicServer {
     const std::string_view* keys;
     size_t nkeys;
     const Row** rows;
+    std::atomic<uint32_t>* done;
+  };
+
+  // Write-side steering twin: the owner runs `ops` (a StoreT::PutOp array,
+  // type-erased so non-multiput backends still instantiate) through its own
+  // session's Store::multiput, filling each op's inserted/found results,
+  // then bumps *done.
+  struct RemoteWriteJob {
+    void* ops;
+    size_t nops;
     std::atomic<uint32_t>* done;
   };
 
@@ -577,6 +637,7 @@ class BasicServer {
       size_t cols_start = cols_pool.size();
       size_t upd_start = upd_pool.size();
       size_t keys_start = keys_pool.size();
+      size_t wcnt_start = wcnt_pool.size();
       netwire::Reader r(body);
       if (r.done()) {
         ParsedOp p;
@@ -591,6 +652,7 @@ class BasicServer {
           cols_pool.resize(cols_start);
           upd_pool.resize(upd_start);
           keys_pool.resize(keys_start);
+          wcnt_pool.resize(wcnt_start);
           return false;
         }
       }
@@ -691,6 +753,43 @@ class BasicServer {
           p.rejected = count > kMaxMultigetBatch;
           break;
         }
+        case NetOp::kMultiPut: {
+          // A whole batch of puts in one op. Keys land in keys_pool, their
+          // column updates back to back in upd_pool, and each key's update
+          // count in wcnt_pool — per-key slices are reconstructed by walking
+          // the counts. Over-cap batches parse fully (the rest of the frame
+          // stays decodable) and are refused with kRejected.
+          uint16_t count;
+          if (!r.read(&count)) {
+            return false;
+          }
+          p.keys_off = static_cast<uint32_t>(keys_pool.size());
+          p.keys_cnt = count;
+          p.upd_off = static_cast<uint32_t>(upd_pool.size());
+          p.cols_off = static_cast<uint32_t>(wcnt_pool.size());
+          for (uint16_t i = 0; i < count; ++i) {
+            uint32_t klen;
+            std::string_view key;
+            uint16_t ncols;
+            if (!r.read(&klen) || !r.read_bytes(klen, &key) || !r.read(&ncols)) {
+              return false;
+            }
+            keys_pool.push_back(key);
+            wcnt_pool.push_back(ncols);
+            for (uint16_t c = 0; c < ncols; ++c) {
+              uint16_t col;
+              uint32_t len;
+              std::string_view data;
+              if (!r.read(&col) || !r.read(&len) || !r.read_bytes(len, &data)) {
+                return false;
+              }
+              upd_pool.push_back(ColumnUpdate{col, data});
+            }
+          }
+          p.upd_cnt = static_cast<uint32_t>(upd_pool.size()) - p.upd_off;
+          p.rejected = count > kMaxMultigetBatch;
+          break;
+        }
         default:
           return false;  // unknown opcode: protocol error
       }
@@ -713,6 +812,7 @@ class BasicServer {
       cols_pool.clear();
       upd_pool.clear();
       keys_pool.clear();
+      wcnt_pool.clear();
       works.clear();
       for (Conn* c : plist) {
         c->queued = false;
@@ -727,6 +827,7 @@ class BasicServer {
         size_t cols_mark = cols_pool.size();
         size_t upd_mark = upd_pool.size();
         size_t keys_mark = keys_pool.size();
+        size_t wcnt_mark = wcnt_pool.size();
         c->parsed = parse_frames(c);
         if (server.opt_.affinity_routing && !c->routed && !c->proto_error &&
             !c->eof && server.workers_.size() > 1 && ops.size() > begin) {
@@ -742,6 +843,7 @@ class BasicServer {
               cols_pool.resize(cols_mark);
               upd_pool.resize(upd_mark);
               keys_pool.resize(keys_mark);
+              wcnt_pool.resize(wcnt_mark);
               c->parsed = 0;
               migrate(c, owner);
               continue;
@@ -792,7 +894,7 @@ class BasicServer {
           continue;
         }
         std::string_view key = p.key;
-        if (p.op == NetOp::kMultiGet) {
+        if (p.op == NetOp::kMultiGet || p.op == NetOp::kMultiPut) {
           if (p.keys_cnt == 0) {
             continue;
           }
@@ -823,10 +925,13 @@ class BasicServer {
              netframe::FrameStatus::kFrame;
     }
 
-    // Alternating rounds: every connection contributes either its maximal
-    // run of batchable reads to the shared formed batch, or executes its
-    // writes/scans inline — so per connection ops run strictly in order,
-    // while reads from MANY connections coalesce into one multiget.
+    // Alternating rounds: every connection contributes its maximal run of
+    // batchable reads to the shared read batch, its maximal run of batchable
+    // writes to the shared write batch, or executes its scans/pings inline —
+    // so per connection ops run strictly in order (one run per connection
+    // per round, reads executing before writes within the round), while
+    // reads from MANY connections coalesce into one multiget and writes
+    // into one multiput.
     void execute_rounds() {
       uint64_t executed = 0;
       bool more = true;
@@ -834,6 +939,8 @@ class BasicServer {
         more = false;
         batch_keys.clear();
         batch_refs.clear();
+        wbatch_refs.clear();
+        store_ops.clear();
         for (uint32_t w = 0; w < works.size(); ++w) {
           ConnWork& cw = works[w];
           if (cw.next >= cw.end || cw.c->dead) {
@@ -856,8 +963,34 @@ class BasicServer {
               batch_refs.push_back(ref);
               ++cw.next;
             }
+          } else if (wbatchable(ops[cw.next])) {
+            if constexpr (HasMultiput<StoreT>) {
+              while (cw.next < cw.end && wbatchable(ops[cw.next])) {
+                ParsedOp& p = ops[cw.next];
+                WBatchRef ref{w, cw.next, static_cast<uint32_t>(store_ops.size()), 0};
+                if (p.op == NetOp::kPut) {
+                  ref.nops = 1;
+                  push_store_op(p.key, p.upd_off, p.upd_cnt, /*remove=*/false);
+                } else if (p.op == NetOp::kRemove) {
+                  ref.nops = 1;
+                  push_store_op(p.key, 0, 0, /*remove=*/true);
+                } else {  // kMultiPut: one store op per wire entry
+                  ref.nops = p.keys_cnt;
+                  uint32_t uo = p.upd_off;
+                  for (uint32_t i = 0; i < p.keys_cnt; ++i) {
+                    uint32_t cnt = wcnt_pool[p.cols_off + i];
+                    push_store_op(keys_pool[p.keys_off + i], uo, cnt,
+                                  /*remove=*/false);
+                    uo += cnt;
+                  }
+                }
+                wbatch_refs.push_back(ref);
+                ++cw.next;
+              }
+            }
           } else {
-            while (cw.next < cw.end && !batchable(ops[cw.next])) {
+            while (cw.next < cw.end && !batchable(ops[cw.next]) &&
+                   !wbatchable(ops[cw.next])) {
               execute_inline(cw, ops[cw.next]);
               ++cw.next;
               ++executed;
@@ -868,6 +1001,10 @@ class BasicServer {
           execute_batch();
           executed += batch_refs.size();
         }
+        if (!wbatch_refs.empty()) {
+          execute_wbatch();
+          executed += wbatch_refs.size();
+        }
       }
       if (executed > 0) {
         server.ops_served_.fetch_add(executed, std::memory_order_relaxed);
@@ -877,6 +1014,29 @@ class BasicServer {
     static bool batchable(const ParsedOp& p) {
       return !p.empty_frame && !p.rejected &&
              (p.op == NetOp::kGet || p.op == NetOp::kMultiGet);
+    }
+
+    static bool wbatchable(const ParsedOp& p) {
+      if constexpr (!HasMultiput<StoreT>) {
+        return false;  // writes stay inline for backends without the seam
+      }
+      return !p.empty_frame && !p.rejected &&
+             (p.op == NetOp::kPut || p.op == NetOp::kRemove ||
+              p.op == NetOp::kMultiPut);
+    }
+
+    // Appends one StoreT::PutOp to the forming write batch. The updates span
+    // points into upd_pool, which is append-only until the round executes.
+    void push_store_op(std::string_view key, uint32_t upd_off, uint32_t upd_cnt,
+                       bool remove) {
+      if constexpr (HasMultiput<StoreT>) {
+        typename StoreT::PutOp op;
+        op.key = key;
+        op.updates =
+            std::span<const ColumnUpdate>(upd_pool.data() + upd_off, upd_cnt);
+        op.remove = remove;
+        store_ops.push_back(op);
+      }
     }
 
     // Executes the formed batch through the engine's pipelined read path in
@@ -1026,16 +1186,159 @@ class BasicServer {
       }
     }
 
+    // ---- the write batch -------------------------------------------------
+    // Executes the formed write batch through the store's pipelined write
+    // path in chunks of at most kMaxMultigetBatch ops. Store::multiput takes
+    // its own epoch guard and performs its own grouped log append; response
+    // flags are read back from the PutOps afterwards.
+    void execute_wbatch() {
+      if constexpr (HasMultiput<StoreT>) {
+        if (wbatch_refs.size() >= 2) {
+          session.ti().counters().inc(Counter::kNetBatchedPuts, store_ops.size());
+          server.batched_puts_.fetch_add(store_ops.size(), std::memory_order_relaxed);
+          server.wbatches_formed_.fetch_add(1, std::memory_order_relaxed);
+        }
+        size_t ref_begin = 0;
+        while (ref_begin < wbatch_refs.size()) {
+          size_t ref_end = ref_begin;
+          size_t nops = 0;
+          while (ref_end < wbatch_refs.size() &&
+                 nops + wbatch_refs[ref_end].nops <= kMaxMultigetBatch) {
+            nops += wbatch_refs[ref_end].nops;
+            ++ref_end;
+          }
+          if (ref_end == ref_begin) {
+            ++ref_end;  // single over-cap ref cannot happen (kMultiPut is capped)
+          }
+          execute_wchunk(ref_begin, ref_end);
+          ref_begin = ref_end;
+        }
+      }
+    }
+
+    void execute_wchunk(size_t ref_begin, size_t ref_end) {
+      if constexpr (HasMultiput<StoreT>) {
+        size_t op_off = wbatch_refs[ref_begin].op_off;
+        size_t nops = wbatch_refs[ref_end - 1].op_off +
+                      wbatch_refs[ref_end - 1].nops - op_off;
+        if (server.opt_.affinity_routing && server.workers_.size() > 1) {
+          steer_wchunk(op_off, nops);
+        } else {
+          server.store_.multiput(
+              std::span<typename StoreT::PutOp>(store_ops).subspan(op_off, nops),
+              session);
+          keyed.fetch_add(nops, std::memory_order_relaxed);
+        }
+        for (size_t r = ref_begin; r < ref_end; ++r) {
+          encode_wbatch_ref(wbatch_refs[r]);
+        }
+      }
+    }
+
+    // Write-side affinity steering: partition the chunk's ops by owning
+    // worker (same route_worker hash as reads, so a key's writes land on the
+    // core that owns its cache traffic). Remote slices ship as
+    // RemoteWriteJobs; each owner applies its slice through its own session
+    // — separate Store::multiput calls, separate log shards, per-key version
+    // order still correct because one key always hashes to one owner. The
+    // origin spins draining its own mailbox (two workers steering into each
+    // other would otherwise deadlock) and steals unstarted jobs back once
+    // the server is stopping.
+    void steer_wchunk(size_t op_off, size_t nops) {
+      if constexpr (HasMultiput<StoreT>) {
+        unsigned nw = static_cast<unsigned>(server.workers_.size());
+        if (steer_wops.size() < nw) {
+          steer_wops.resize(nw);
+          steer_wmap.resize(nw);
+        }
+        for (unsigned o = 0; o < nw; ++o) {
+          steer_wops[o].clear();
+          steer_wmap[o].clear();
+        }
+        for (size_t i = 0; i < nops; ++i) {
+          const typename StoreT::PutOp& op = store_ops[op_off + i];
+          unsigned o = route_worker(op.key, nw);
+          steer_wops[o].push_back(op);
+          steer_wmap[o].push_back(static_cast<uint32_t>(i));
+        }
+        std::atomic<uint32_t> done{0};
+        uint32_t njobs = 0;
+        for (unsigned o = 0; o < nw; ++o) {
+          if (o == id || steer_wops[o].empty()) {
+            continue;
+          }
+          Worker& w = *server.workers_[o];
+          {
+            std::lock_guard<std::mutex> lock(w.jobs_mu);
+            w.wjobs.push_back(RemoteWriteJob{steer_wops[o].data(),
+                                             steer_wops[o].size(), &done});
+          }
+          w.wake();
+          ++njobs;
+          server.steered_puts_.fetch_add(steer_wops[o].size(),
+                                         std::memory_order_relaxed);
+        }
+        if (!steer_wops[id].empty()) {
+          server.store_.multiput(std::span<typename StoreT::PutOp>(steer_wops[id]),
+                                 session);
+          keyed.fetch_add(steer_wops[id].size(), std::memory_order_relaxed);
+        }
+        while (done.load(std::memory_order_acquire) < njobs) {
+          if (drain_jobs() == 0) {
+            if (server.stopping_.load(std::memory_order_acquire)) {
+              steal_back_writes(&done);
+            }
+            std::this_thread::yield();
+          }
+        }
+        for (unsigned o = 0; o < nw; ++o) {
+          for (size_t j = 0; j < steer_wmap[o].size(); ++j) {
+            typename StoreT::PutOp& dst = store_ops[op_off + steer_wmap[o][j]];
+            dst.inserted = steer_wops[o][j].inserted;
+            dst.found = steer_wops[o][j].found;
+          }
+        }
+      }
+    }
+
+    // Encodes one batched write op's response, byte-identical to the inline
+    // encodings (kPut: status + inserted; kRemove: status; kMultiPut: status
+    // + count-prefixed inserted flags).
+    void encode_wbatch_ref(const WBatchRef& ref) {
+      if constexpr (HasMultiput<StoreT>) {
+        ConnWork& cw = works[ref.work];
+        if (cw.c->dead) {
+          return;
+        }
+        const ParsedOp& p = ops[ref.opi];
+        netframe::TxRing& tx = cw.c->tx;
+        open_frame(cw);
+        if (p.op == NetOp::kPut) {
+          tx.template put<uint8_t>(0);
+          tx.template put<uint8_t>(store_ops[ref.op_off].inserted ? 1 : 0);
+        } else if (p.op == NetOp::kRemove) {
+          tx.template put<uint8_t>(store_ops[ref.op_off].found
+                                       ? 0
+                                       : static_cast<uint8_t>(NetStatus::kNotFound));
+        } else {  // kMultiPut
+          tx.template put<uint8_t>(0);
+          tx.template put<uint16_t>(static_cast<uint16_t>(ref.nops));
+          for (uint32_t i = 0; i < ref.nops; ++i) {
+            tx.template put<uint8_t>(store_ops[ref.op_off + i].inserted ? 1 : 0);
+          }
+        }
+        maybe_close_frame(cw, p);
+      }
+    }
+
     // Runs every job in this worker's mailbox on this worker's own session.
-    // Called from the wake path, from steer_chunk's wait loop, and once
-    // after the event loop exits.
+    // Called from the wake path, from the steer wait loops, and once after
+    // the event loop exits.
     size_t drain_jobs() {
+      size_t n = 0;
       if constexpr (HasMultigetRows<StoreT>) {
         {
           std::lock_guard<std::mutex> lock(jobs_mu);
-          if (jobs.empty()) {
-            return 0;
-          }
           jobs_scratch.swap(jobs);
         }
         for (const RemoteGetJob& j : jobs_scratch) {
@@ -1045,12 +1348,26 @@ class BasicServer {
           keyed.fetch_add(j.nkeys, std::memory_order_relaxed);
           j.done->fetch_add(1, std::memory_order_release);
         }
-        size_t n = jobs_scratch.size();
+        n += jobs_scratch.size();
         jobs_scratch.clear();
-        return n;
-      } else {
-        return 0;
       }
+      if constexpr (HasMultiput<StoreT>) {
+        {
+          std::lock_guard<std::mutex> lock(jobs_mu);
+          wjobs_scratch.swap(wjobs);
+        }
+        for (const RemoteWriteJob& j : wjobs_scratch) {
+          server.store_.multiput(
+              std::span<typename StoreT::PutOp>(
+                  static_cast<typename StoreT::PutOp*>(j.ops), j.nops),
+              session);
+          keyed.fetch_add(j.nops, std::memory_order_relaxed);
+          j.done->fetch_add(1, std::memory_order_release);
+        }
+        n += wjobs_scratch.size();
+        wjobs_scratch.clear();
+      }
+      return n;
     }
 
     // Shutdown path: reclaim OUR shipped jobs (matched by done pointer) from
@@ -1075,6 +1392,35 @@ class BasicServer {
             server.store_.multiget_rows(
                 std::span<const std::string_view>(j.keys, j.nkeys), j.rows, session);
             keyed.fetch_add(j.nkeys, std::memory_order_relaxed);
+            j.done->fetch_add(1, std::memory_order_release);
+          }
+        }
+      }
+    }
+
+    // Shutdown path, write side: reclaim OUR shipped write jobs from
+    // mailboxes nobody may drain again, and run them locally.
+    void steal_back_writes(std::atomic<uint32_t>* done) {
+      if constexpr (HasMultiput<StoreT>) {
+        for (auto& wp : server.workers_) {
+          Worker& w = *wp;
+          if (&w == this) {
+            continue;
+          }
+          std::lock_guard<std::mutex> lock(w.jobs_mu);
+          for (size_t i = 0; i < w.wjobs.size();) {
+            if (w.wjobs[i].done != done) {
+              ++i;
+              continue;
+            }
+            RemoteWriteJob j = w.wjobs[i];
+            w.wjobs[i] = w.wjobs.back();
+            w.wjobs.pop_back();
+            server.store_.multiput(
+                std::span<typename StoreT::PutOp>(
+                    static_cast<typename StoreT::PutOp*>(j.ops), j.nops),
+                session);
+            keyed.fetch_add(j.nops, std::memory_order_relaxed);
             j.done->fetch_add(1, std::memory_order_release);
           }
         }
@@ -1195,6 +1541,23 @@ class BasicServer {
         case NetOp::kPing:
           tx.template put<uint8_t>(0);
           break;
+        case NetOp::kMultiPut: {
+          // Only reached for backends without the batched-write seam
+          // (wbatchable() routes it to the write batch otherwise): plain
+          // sequential puts, wire behavior identical.
+          tx.template put<uint8_t>(0);
+          tx.template put<uint16_t>(static_cast<uint16_t>(p.keys_cnt));
+          uint32_t uo = p.upd_off;
+          for (uint32_t i = 0; i < p.keys_cnt; ++i) {
+            uint32_t cnt = wcnt_pool[p.cols_off + i];
+            upd_scratch.assign(upd_pool.begin() + uo, upd_pool.begin() + uo + cnt);
+            uo += cnt;
+            bool inserted =
+                server.store_.put(keys_pool[p.keys_off + i], upd_scratch, session);
+            tx.template put<uint8_t>(inserted ? 1 : 0);
+          }
+          break;
+        }
         default:
           break;  // unreachable: gets/multigets go through the batch
       }
@@ -1242,16 +1605,21 @@ class BasicServer {
     std::mutex mu;
     std::vector<PendingConn> pending;  // handed off by other workers
     std::vector<std::unique_ptr<Conn>> conns;
-    // Steered-multiget mailbox: other workers push under jobs_mu + wake();
-    // only this worker's thread (or a stopping_ steal-back) removes entries.
+    // Steered-multiget/multiput mailboxes: other workers push under jobs_mu
+    // + wake(); only this worker's thread (or a stopping_ steal-back)
+    // removes entries.
     std::mutex jobs_mu;
     std::vector<RemoteGetJob> jobs;
     std::vector<RemoteGetJob> jobs_scratch;
+    std::vector<RemoteWriteJob> wjobs;
+    std::vector<RemoteWriteJob> wjobs_scratch;
     // Per-owner steering scratch; job pointers point into these, which stay
     // stable until every job's done counter is bumped.
     std::vector<std::vector<std::string_view>> steer_keys;
     std::vector<std::vector<const Row*>> steer_rows;
     std::vector<std::vector<uint32_t>> steer_map;
+    std::vector<typename netdetail::PutOpPool<StoreT>::type> steer_wops;
+    std::vector<std::vector<uint32_t>> steer_wmap;
     // Reusable per-wakeup scratch: capacity persists, so the steady state
     // parses and batches without allocating.
     std::vector<PendingConn> adopted;
@@ -1264,6 +1632,9 @@ class BasicServer {
     std::vector<std::string_view> batch_keys;
     std::vector<BatchRef> batch_refs;
     std::vector<const Row*> batch_rows;
+    std::vector<uint32_t> wcnt_pool;  // kMultiPut per-key column counts
+    std::vector<WBatchRef> wbatch_refs;
+    typename netdetail::PutOpPool<StoreT>::type store_ops;
     std::vector<ColumnUpdate> upd_scratch;
     std::vector<unsigned> col_scratch;
     std::vector<std::string> cols_out;
@@ -1279,12 +1650,16 @@ class BasicServer {
   std::atomic<uint64_t> batched_gets_{0};
   std::atomic<uint64_t> batches_formed_{0};
   std::atomic<uint64_t> steered_gets_{0};
+  std::atomic<uint64_t> batched_puts_{0};
+  std::atomic<uint64_t> wbatches_formed_{0};
+  std::atomic<uint64_t> steered_puts_{0};
 };
 
-// If Store::multiget_rows ever drifts away from the concept, the server would
-// silently degrade network gets to sequential lookups — make that a compile
-// error for the canonical backend instead.
+// If Store::multiget_rows/multiput ever drift away from their concepts, the
+// server would silently degrade network gets/puts to sequential store calls —
+// make that a compile error for the canonical backend instead.
 static_assert(HasMultigetRows<Store>);
+static_assert(HasMultiput<Store>);
 
 using Server = BasicServer<Store>;
 

@@ -195,7 +195,8 @@ class RedisModel : public KVModel {
     if (s.aof) {
       // The instance mutex serializes appends, satisfying the Logger's
       // single-producer contract.
-      s.aof->append_put(key, {{col == ~0u ? 0u : col, data}}, 0);
+      const ColumnUpdate upd[] = {{col == ~0u ? 0u : col, data}};
+      s.aof->append_put(key, upd, 0);
     }
     return inserted;
   }

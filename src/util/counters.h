@@ -63,6 +63,13 @@ enum class Counter : unsigned {
                            //   cached slot's node (also counted as misses)
   kCacheEvictions,         // live entries displaced by CLOCK to admit a
                            //   hotter key (capacity pressure, not staleness)
+  kMultiputBatches,        // multiput batches executed (§4.8 write pipeline)
+  kMultiputRetries,        // multiput keys that fell back through the
+                           //   single-put path (suffix conflict, full-node
+                           //   split) or restarted after a dead layer
+  kNetBatchedPuts,         // puts/removes that reached Store::multiput via a
+                           //   server batch formed across >= 2 request ops
+                           //   (§6.1; the write-side cross-connection claim)
   kNumCounters,
 };
 

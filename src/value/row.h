@@ -20,6 +20,7 @@
 #include <cassert>
 #include <cstdint>
 #include <cstring>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -36,7 +37,7 @@ struct ColumnUpdate {
 class Row {
  public:
   // Build a row from scratch: columns not mentioned become empty.
-  static Row* make(ThreadContext& ti, const std::vector<ColumnUpdate>& updates,
+  static Row* make(ThreadContext& ti, std::span<const ColumnUpdate> updates,
                    uint64_t version) {
     unsigned ncols = 0;
     for (const auto& u : updates) {
@@ -49,7 +50,7 @@ class Row {
 
   // Copy-on-write update: returns a fresh row with `updates` applied over
   // `old` (which may be null). Never mutates `old` (§4.7).
-  static Row* update(ThreadContext& ti, const Row* old, const std::vector<ColumnUpdate>& updates,
+  static Row* update(ThreadContext& ti, const Row* old, std::span<const ColumnUpdate> updates,
                      uint64_t version) {
     unsigned ncols = old != nullptr ? old->ncols() : 0;
     for (const auto& u : updates) {
@@ -58,6 +59,20 @@ class Row {
       }
     }
     return build(ti, old, updates, ncols, version);
+  }
+
+  // Braced-list conveniences: Row::make(ti, {{0, "v"}}, ver).
+  static Row* make(ThreadContext& ti, std::initializer_list<ColumnUpdate> updates,
+                   uint64_t version) {
+    return make(ti, std::span<const ColumnUpdate>(updates.begin(), updates.size()),
+                version);
+  }
+
+  static Row* update(ThreadContext& ti, const Row* old,
+                     std::initializer_list<ColumnUpdate> updates, uint64_t version) {
+    return update(ti, old,
+                  std::span<const ColumnUpdate>(updates.begin(), updates.size()),
+                  version);
   }
 
   uint64_t version() const { return version_; }
@@ -83,7 +98,7 @@ class Row {
   static Row* from_slot(uint64_t v) { return reinterpret_cast<Row*>(v); }
 
  private:
-  static Row* build(ThreadContext& ti, const Row* old, const std::vector<ColumnUpdate>& updates,
+  static Row* build(ThreadContext& ti, const Row* old, std::span<const ColumnUpdate> updates,
                     unsigned ncols, uint64_t version) {
     // Resolve each column to its source (update wins over old row).
     size_t total = 0;

@@ -1,8 +1,9 @@
 // Event-loop server integration tests (§6.1): many pipelining clients
 // oracle-diffed against std::map shadows, connection churn under concurrent
 // writes, slow-reader backpressure isolation, cross-connection batch
-// formation (Counter::kNetBatchedGets), partition-affinity routing (hot keys
-// pinned to their hash-owner worker; multiget ops steered across workers
+// formation for reads AND writes (Counter::kNetBatchedGets /
+// kNetBatchedPuts), partition-affinity routing (hot keys pinned to their
+// hash-owner worker; multiget and multiput ops steered across workers
 // without reordering), and clean start/stop cycles against the acceptor
 // shutdown race.
 
@@ -307,6 +308,52 @@ TEST_F(NetLoopTest, BatchesFormAcrossConnections) {
 }
 
 // ---------------------------------------------------------------------------
+// Cross-connection WRITE batch formation (the write-side twin of the test
+// above): each connection sends exactly ONE single-put frame, so a write
+// batch (>= 2 coalesced ops, mirrored from Counter::kNetBatchedPuts) can only
+// form when puts from DIFFERENT connections land in the same worker wakeup.
+TEST_F(NetLoopTest, WriteBatchesFormAcrossConnections) {
+  StartServer(1);  // one worker so every connection shares one event loop
+
+  constexpr int kConns = 16, kAttempts = 200;
+  int attempt = 0;
+  for (; attempt < kAttempts && server_->batched_puts() == 0; ++attempt) {
+    std::vector<std::unique_ptr<Client>> conns;
+    for (int i = 0; i < kConns; ++i) {
+      conns.push_back(std::make_unique<Client>(server_->port()));
+    }
+    // Fire all the single-put frames as close together as possible, THEN
+    // collect — while we are still sending, the worker is already waking up
+    // with several readable connections.
+    for (int i = 0; i < kConns; ++i) {
+      conns[i]->put("wb" + std::to_string(i), {{0, "a" + std::to_string(attempt)}});
+      conns[i]->send();
+    }
+    for (int i = 0; i < kConns; ++i) {
+      auto res = conns[i]->receive();
+      ASSERT_EQ(res.size(), 1u);
+      ASSERT_EQ(res[0].status, NetStatus::kOk);
+    }
+  }
+  EXPECT_GT(server_->batched_puts(), 0u)
+      << "no cross-connection write batch reached Store::multiput in "
+      << kAttempts << " attempts";
+  EXPECT_GT(server_->wbatches_formed(), 0u);
+
+  // Coalescing must not have corrupted any write: read every key back.
+  Client c(server_->port());
+  for (int i = 0; i < kConns; ++i) {
+    c.get("wb" + std::to_string(i));
+  }
+  auto res = c.flush();
+  ASSERT_EQ(res.size(), static_cast<size_t>(kConns));
+  for (int i = 0; i < kConns; ++i) {
+    ASSERT_EQ(res[i].status, NetStatus::kOk) << i;
+    EXPECT_EQ(res[i].columns[0], "a" + std::to_string(attempt - 1)) << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Partition-affinity routing: with affinity on, every op on one hot key must
 // be executed by the worker owning hash(key) % nworkers — connections landing
 // on other workers are re-steered on their first keyed frame (before any op
@@ -414,6 +461,103 @@ TEST_F(NetLoopTest, AffinitySteersMultigetWithoutReordering) {
 
   EXPECT_GT(server_->steered_gets(), 0u)
       << "a 4-worker-spanning multiget must ship remote jobs";
+}
+
+// ---------------------------------------------------------------------------
+// Multiput steering: a kMultiPut whose keys hash to every worker is split and
+// shipped to the owner workers (steered_puts > 0), yet the per-entry inserted
+// flags come back in exactly the order sent, read-back sees every write, and
+// no write executes on a worker that does not own its key.
+TEST_F(NetLoopTest, AffinitySteersMultiputWithoutReordering) {
+  constexpr unsigned kWorkers = 4;
+  StartServer(kWorkers, 1 << 20, /*affinity=*/true);
+
+  // One key per worker, found by hashing candidates.
+  std::vector<std::string> per_worker(kWorkers);
+  unsigned found = 0;
+  for (int i = 0; found < kWorkers && i < 10000; ++i) {
+    std::string k = "wsteer" + std::to_string(i);
+    unsigned w = Server::route_worker(k, kWorkers);
+    if (per_worker[w].empty()) {
+      per_worker[w] = k;
+      ++found;
+    }
+  }
+  ASSERT_EQ(found, kWorkers);
+
+  Client c(server_->port());
+  std::vector<std::string> vals;
+  std::vector<netwire::MultiputEntry> entries;
+  for (int rep = 0; rep < 3; ++rep) {  // every worker appears 3x, interleaved
+    for (unsigned w = 0; w < kWorkers; ++w) {
+      vals.push_back("wv" + std::to_string(rep) + "-" + per_worker[w]);
+    }
+  }
+  size_t vi = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (unsigned w = 0; w < kWorkers; ++w) {
+      entries.push_back({per_worker[w], {{0, vals[vi++]}}});
+    }
+  }
+  c.multiput(entries);
+  auto res = c.flush();
+  ASSERT_EQ(res.size(), 1u);
+  ASSERT_EQ(res[0].status, NetStatus::kOk);
+  ASSERT_EQ(res[0].batch.size(), entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    // As-if-sequential order survives the steering: only each key's FIRST
+    // occurrence inserts; later duplicates report replacements.
+    EXPECT_EQ(res[0].batch[i].inserted, i < kWorkers) << i;
+  }
+  EXPECT_GT(server_->steered_puts(), 0u)
+      << "a 4-worker-spanning multiput must ship remote write jobs";
+
+  // Last write wins per key, across the steered partitions.
+  std::vector<std::string_view> keys(per_worker.begin(), per_worker.end());
+  c.multiget(keys);
+  res = c.flush();
+  ASSERT_EQ(res[0].batch.size(), kWorkers);
+  for (unsigned w = 0; w < kWorkers; ++w) {
+    ASSERT_TRUE(res[0].batch[w].found) << w;
+    EXPECT_EQ(res[0].batch[w].columns[0], "wv2-" + per_worker[w]) << w;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Affinity pins hot-key WRITES: single-key put/remove frames on one hot key
+// must only ever execute on the owner worker, even when they arrive through
+// the write-coalescing path.
+TEST_F(NetLoopTest, AffinityPinsHotKeyWritesToOwnerWorker) {
+  constexpr unsigned kWorkers = 4;
+  StartServer(kWorkers, 1 << 20, /*affinity=*/true);
+  const std::string hot = "hot-write-key";
+  unsigned owner = Server::route_worker(hot, kWorkers);
+
+  std::vector<std::thread> threads;
+  std::atomic<int> errors{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Client c(server_->port());
+      for (int i = 0; i < 40; ++i) {
+        c.put(hot, {{0, "w" + std::to_string(t)}});
+        auto res = c.flush();
+        if (res.size() != 1 || res[0].status != NetStatus::kOk) {
+          ++errors;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_GT(server_->keyed_ops(owner), 0u);
+  for (unsigned w = 0; w < kWorkers; ++w) {
+    if (w != owner) {
+      EXPECT_EQ(server_->keyed_ops(w), 0u)
+          << "worker " << w << " executed writes for a key owned by " << owner;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -338,6 +338,112 @@ TEST_F(NetTest, MultiGetOversizedBatchRejected) {
   EXPECT_THROW(c.multiget(huge), std::length_error);
 }
 
+TEST_F(NetTest, MultiPutRoundTrip) {
+  Client c(server_->port());
+  // Seed one key so the batch mixes inserts with an overwrite.
+  c.put("mp0", {{0, "old"}});
+  c.flush();
+
+  std::vector<std::string> keys(30), avals(30), bvals(30);
+  std::vector<netwire::MultiputEntry> entries(30);
+  for (int i = 0; i < 30; ++i) {
+    keys[i] = "mp" + std::to_string(i);
+    avals[i] = "a" + std::to_string(i);
+    bvals[i] = "b" + std::to_string(i);
+    entries[i] = {keys[i], {{0, avals[i]}, {1, bvals[i]}}};
+  }
+  c.multiput(entries);
+  auto res = c.flush();
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_EQ(res[0].status, NetStatus::kOk);
+  ASSERT_EQ(res[0].batch.size(), 30u);
+  EXPECT_FALSE(res[0].batch[0].inserted);  // overwrite of the seeded key
+  for (int i = 1; i < 30; ++i) {
+    EXPECT_TRUE(res[0].batch[i].inserted) << i;
+  }
+
+  // Read-your-writes through the batched path.
+  std::vector<std::string_view> views(keys.begin(), keys.end());
+  c.multiget(views);
+  res = c.flush();
+  ASSERT_EQ(res[0].batch.size(), 30u);
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(res[0].batch[i].found) << i;
+    ASSERT_EQ(res[0].batch[i].columns.size(), 2u) << i;
+    EXPECT_EQ(res[0].batch[i].columns[0], "a" + std::to_string(i));
+  }
+}
+
+TEST_F(NetTest, MultiPutDuplicateKeysLastWriteWins) {
+  Client c(server_->port());
+  std::vector<netwire::MultiputEntry> entries = {
+      {"dup", {{0, "first"}}},
+      {"dup", {{0, "last"}}},
+      {"solo", {{0, "s"}}},
+  };
+  c.multiput(entries);
+  auto res = c.flush();
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_EQ(res[0].status, NetStatus::kOk);
+  ASSERT_EQ(res[0].batch.size(), 3u);
+  // As-if-sequential flags: the first dup inserts, the second "replaces" it.
+  EXPECT_TRUE(res[0].batch[0].inserted);
+  EXPECT_FALSE(res[0].batch[1].inserted);
+  EXPECT_TRUE(res[0].batch[2].inserted);
+
+  c.get("dup");
+  res = c.flush();
+  ASSERT_EQ(res[0].status, NetStatus::kOk);
+  EXPECT_EQ(res[0].columns[0], "last");
+}
+
+TEST_F(NetTest, MultiPutEmptyBatch) {
+  Client c(server_->port());
+  c.multiput({});
+  auto res = c.flush();
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_EQ(res[0].status, NetStatus::kOk);
+  EXPECT_TRUE(res[0].batch.empty());
+}
+
+TEST_F(NetTest, MultiPutOversizedBatchRejected) {
+  Client c(server_->port());
+
+  // Over the cap: rejected in-band, the frame stays decodable, the
+  // connection lives, and none of the rejected batch's writes execute.
+  std::vector<netwire::MultiputEntry> over(kMaxMultigetBatch + 1,
+                                           {"mp-reject", {{0, "x"}}});
+  c.multiput(over);
+  c.ping();
+  auto res = c.flush();
+  ASSERT_EQ(res.size(), 2u);
+  EXPECT_EQ(res[0].status, NetStatus::kRejected);
+  EXPECT_TRUE(res[0].batch.empty());
+  EXPECT_EQ(res[1].status, NetStatus::kOk);
+  c.get("mp-reject");
+  res = c.flush();
+  EXPECT_EQ(res[0].status, NetStatus::kNotFound);
+
+  // Exactly at the cap is accepted (all distinct keys, all inserted).
+  std::vector<std::string> keys(kMaxMultigetBatch);
+  std::vector<netwire::MultiputEntry> atcap(kMaxMultigetBatch);
+  for (size_t i = 0; i < kMaxMultigetBatch; ++i) {
+    keys[i] = "cap" + std::to_string(i);
+    atcap[i] = {keys[i], {{0, "v"}}};
+  }
+  c.multiput(atcap);
+  res = c.flush();
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_EQ(res[0].status, NetStatus::kOk);
+  ASSERT_EQ(res[0].batch.size(), kMaxMultigetBatch);
+  EXPECT_TRUE(res[0].batch.front().inserted);
+  EXPECT_TRUE(res[0].batch.back().inserted);
+
+  // Beyond the wire's u16 count the client refuses to encode.
+  std::vector<netwire::MultiputEntry> huge(0x10000, {"k", {}});
+  EXPECT_THROW(c.multiput(huge), std::length_error);
+}
+
 TEST_F(NetTest, ManyClientsConcurrently) {
   constexpr int kClients = 6, kOps = 300;
   std::vector<std::thread> threads;
@@ -824,6 +930,32 @@ TEST_F(NetTest, EmptyFrameGetsEmptyResponse) {
   EXPECT_EQ(rc.read_body(), "");
   EXPECT_EQ(rc.read_body(), "");
   ExpectServerAlive(server_->port());
+}
+
+TEST_F(NetTest, MultiPutMidBatchDisconnect) {
+  // A connection dying in the middle of a kMultiPut frame: the partial frame
+  // is dropped whole — none of its entries (not even fully-received ones)
+  // may execute, because a frame is the atomic unit of parsing.
+  std::string body;
+  std::vector<netwire::MultiputEntry> entries = {
+      {"mpd-first", {{0, "v1"}}},
+      {"mpd-second", {{0, "v2"}}},
+  };
+  netwire::encode_multiput(&body, entries);
+  netwire::frame(&body);
+
+  for (size_t cut = 1; cut < body.size(); cut += 7) {
+    RawConn rc(server_->port());
+    rc.send_raw(std::string_view(body).substr(0, cut));
+    rc.close_now();
+  }
+  ExpectServerAlive(server_->port());
+  Client c(server_->port());
+  c.get("mpd-first");
+  c.get("mpd-second");
+  auto res = c.flush();
+  EXPECT_EQ(res[0].status, NetStatus::kNotFound);
+  EXPECT_EQ(res[1].status, NetStatus::kNotFound);
 }
 
 TEST_F(NetTest, MidRequestDisconnect) {

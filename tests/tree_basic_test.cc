@@ -242,6 +242,29 @@ TEST_F(TreeTest, SuffixBagGrowth) {
   }
 }
 
+// Regression: the §4.3 rightmost-append split optimization (new key goes to
+// a fresh right sibling alone) must not fire when the new key shares its
+// 8-byte slice with the node's current last entry — the sibling's lowkey is
+// a slice, so splitting a same-slice pair across the boundary routed gets
+// for the kept entry to the new node, where they missed. Scan still saw the
+// key (B-link walk), only point lookups lost it.
+TEST_F(TreeTest, RightmostSplitKeepsSameSliceEntriesTogether) {
+  // Fill one border to kWidth with ascending keys so the next insert is a
+  // rightmost append into a full node with no next sibling...
+  for (int i = 0; i < 14; ++i) {
+    ASSERT_TRUE(Put("fill-" + std::string(1, 'a' + i), i));
+  }
+  ASSERT_TRUE(Put("same8tag", 100));  // exactly 8 bytes: ord 8, last entry
+  // ...where the appended key shares the slice "same8tag" but carries a
+  // suffix (ord 9): the split must keep both on one side.
+  ASSERT_TRUE(Put("same8tag-suffixed", 101));
+  EXPECT_EQ(Get("same8tag"), 100u);
+  EXPECT_EQ(Get("same8tag-suffixed"), 101u);
+  for (int i = 0; i < 14; ++i) {
+    EXPECT_EQ(Get("fill-" + std::string(1, 'a' + i)), static_cast<uint64_t>(i));
+  }
+}
+
 TEST_F(TreeTest, DecimalWorkloadSmoke) {
   // The paper's 1-to-10-byte decimal key distribution (§6.1).
   Rng rng(1234);
