@@ -112,7 +112,19 @@ if [ "$(printf '%s\n' "$ov" | awk '{ print ($1 > -1000 && $1 < 1000) ? "ok" : "b
     echo "run_bench.sh: log_overhead_pct not finite in $json_out: $ov" >&2
     exit 1
 fi
-echo "== put_logged_mops = $pl, log_overhead_pct = $ov (present and finite)"
+# Non-regression gate for the fault-injection seam: every persistence
+# syscall now routes through masstree::io, whose unarmed fast path must stay
+# one relaxed atomic load + tail call. If the seam (or anything else on the
+# logged-write path) grows real per-call cost, the logged/unlogged gap blows
+# past this ceiling. Historical values sit around 0 (+/- noise on a one-core
+# box), so the default leaves wide noise margin while still catching a
+# pessimized seam; override with MT_LOG_OVERHEAD_MAX_PCT.
+ov_max=${MT_LOG_OVERHEAD_MAX_PCT:-50}
+if [ "$(printf '%s %s\n' "$ov" "$ov_max" | awk '{ print ($1 <= $2) ? "ok" : "high" }')" != "ok" ]; then
+    echo "run_bench.sh: log_overhead_pct regressed above ${ov_max}%: $ov" >&2
+    exit 1
+fi
+echo "== put_logged_mops = $pl, log_overhead_pct = $ov (finite, <= ${ov_max}%)"
 
 # PR 8's wire-volume metrics: the v2 varint framing must actually be in
 # effect. log_bytes_per_op must be present and non-zero; log_bytes_saved_pct

@@ -27,6 +27,9 @@
 #ifndef MASSTREE_CHECKPOINT_CHECKPOINT_H_
 #define MASSTREE_CHECKPOINT_CHECKPOINT_H_
 
+#include <fcntl.h>
+
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -37,6 +40,7 @@
 #include <vector>
 
 #include "util/crc32.h"
+#include "util/io.h"
 #include "util/lz.h"
 #include "util/varint.h"
 
@@ -59,19 +63,44 @@ inline std::string checkpoint_manifest_path(const std::string& dir) {
   return dir + "/MANIFEST";
 }
 
+// The MANIFEST is the checkpoint's commit point: parts are fdatasynced by
+// their writers, the manifest body is written + fdatasynced to a temp file,
+// and the final rename publishes it atomically — a crash (or a FaultPlan
+// power cut) anywhere before the rename leaves the checkpoint invisible.
 inline bool write_manifest(const std::string& dir, const CheckpointManifest& m) {
   std::string tmp = dir + "/MANIFEST.tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) {
+  std::string body = "masstree-checkpoint v1\nstart_ts_us " +
+                     std::to_string(m.start_ts_us) + "\nversion_floor " +
+                     std::to_string(m.version_floor) + "\nparts " +
+                     std::to_string(m.parts) + "\n";
+  int fd = io::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) {
+    return false;
+  }
+  size_t off = 0;
+  while (off < body.size()) {
+    ssize_t w = io::write(fd, body.data() + off, body.size() - off);
+    if (w <= 0) {
+      if (w < 0 && errno == EINTR) {
+        continue;
+      }
+      io::close(fd);
       return false;
     }
-    out << "masstree-checkpoint v1\n"
-        << "start_ts_us " << m.start_ts_us << "\n"
-        << "version_floor " << m.version_floor << "\n"
-        << "parts " << m.parts << "\n";
+    off += static_cast<size_t>(w);
   }
-  return ::rename(tmp.c_str(), checkpoint_manifest_path(dir).c_str()) == 0;
+  int sr;
+  while ((sr = io::fdatasync(fd)) != 0 && errno == EINTR) {
+  }
+  io::close(fd);
+  if (sr != 0) {
+    return false;
+  }
+  int rr;
+  while ((rr = io::rename(tmp.c_str(), checkpoint_manifest_path(dir).c_str())) != 0 &&
+         errno == EINTR) {
+  }
+  return rr == 0;
 }
 
 inline CheckpointManifest read_manifest(const std::string& dir) {
@@ -100,19 +129,38 @@ inline CheckpointManifest read_manifest(const std::string& dir) {
 }
 
 // Streaming writer for one part file (v2: varint framing + per-column lz
-// compression above `compress_threshold`, 0 disables).
+// compression above `compress_threshold`, 0 disables). Writes go through
+// the masstree::io seam, so checkpoint parts are covered by the same fault
+// plans (ENOSPC, short writes, power cuts) as the log; the first failing
+// syscall's context is kept for the store's read-only trip line.
 class CheckpointPartWriter {
  public:
   explicit CheckpointPartWriter(const std::string& path,
                                 size_t compress_threshold = 128)
-      : out_(path, std::ios::binary), threshold_(compress_threshold) {
+      : path_(path), threshold_(compress_threshold) {
+    fd_ = io::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    if (fd_ < 0) {
+      err_ = io::IoErrorDetail{"open", path_, 0, errno};
+      return;
+    }
     char hdr[5];
     std::memcpy(hdr, kCkptMagic, 4);
     hdr[4] = static_cast<char>(kCkptFormatV2);
-    out_.write(hdr, sizeof(hdr));
+    write_all(hdr, sizeof(hdr));
   }
 
-  bool ok() const { return static_cast<bool>(out_); }
+  ~CheckpointPartWriter() {
+    if (fd_ >= 0) {
+      io::close(fd_);
+    }
+  }
+
+  CheckpointPartWriter(const CheckpointPartWriter&) = delete;
+  CheckpointPartWriter& operator=(const CheckpointPartWriter&) = delete;
+
+  bool ok() const { return fd_ >= 0 && err_.err == 0; }
+  // Context of the first failing syscall (default-constructed while ok).
+  const io::IoErrorDetail& error_detail() const { return err_; }
 
   void add(std::string_view key, uint64_t row_version,
            const std::vector<std::string_view>& cols) {
@@ -139,18 +187,33 @@ class CheckpointPartWriter {
         payload_.append(c);
       }
     }
+    // One write per record (frame + payload + crc): record boundaries are
+    // syscall boundaries, which is what gives the crash-point sweep its
+    // torn-record coverage.
     char frame[vint::kMaxBytes];
-    out_.write(frame, static_cast<std::streamsize>(
-                          vint::put(frame, payload_.size()) - frame));
-    out_.write(payload_.data(), static_cast<std::streamsize>(payload_.size()));
+    record_.clear();
+    record_.append(frame, static_cast<size_t>(
+                              vint::put(frame, payload_.size()) - frame));
+    record_.append(payload_);
     uint32_t crc = crc32(payload_);
-    out_.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    record_.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    write_all(record_.data(), record_.size());
     ++records_;
   }
 
   uint64_t records() const { return records_; }
 
-  void finish() { out_.flush(); }
+  // Make the part durable before the manifest commits it.
+  void finish() {
+    if (ok()) {
+      int sr;
+      while ((sr = io::fdatasync(fd_)) != 0 && errno == EINTR) {
+      }
+      if (sr != 0) {
+        err_ = io::IoErrorDetail{"fdatasync", path_, written_, errno};
+      }
+    }
+  }
 
  private:
   void put_varint(uint64_t v) {
@@ -158,9 +221,33 @@ class CheckpointPartWriter {
     payload_.append(buf, static_cast<size_t>(vint::put(buf, v) - buf));
   }
 
-  std::ofstream out_;
+  void write_all(const char* p, size_t n) {
+    if (!ok()) {
+      return;  // fail-stop: never write past the first error
+    }
+    size_t off = 0;
+    while (off < n) {
+      ssize_t w = io::write(fd_, p + off, n - off);
+      if (w <= 0) {
+        if (w < 0 && errno == EINTR) {
+          continue;
+        }
+        err_ = io::IoErrorDetail{"write", path_, written_ + off,
+                                 w < 0 ? errno : EIO};
+        return;
+      }
+      off += static_cast<size_t>(w);
+    }
+    written_ += n;
+  }
+
+  std::string path_;
+  int fd_ = -1;
+  io::IoErrorDetail err_;
+  uint64_t written_ = 0;
   size_t threshold_;
   std::string payload_;
+  std::string record_;
   std::string scratch_;
   uint64_t records_ = 0;
 };

@@ -13,10 +13,13 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -26,10 +29,24 @@
 #include "core/tree.h"
 #include "log/logger.h"
 #include "log/recovery.h"
+#include "util/io.h"
 #include "util/timing.h"
 #include "value/row.h"
 
 namespace masstree {
+
+// Thrown by the legacy bool write APIs when the store has degraded to
+// read-only (sticky log/checkpoint I/O error). Status-returning callers
+// (put_checked / remove_checked / multiput) never throw.
+struct StoreReadOnly : std::runtime_error {
+  explicit StoreReadOnly(const io::IoErrorDetail& d)
+      : std::runtime_error("store is read-only after " +
+                           std::string(d.syscall) + "(" + d.path + ")+" +
+                           std::to_string(d.offset) + ": " +
+                           std::strerror(d.err)),
+        detail(d) {}
+  io::IoErrorDetail detail;
+};
 
 class Store {
  public:
@@ -103,6 +120,11 @@ class Store {
         log_writers_.push_back(std::make_unique<LogWriter>(
             LogWriter::Options{opt_.logger.flush_interval_ms, opt_.logger.fsync_on_flush},
             &log_pool_));
+        // First sticky I/O error anywhere in the logging stack trips the
+        // whole store into read-only mode; set before adoption so even a
+        // construction-time tail-repair failure trips.
+        log_writers_.back()->set_on_first_error(
+            [this](const io::IoErrorDetail& d) { note_io_error(d); });
       }
       adopt_existing_logs();
       for (auto& w : log_writers_) {
@@ -206,9 +228,18 @@ class Store {
     return nfound;
   }
 
-  // putc(k, v): atomic multi-column put (§4.7). Returns true if the key was
-  // newly inserted.
-  bool put(std::string_view key, const std::vector<ColumnUpdate>& updates, Session& s) {
+  // putc(k, v): atomic multi-column put (§4.7). Status-returning entry
+  // point: a store that has tripped into read-only mode rejects the write
+  // without touching the tree (and without throwing — the event-loop server
+  // answers kReadOnly on the wire instead of dying).
+  enum class PutResult : uint8_t { kInserted, kUpdated, kReadOnly };
+
+  PutResult put_checked(std::string_view key,
+                        const std::vector<ColumnUpdate>& updates, Session& s) {
+    if (MT_UNLIKELY(read_only())) {
+      count_rejected_write(s, 1);
+      return PutResult::kReadOnly;
+    }
     uint64_t version = 0;
     uint64_t old_lv = 0;
     bool inserted = tree_->insert_transform(
@@ -230,10 +261,27 @@ class Store {
       ensure_log(s)->append_put(key, updates, version);
     }
     maybe_maintain(s);
-    return inserted;
+    return inserted ? PutResult::kInserted : PutResult::kUpdated;
   }
 
-  bool remove(std::string_view key, Session& s) {
+  // Legacy bool API: returns true if the key was newly inserted; throws
+  // StoreReadOnly once the store has tripped (loud fail-fast for
+  // in-process callers that never check statuses).
+  bool put(std::string_view key, const std::vector<ColumnUpdate>& updates, Session& s) {
+    PutResult r = put_checked(key, updates, s);
+    if (MT_UNLIKELY(r == PutResult::kReadOnly)) {
+      throw StoreReadOnly(log_error_detail());
+    }
+    return r == PutResult::kInserted;
+  }
+
+  enum class RemoveResult : uint8_t { kRemoved, kAbsent, kReadOnly };
+
+  RemoveResult remove_checked(std::string_view key, Session& s) {
+    if (MT_UNLIKELY(read_only())) {
+      count_rejected_write(s, 1);
+      return RemoveResult::kReadOnly;
+    }
     uint64_t version = 0;
     Row* old_row = nullptr;
     bool removed = tree_->remove_with(
@@ -250,7 +298,15 @@ class Store {
       }
     }
     maybe_maintain(s);
-    return removed;
+    return removed ? RemoveResult::kRemoved : RemoveResult::kAbsent;
+  }
+
+  bool remove(std::string_view key, Session& s) {
+    RemoveResult r = remove_checked(key, s);
+    if (MT_UNLIKELY(r == RemoveResult::kReadOnly)) {
+      throw StoreReadOnly(log_error_detail());
+    }
+    return r == RemoveResult::kRemoved;
   }
 
   // Batched putc/removec — the write-side twin of multiget (§4.8). One
@@ -273,10 +329,22 @@ class Store {
     // Out: as-if-sequential results (see above).
     bool inserted = false;
     bool found = false;
+    // Out: refused because the store is read-only (never throws — the flag
+    // travels back through the server's steering paths instead).
+    bool rejected = false;
   };
 
   size_t multiput(std::span<PutOp> ops, Session& s) {
     if (ops.empty()) {
+      return 0;
+    }
+    if (MT_UNLIKELY(read_only())) {
+      for (PutOp& op : ops) {
+        op.inserted = false;
+        op.found = false;
+        op.rejected = true;
+      }
+      count_rejected_write(s, ops.size());
       return 0;
     }
     EpochGuard guard(s.ti_.slot());  // spans the tree batch and the log append
@@ -287,6 +355,7 @@ class Store {
     for (size_t i = 0; i < ops.size(); ++i) {
       reqs[i] = Tree::PutRequest{ops[i].key};
       reqs[i].remove = ops[i].remove;
+      ops[i].rejected = false;
     }
     size_t applied = tree_->multiput_with(
         std::span<Tree::PutRequest>(reqs),
@@ -391,6 +460,11 @@ class Store {
     m.version_floor = version_counter_.load(std::memory_order_acquire);
     m.parts = nworkers;
     std::atomic<bool> ok{true};
+    // Write-side part failures (ENOSPC, EIO, short disk) trip the store
+    // read-only, like a log failure would; a part that cannot even be
+    // opened is a configuration error, not storage degradation.
+    std::mutex fail_mu;
+    io::IoErrorDetail fail_detail;
     std::vector<std::thread> workers;
     for (unsigned w = 0; w < nworkers; ++w) {
       workers.emplace_back([&, w] {
@@ -399,6 +473,15 @@ class Store {
                                  opt_.log_compress_threshold);
         if (!out.ok()) {
           ok = false;
+          // A part header that failed to hit the disk (short write, EIO,
+          // ENOSPC in the writer's constructor) is storage degradation just
+          // like a failure at finish(); only open() stays a config error.
+          if (std::strcmp(out.error_detail().syscall, "open") != 0) {
+            std::lock_guard<std::mutex> lock(fail_mu);
+            if (fail_detail.err == 0) {
+              fail_detail = out.error_detail();
+            }
+          }
           return;
         }
         // Range partition by leading byte: worker w covers
@@ -448,12 +531,24 @@ class Store {
           ti.reclaim();
         }
         out.finish();
+        if (!out.ok()) {
+          ok = false;
+          if (std::strcmp(out.error_detail().syscall, "open") != 0) {
+            std::lock_guard<std::mutex> lock(fail_mu);
+            if (fail_detail.err == 0) {
+              fail_detail = out.error_detail();
+            }
+          }
+        }
       });
     }
     for (auto& t : workers) {
       t.join();
     }
     if (!ok) {
+      if (fail_detail.err != 0) {
+        note_io_error(fail_detail);
+      }
       return false;
     }
     return write_manifest(dir, m);
@@ -587,8 +682,40 @@ class Store {
 
   // First sticky log-write errno (0 while healthy). A failed shard
   // fail-stops — its file stays a clean record prefix — but the store keeps
-  // serving; callers poll this to surface the durability loss.
+  // serving reads; callers poll this to surface the durability loss.
   int log_error() const { return log_totals().error; }
+
+  // Context of the first failing persistence syscall: (syscall, path,
+  // offset, errno). Default-constructed while healthy.
+  io::IoErrorDetail log_error_detail() const {
+    {
+      std::lock_guard<std::mutex> lock(err_detail_mu_);
+      if (err_detail_.err != 0) {
+        return err_detail_;
+      }
+    }
+    for (const auto& w : log_writers_) {
+      io::IoErrorDetail d = w->error_detail();
+      if (d.err != 0) {
+        return d;
+      }
+    }
+    return io::IoErrorDetail{};
+  }
+
+  // True once a sticky log/checkpoint I/O error has flipped the store into
+  // read-only degraded mode: gets/scans keep serving, writes fail fast
+  // (kReadOnly on the wire, StoreReadOnly from the legacy bool APIs).
+  // In-flight writes at trip time complete against the tree but their
+  // durability is already gone — the failed shard discards its drains.
+  bool read_only() const { return read_only_.load(std::memory_order_acquire); }
+
+  uint64_t read_only_trips() const {
+    return ro_trips_.load(std::memory_order_relaxed);
+  }
+  uint64_t writes_rejected_read_only() const {
+    return ro_rejects_.load(std::memory_order_relaxed);
+  }
 
   TreeStats stats() const { return tree_->collect_stats(); }
   Tree& tree() { return *tree_; }
@@ -612,6 +739,34 @@ class Store {
 
   uint64_t next_version() {
     return version_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  // The read-only trip: first sticky I/O error wins, everything after is a
+  // no-op. Runs on whichever thread saw the error first (a logging thread
+  // via the LogWriter callback, or a checkpoint worker's join).
+  void note_io_error(const io::IoErrorDetail& d) {
+    bool expected = false;
+    if (!read_only_.compare_exchange_strong(expected, true,
+                                            std::memory_order_acq_rel)) {
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(err_detail_mu_);
+      err_detail_ = d;
+    }
+    ro_trips_.fetch_add(1, std::memory_order_relaxed);
+    trip_counters_.inc(Counter::kStoreReadOnlyTrips);
+    std::fprintf(stderr,
+                 "masstree: store degraded to read-only after %s(%s)+%llu "
+                 "failed: %s\n",
+                 d.syscall, d.path.c_str(),
+                 static_cast<unsigned long long>(d.offset),
+                 std::strerror(d.err));
+  }
+
+  void count_rejected_write(Session& s, size_t n) {
+    s.ti_.counters().inc(Counter::kWritesRejectedReadOnly, n);
+    ro_rejects_.fetch_add(n, std::memory_order_relaxed);
   }
 
   void bump_version_floor(uint64_t floor) {
@@ -786,6 +941,13 @@ class Store {
   std::atomic<uint64_t> version_counter_{0};
   std::atomic<uint64_t> max_version_seen_{0};
   std::atomic<uint64_t> maintenance_tick_{0};
+  // Read-only degraded mode (sticky; see note_io_error).
+  std::atomic<bool> read_only_{false};
+  std::atomic<uint64_t> ro_trips_{0};
+  std::atomic<uint64_t> ro_rejects_{0};
+  mutable std::mutex err_detail_mu_;
+  io::IoErrorDetail err_detail_;
+  ThreadCounters trip_counters_;  // written once, under the trip CAS
 };
 
 }  // namespace masstree

@@ -53,6 +53,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -64,6 +65,7 @@
 #include "log/logrecord.h"
 #include "util/compiler.h"
 #include "util/counters.h"
+#include "util/io.h"
 #include "util/timing.h"
 
 namespace masstree {
@@ -85,7 +87,7 @@ class LogShard {
     // O_APPEND — POSIX makes pwrite on an append-mode fd ignore its offset,
     // and the logging thread positions every write itself (inside
     // preallocated extents, so group-commit fdatasyncs stay journal-free).
-    fd_ = ::open(path.c_str(), O_CREAT | O_RDWR, 0644);
+    fd_ = io::open(path.c_str(), O_CREAT | O_RDWR, 0644);
     if (fd_ < 0) {
       throw std::runtime_error("LogShard: cannot open " + path);
     }
@@ -101,10 +103,10 @@ class LogShard {
         chop_torn_tail();  // throws on an unknown format version
       }
     } catch (...) {
-      ::close(fd_);
+      io::close(fd_);
       throw;
     }
-    off_t end = ::lseek(fd_, 0, SEEK_END);
+    off_t end = io::lseek(fd_, 0, SEEK_END);
     write_off_ = end > 0 ? static_cast<size_t>(end) : 0;
     prealloc_end_ = write_off_;
     // A surviving pre-v2 (headerless) file gets a mid-file format header
@@ -112,13 +114,13 @@ class LogShard {
     // while everything we write decodes as v2.
     if (write_off_ > 0) {
       char magic[4] = {0, 0, 0, 0};
-      ssize_t got = ::pread(fd_, magic, sizeof(magic), 0);
+      ssize_t got = io::pread(fd_, magic, sizeof(magic), 0);
       pending_midfile_header_ =
           got < 4 || std::memcmp(magic, logwire::kLogMagic, 4) != 0;
     }
   }
 
-  ~LogShard() { ::close(fd_); }
+  ~LogShard() { io::close(fd_); }
 
   LogShard(const LogShard&) = delete;
   LogShard& operator=(const LogShard&) = delete;
@@ -431,7 +433,7 @@ class LogShard {
     // their files — geom_mu_ keeps that from shearing this geometry reset.
     {
       std::lock_guard<std::mutex> lock(geom_mu_);
-      off_t end = ::lseek(fd_, 0, SEEK_END);
+      off_t end = io::lseek(fd_, 0, SEEK_END);
       write_off_ = end > 0 ? static_cast<size_t>(end) : 0;
       prealloc_end_ = write_off_;
     }
@@ -445,6 +447,9 @@ class LogShard {
   // thread fail-stops this file (drains are discarded) so the on-disk
   // content stays a clean prefix of the record stream.
   int error() const { return error_.load(std::memory_order_relaxed); }
+  // Context of the construction-time failure (if any): chop_torn_tail runs
+  // before the shard has a writer to report through.
+  const io::IoErrorDetail& ctor_error_detail() const { return error_detail_; }
 
  private:
   friend class LogWriter;
@@ -480,20 +485,25 @@ class LogShard {
   // would otherwise land fresh records after the torn bytes, where recovery
   // (which stops at the tear) could never see them.
   void chop_torn_tail() {
-    off_t size = ::lseek(fd_, 0, SEEK_END);
+    off_t size = io::lseek(fd_, 0, SEEK_END);
     if (size <= 0) {
       return;
     }
     std::string data(static_cast<size_t>(size), '\0');
-    ssize_t got = ::pread(fd_, data.data(), data.size(), 0);
+    ssize_t got = io::pread(fd_, data.data(), data.size(), 0);
     if (got < 0) {
       return;
     }
     data.resize(static_cast<size_t>(got));
     size_t valid = logwire::valid_prefix_bytes(data);
     if (valid < data.size()) {
-      if (::ftruncate(fd_, static_cast<off_t>(valid)) != 0) {
+      int tr;
+      while ((tr = io::ftruncate(fd_, static_cast<off_t>(valid))) != 0 &&
+             errno == EINTR) {
+      }
+      if (tr != 0) {
         error_.store(errno, std::memory_order_relaxed);
+        error_detail_ = io::IoErrorDetail{"ftruncate", path_, valid, errno};
       }
     }
   }
@@ -720,6 +730,7 @@ class LogShard {
   std::atomic<bool> released_{false};    // producer detached
   std::atomic<bool> close_done_{false};  // writer stamped kClose; parked
   std::atomic<int> error_{0};
+  io::IoErrorDetail error_detail_;       // ctor-time only; see accessor
   ThreadCounters* counters_;             // producer's sink (may be null)
   LogWriter* writer_ = nullptr;          // set by LogWriter::add_shard
 };
@@ -797,13 +808,22 @@ class LogWriter {
     if (s->error() != 0) {
       // Construction-time damage (e.g. a failed tail-repair ftruncate) must
       // be as visible as a runtime write error.
-      int expected = 0;
-      first_error_.compare_exchange_strong(expected, s->error(),
-                                           std::memory_order_relaxed);
+      io::IoErrorDetail d = s->ctor_error_detail();
+      if (d.err == 0) {
+        d = io::IoErrorDetail{"open", s->path(), 0, s->error()};
+      }
+      record_first_error(d);
     }
     std::lock_guard<std::mutex> lock(shards_mu_);
     shards_.push_back(s);
     ++shards_gen_;
+  }
+
+  // Invoked exactly once, on the first sticky I/O error any shard of this
+  // writer hits (logging thread or add_shard caller context). Set before
+  // start(); the Store uses it to trip into read-only mode.
+  void set_on_first_error(std::function<void(const io::IoErrorDetail&)> cb) {
+    on_first_error_ = std::move(cb);
   }
 
   // Force everything published so far to storage and stamp heartbeat
@@ -842,6 +862,12 @@ class LogWriter {
   // after stop().
   const ThreadCounters& counters() const { return counters_; }
   int error() const { return first_error_.load(std::memory_order_relaxed); }
+  // (syscall, path, offset, errno) of the first failing call; default-
+  // constructed while healthy.
+  io::IoErrorDetail error_detail() const {
+    std::lock_guard<std::mutex> lock(err_detail_mu_);
+    return first_error_detail_;
+  }
   bool stopped() const { return stop_flag_.load(std::memory_order_acquire); }
 
   void kick() {
@@ -943,7 +969,11 @@ class LogWriter {
       if (s.error() == 0) {
         // Trim the preallocated zero tail: a cleanly closed file ends at
         // its kClose marker, exactly.
-        if (::ftruncate(s.fd_, static_cast<off_t>(s.write_off_)) == 0) {
+        int tr;
+        while ((tr = io::ftruncate(s.fd_, static_cast<off_t>(s.write_off_))) != 0 &&
+               errno == EINTR) {
+        }
+        if (tr == 0) {
           s.prealloc_end_ = s.write_off_;
         }
       }
@@ -986,8 +1016,11 @@ class LogWriter {
     bool deadline_due = t0 - s.last_fsync_us_ >= opt_.flush_interval_ms * 1000;
     if (s.unsynced_bytes_ > 0 && opt_.fsync_on_flush && s.error() == 0 &&
         (force_sync || closing || released || deadline_due)) {
-      if (::fdatasync(s.fd_) != 0) {
-        note_error(s, errno);
+      int sr;
+      while ((sr = io::fdatasync(s.fd_)) != 0 && errno == EINTR) {
+      }
+      if (sr != 0) {
+        note_error(s, "fdatasync", errno);
       }
       s.last_fsync_us_ = t0;
       s.unsynced_bytes_ = 0;
@@ -1143,15 +1176,21 @@ class LogWriter {
   // Grow the preallocated extent window so the coming pwrites stay inside
   // i_size. Doubling chunks amortize the (journaling) fallocate calls; on
   // filesystems without fallocate support the writes simply extend the file
-  // the ordinary way.
+  // the ordinary way. A disk that is actually out of space (ENOSPC-class
+  // errnos) is a storage failure, not a missing feature: the shard
+  // fail-stops so the store can degrade to read-only instead of aborting
+  // or silently dropping durability.
   void ensure_prealloc(LogShard& s, size_t bytes) {
-#if defined(__linux__)
     while (s.write_off_ + bytes > s.prealloc_end_ && s.prealloc_end_ != SIZE_MAX) {
       size_t chunk = std::max(s.prealloc_chunk_, bytes);
-      if (::fallocate(s.fd_, 0, static_cast<off_t>(s.prealloc_end_),
-                      static_cast<off_t>(chunk)) != 0) {
+      if (io::fallocate(s.fd_, 0, static_cast<off_t>(s.prealloc_end_),
+                        static_cast<off_t>(chunk)) != 0) {
         if (errno == EINTR) {
           continue;
+        }
+        if (errno == ENOSPC || errno == EDQUOT || errno == EIO) {
+          note_error(s, "fallocate", errno);
+          return;
         }
         s.prealloc_end_ = SIZE_MAX;  // unsupported here: plain extending writes
         return;
@@ -1159,10 +1198,6 @@ class LogWriter {
       s.prealloc_end_ += chunk;
       s.prealloc_chunk_ = std::min(s.prealloc_chunk_ * 2, size_t{4} << 20);
     }
-#else
-    (void)s;
-    (void)bytes;
-#endif
   }
 
   // Positional gathered write with EINTR/short-write retry. On a hard error
@@ -1194,14 +1229,17 @@ class LogWriter {
       total += iov[i].iov_len;
     }
     ensure_prealloc(s, total);
+    if (s.error() != 0) {
+      return;  // ENOSPC-class prealloc failure fail-stopped the shard
+    }
     size_t done = 0;
     while (done < total) {
-      ssize_t n = ::pwritev(s.fd_, iov, niov, static_cast<off_t>(s.write_off_ + done));
+      ssize_t n = io::pwritev(s.fd_, iov, niov, static_cast<off_t>(s.write_off_ + done));
       if (n < 0) {
         if (errno == EINTR) {
           continue;
         }
-        note_error(s, errno);
+        note_error(s, "pwritev", errno);
         return;
       }
       done += static_cast<size_t>(n);
@@ -1234,8 +1272,11 @@ class LogWriter {
       drain_discard(*s);
       {
         std::lock_guard<std::mutex> lock(s->geom_mu_);
-        if (::ftruncate(s->fd_, 0) != 0) {
-          note_error(*s, errno);
+        int tr;
+        while ((tr = io::ftruncate(s->fd_, 0)) != 0 && errno == EINTR) {
+        }
+        if (tr != 0) {
+          note_error(*s, "ftruncate", errno);
         }
         s->write_off_ = 0;
         s->prealloc_end_ = 0;
@@ -1273,10 +1314,23 @@ class LogWriter {
     }
   }
 
-  void note_error(LogShard& s, int err) {
+  void note_error(LogShard& s, const char* syscall, int err) {
     s.error_.store(err, std::memory_order_relaxed);
+    record_first_error(io::IoErrorDetail{syscall, s.path(), s.write_off_, err});
+  }
+
+  void record_first_error(const io::IoErrorDetail& d) {
     int expected = 0;
-    first_error_.compare_exchange_strong(expected, err, std::memory_order_relaxed);
+    if (first_error_.compare_exchange_strong(expected, d.err,
+                                             std::memory_order_relaxed)) {
+      {
+        std::lock_guard<std::mutex> lock(err_detail_mu_);
+        first_error_detail_ = d;
+      }
+      if (on_first_error_) {
+        on_first_error_(d);
+      }
+    }
   }
 
   Options opt_;
@@ -1304,6 +1358,9 @@ class LogWriter {
   std::atomic<uint64_t> flushes_{0};
   std::atomic<uint64_t> syncs_{0};
   std::atomic<int> first_error_{0};
+  mutable std::mutex err_detail_mu_;
+  io::IoErrorDetail first_error_detail_;
+  std::function<void(const io::IoErrorDetail&)> on_first_error_;
   ThreadCounters counters_;  // written by the logging thread only
 };
 
@@ -1389,6 +1446,7 @@ class Logger {
   uint64_t bytes_written() const { return writer_.bytes_written(); }
   uint64_t flushes() const { return writer_.flushes(); }
   int error() const { return shard_.error(); }
+  io::IoErrorDetail error_detail() const { return writer_.error_detail(); }
   ThreadCounters& counters() { return counters_; }
 
  private:

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "log/logrecord.h"
+#include "util/io.h"
 #include "util/timing.h"
 
 namespace masstree {
@@ -138,11 +139,11 @@ inline void seal_recovered_log(const std::string& path, const LogFileData& lf,
   if (lf.complete && !beyond_cutoff) {
     return;  // already exactly the state the next recovery should see
   }
-  int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  int fd = io::open(path.c_str(), O_WRONLY | O_APPEND);
   if (fd < 0) {
     return;
   }
-  if (::ftruncate(fd, static_cast<off_t>(keep)) == 0) {
+  if (io::ftruncate(fd, static_cast<off_t>(keep)) == 0) {
     // A fresh format header before the kClose keeps the seal readable no
     // matter what format the kept prefix ends in (v1 files get their
     // mid-file upgrade here; in a v2 stream a repeated header is a no-op
@@ -152,7 +153,7 @@ inline void seal_recovered_log(const std::string& path, const LogFileData& lf,
     logwire::encode_close(&tail, wall_us());
     size_t off = 0;
     while (off < tail.size()) {
-      ssize_t w = ::write(fd, tail.data() + off, tail.size() - off);
+      ssize_t w = io::write(fd, tail.data() + off, tail.size() - off);
       if (w <= 0 && errno != EINTR) {
         break;
       }
@@ -160,9 +161,9 @@ inline void seal_recovered_log(const std::string& path, const LogFileData& lf,
         off += static_cast<size_t>(w);
       }
     }
-    ::fdatasync(fd);
+    io::fdatasync(fd);
   }
-  ::close(fd);
+  io::close(fd);
 }
 
 // Flatten + filter + sort for replay: drops entries with timestamp > cutoff

@@ -199,11 +199,15 @@ class Client {
           }
           break;
         case NetOp::kPut: {
-          uint8_t inserted;
-          if (!r.read(&inserted)) {
-            throw std::runtime_error("Client: bad put response");
+          // kReadOnly (store degraded after a sticky I/O error) carries no
+          // payload; only an ok response has the inserted byte.
+          if (res.status == NetStatus::kOk) {
+            uint8_t inserted;
+            if (!r.read(&inserted)) {
+              throw std::runtime_error("Client: bad put response");
+            }
+            res.inserted = inserted != 0;
           }
-          res.inserted = inserted != 0;
           break;
         }
         case NetOp::kScan: {

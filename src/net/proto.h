@@ -30,16 +30,17 @@
 //                sequentially). Batches larger than kMaxMultigetBatch are
 //                rejected.
 // Response body: one result per op.
-//   u8 status (0 = ok, 1 = not found, 2 = rejected)
+//   u8 status (0 = ok, 1 = not found, 2 = rejected, 3 = read-only)
 //     kGet ok:      u16 ncols (u32 len bytes)*
-//     kPut:         u8 inserted
-//     kRemove:      -
+//     kPut ok:      u8 inserted; read-only: no payload
+//     kRemove:      - (read-only writes answer status 3, no payload)
 //     kScan ok:     u32 count (u32 klen key u32 vlen value)*; rejected: no
 //                   payload
 //     kPing:        -
 //     kMultiGet ok: u16 count | count x (u8 found | found: u16 ncols
 //                   (u32 len bytes)*); rejected: no payload
-//     kMultiPut ok: u16 count | count x (u8 inserted); rejected: no payload
+//     kMultiPut ok: u16 count | count x (u8 inserted); rejected or
+//                   read-only: no payload
 //
 // Pipelining contract: a client may send any number of request frames
 // back-to-back without waiting; the server answers every request frame with
@@ -82,6 +83,9 @@ enum class NetStatus : uint8_t {
   kOk = 0,
   kNotFound = 1,
   kRejected = 2,  // well-formed but refused (e.g. oversized multiget batch)
+  kReadOnly = 3,  // write refused: the store degraded to read-only after a
+                  // sticky log/checkpoint I/O error. Carries no payload;
+                  // gets/scans on the same connection keep serving.
 };
 
 // Upper bound on keys per kMultiGet op (and per kMultiPut op: one multiput

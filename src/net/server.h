@@ -62,6 +62,7 @@
 #include "kvstore/store.h"
 #include "net/framing.h"
 #include "net/proto.h"
+#include "util/timing.h"
 
 namespace masstree {
 
@@ -82,6 +83,18 @@ template <typename S>
 concept HasMultiput =
     requires(S& s, std::span<typename S::PutOp> ops, typename S::Session& sess) {
       { s.multiput(ops, sess) } -> std::convertible_to<size_t>;
+    };
+
+// Backends whose write paths report read-only degradation (Store's checked
+// variants) get the kReadOnly wire status; others keep the plain bool API
+// and can never refuse a write.
+template <typename S>
+concept HasCheckedWrites =
+    requires(S& s, std::string_view key, const std::vector<ColumnUpdate>& upd,
+             typename S::Session& sess) {
+      { s.put_checked(key, upd, sess) };
+      { s.remove_checked(key, sess) };
+      { s.read_only() } -> std::convertible_to<bool>;
     };
 
 namespace netdetail {
@@ -121,6 +134,13 @@ class BasicServer {
     // cache lines and record-cache bucket are touched by one core. The tree
     // underneath stays shared — no partitioning load-imbalance cliff.
     bool affinity_routing = false;
+    // Idle-connection reaping (the slow-loris guard): a connection that has
+    // not delivered a complete frame for this many milliseconds is closed by
+    // its worker's periodic sweep (counted by Counter::kNetIdleReaped). A
+    // half-sent frame does NOT count as activity — a peer trickling one byte
+    // per sweep still gets reaped. 0 disables the sweep (default), keeping
+    // epoll_wait fully blocking.
+    uint64_t idle_timeout_ms = 0;
   };
 
   BasicServer(StoreT& store, Options opt) : store_(store), opt_(opt) {
@@ -225,6 +245,10 @@ class BasicServer {
   uint64_t steered_puts() const {
     return steered_puts_.load(std::memory_order_relaxed);
   }
+  // Connections closed by the idle sweep (Options::idle_timeout_ms).
+  uint64_t idle_reaped() const {
+    return idle_reaped_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Conn {
@@ -241,6 +265,7 @@ class BasicServer {
     bool queued = false;       // already on this wakeup's ready list
     bool dead = false;         // fd closed; reaped at end of wakeup
     bool routed = false;       // affinity decision made; stays on this worker
+    uint64_t last_active_ns = 0;  // last complete frame (or adoption time)
   };
 
   // One parsed request op. Views point into the owning connection's rx
@@ -367,8 +392,17 @@ class BasicServer {
     // ---- event loop ----------------------------------------------------
     void run() {
       epoll_event evs[128];
+      // With idle reaping on, epoll_wait must return often enough for the
+      // sweep to observe silence — a quarter of the window bounds reap
+      // latency at 1.25x the configured timeout.
+      int wait_ms = -1;
+      if (server.opt_.idle_timeout_ms > 0) {
+        uint64_t q = server.opt_.idle_timeout_ms / 4;
+        wait_ms = static_cast<int>(q < 1 ? 1 : (q > 1000 ? 1000 : q));
+      }
+      last_idle_sweep_ns = now_ns();
       while (!stop.load(std::memory_order_acquire)) {
-        int n = ::epoll_wait(epfd, evs, 128, -1);
+        int n = ::epoll_wait(epfd, evs, 128, wait_ms);
         if (n < 0) {
           if (errno == EINTR) {
             continue;
@@ -410,6 +444,7 @@ class BasicServer {
           process();
         }
         reap();
+        reap_idle();
       }
       // Steered work may have been shipped to us as we were exiting; finish
       // it so origins spinning on it can stop. (They also steal unstarted
@@ -460,6 +495,7 @@ class BasicServer {
       c->idx = conns.size();
       c->events = EPOLLIN;
       c->routed = routed;
+      c->last_active_ns = now_ns();
       epoll_event ev{};
       ev.events = EPOLLIN;
       ev.data.ptr = c.get();
@@ -602,6 +638,35 @@ class BasicServer {
         conns.pop_back();
       }
       dying.clear();
+    }
+
+    // The idle sweep: close every connection that has gone a full
+    // idle_timeout_ms without completing a frame. Paced to a quarter of the
+    // window so the scan cost stays negligible even with many connections.
+    void reap_idle() {
+      if (server.opt_.idle_timeout_ms == 0 || conns.empty()) {
+        return;
+      }
+      uint64_t window_ns = server.opt_.idle_timeout_ms * 1000000ull;
+      uint64_t now = now_ns();
+      if (now - last_idle_sweep_ns < window_ns / 4) {
+        return;
+      }
+      last_idle_sweep_ns = now;
+      for (auto& cp : conns) {
+        Conn* c = cp.get();
+        if (c->dead || c->closing) {
+          continue;  // already on its way out
+        }
+        if (now - c->last_active_ns >= window_ns) {
+          if constexpr (requires { session.ti().counters(); }) {
+            session.ti().counters().inc(Counter::kNetIdleReaped);
+          }
+          server.idle_reaped_.fetch_add(1, std::memory_order_relaxed);
+          close_conn(c);
+        }
+      }
+      reap();
     }
 
     // ---- parse ----------------------------------------------------------
@@ -829,6 +894,11 @@ class BasicServer {
         size_t keys_mark = keys_pool.size();
         size_t wcnt_mark = wcnt_pool.size();
         c->parsed = parse_frames(c);
+        if (c->parsed > 0) {
+          // Only a COMPLETE frame counts as liveness; bytes trickling in
+          // below a frame boundary never refresh the idle clock.
+          c->last_active_ns = now_ns();
+        }
         if (server.opt_.affinity_routing && !c->routed && !c->proto_error &&
             !c->eof && server.workers_.size() > 1 && ops.size() > begin) {
           unsigned owner;
@@ -1296,14 +1366,30 @@ class BasicServer {
             typename StoreT::PutOp& dst = store_ops[op_off + steer_wmap[o][j]];
             dst.inserted = steer_wops[o][j].inserted;
             dst.found = steer_wops[o][j].found;
+            if constexpr (requires { dst.rejected; }) {
+              dst.rejected = steer_wops[o][j].rejected;
+            }
           }
         }
       }
     }
 
+    // A multiput backend whose PutOp carries the read-only out-flag (Store)
+    // reports per-op refusal; others can never refuse.
+    template <typename Op>
+    static bool op_rejected(const Op& op) {
+      if constexpr (requires { op.rejected; }) {
+        return op.rejected;
+      } else {
+        return false;
+      }
+    }
+
     // Encodes one batched write op's response, byte-identical to the inline
     // encodings (kPut: status + inserted; kRemove: status; kMultiPut: status
-    // + count-prefixed inserted flags).
+    // + count-prefixed inserted flags). Ops the store refused because it had
+    // degraded to read-only answer with kReadOnly and no payload — the
+    // connection lives on, and its reads keep working.
     void encode_wbatch_ref(const WBatchRef& ref) {
       if constexpr (HasMultiput<StoreT>) {
         ConnWork& cw = works[ref.work];
@@ -1314,17 +1400,39 @@ class BasicServer {
         netframe::TxRing& tx = cw.c->tx;
         open_frame(cw);
         if (p.op == NetOp::kPut) {
-          tx.template put<uint8_t>(0);
-          tx.template put<uint8_t>(store_ops[ref.op_off].inserted ? 1 : 0);
+          if (op_rejected(store_ops[ref.op_off])) {
+            tx.template put<uint8_t>(static_cast<uint8_t>(NetStatus::kReadOnly));
+          } else {
+            tx.template put<uint8_t>(0);
+            tx.template put<uint8_t>(store_ops[ref.op_off].inserted ? 1 : 0);
+          }
         } else if (p.op == NetOp::kRemove) {
-          tx.template put<uint8_t>(store_ops[ref.op_off].found
-                                       ? 0
-                                       : static_cast<uint8_t>(NetStatus::kNotFound));
+          tx.template put<uint8_t>(
+              op_rejected(store_ops[ref.op_off])
+                  ? static_cast<uint8_t>(NetStatus::kReadOnly)
+                  : (store_ops[ref.op_off].found
+                         ? 0
+                         : static_cast<uint8_t>(NetStatus::kNotFound)));
         } else {  // kMultiPut
-          tx.template put<uint8_t>(0);
-          tx.template put<uint16_t>(static_cast<uint16_t>(ref.nops));
+          bool any_rejected = false;
           for (uint32_t i = 0; i < ref.nops; ++i) {
-            tx.template put<uint8_t>(store_ops[ref.op_off + i].inserted ? 1 : 0);
+            if (op_rejected(store_ops[ref.op_off + i])) {
+              any_rejected = true;
+              break;
+            }
+          }
+          if (any_rejected) {
+            // The batch hit the read-only trip. Entries steered to a worker
+            // whose multiput ran before the trip may have applied; the wire
+            // reports the refusal (kReadOnly is a degraded mode, not a
+            // transaction abort).
+            tx.template put<uint8_t>(static_cast<uint8_t>(NetStatus::kReadOnly));
+          } else {
+            tx.template put<uint8_t>(0);
+            tx.template put<uint16_t>(static_cast<uint16_t>(ref.nops));
+            for (uint32_t i = 0; i < ref.nops; ++i) {
+              tx.template put<uint8_t>(store_ops[ref.op_off + i].inserted ? 1 : 0);
+            }
           }
         }
         maybe_close_frame(cw, p);
@@ -1507,15 +1615,35 @@ class BasicServer {
         case NetOp::kPut: {
           upd_scratch.assign(upd_pool.begin() + p.upd_off,
                              upd_pool.begin() + p.upd_off + p.upd_cnt);
-          bool inserted = server.store_.put(p.key, upd_scratch, session);
-          tx.template put<uint8_t>(0);
-          tx.template put<uint8_t>(inserted ? 1 : 0);
+          if constexpr (HasCheckedWrites<StoreT>) {
+            auto pr = server.store_.put_checked(p.key, upd_scratch, session);
+            if (pr == StoreT::PutResult::kReadOnly) {
+              tx.template put<uint8_t>(static_cast<uint8_t>(NetStatus::kReadOnly));
+            } else {
+              tx.template put<uint8_t>(0);
+              tx.template put<uint8_t>(pr == StoreT::PutResult::kInserted ? 1 : 0);
+            }
+          } else {
+            bool inserted = server.store_.put(p.key, upd_scratch, session);
+            tx.template put<uint8_t>(0);
+            tx.template put<uint8_t>(inserted ? 1 : 0);
+          }
           break;
         }
         case NetOp::kRemove: {
-          bool removed = server.store_.remove(p.key, session);
-          tx.template put<uint8_t>(
-              removed ? 0 : static_cast<uint8_t>(NetStatus::kNotFound));
+          if constexpr (HasCheckedWrites<StoreT>) {
+            auto rr = server.store_.remove_checked(p.key, session);
+            tx.template put<uint8_t>(
+                rr == StoreT::RemoveResult::kReadOnly
+                    ? static_cast<uint8_t>(NetStatus::kReadOnly)
+                    : (rr == StoreT::RemoveResult::kRemoved
+                           ? 0
+                           : static_cast<uint8_t>(NetStatus::kNotFound)));
+          } else {
+            bool removed = server.store_.remove(p.key, session);
+            tx.template put<uint8_t>(
+                removed ? 0 : static_cast<uint8_t>(NetStatus::kNotFound));
+          }
           break;
         }
         case NetOp::kScan: {
@@ -1545,6 +1673,12 @@ class BasicServer {
           // Only reached for backends without the batched-write seam
           // (wbatchable() routes it to the write batch otherwise): plain
           // sequential puts, wire behavior identical.
+          if constexpr (HasCheckedWrites<StoreT>) {
+            if (server.store_.read_only()) {
+              tx.template put<uint8_t>(static_cast<uint8_t>(NetStatus::kReadOnly));
+              break;
+            }
+          }
           tx.template put<uint8_t>(0);
           tx.template put<uint16_t>(static_cast<uint16_t>(p.keys_cnt));
           uint32_t uo = p.upd_off;
@@ -1552,8 +1686,15 @@ class BasicServer {
             uint32_t cnt = wcnt_pool[p.cols_off + i];
             upd_scratch.assign(upd_pool.begin() + uo, upd_pool.begin() + uo + cnt);
             uo += cnt;
-            bool inserted =
-                server.store_.put(keys_pool[p.keys_off + i], upd_scratch, session);
+            bool inserted = false;
+            if constexpr (HasCheckedWrites<StoreT>) {
+              inserted = server.store_.put_checked(keys_pool[p.keys_off + i],
+                                                   upd_scratch, session) ==
+                         StoreT::PutResult::kInserted;
+            } else {
+              inserted =
+                  server.store_.put(keys_pool[p.keys_off + i], upd_scratch, session);
+            }
             tx.template put<uint8_t>(inserted ? 1 : 0);
           }
           break;
@@ -1602,6 +1743,7 @@ class BasicServer {
     char wake_tag = 0;    // epoll data tags (address identity only)
     char listen_tag = 0;
     unsigned rr_next = 0;  // accepting worker's round-robin cursor
+    uint64_t last_idle_sweep_ns = 0;
     std::mutex mu;
     std::vector<PendingConn> pending;  // handed off by other workers
     std::vector<std::unique_ptr<Conn>> conns;
@@ -1653,6 +1795,7 @@ class BasicServer {
   std::atomic<uint64_t> batched_puts_{0};
   std::atomic<uint64_t> wbatches_formed_{0};
   std::atomic<uint64_t> steered_puts_{0};
+  std::atomic<uint64_t> idle_reaped_{0};
 };
 
 // If Store::multiget_rows/multiput ever drift away from their concepts, the

@@ -70,6 +70,13 @@ enum class Counter : unsigned {
   kNetBatchedPuts,         // puts/removes that reached Store::multiput via a
                            //   server batch formed across >= 2 request ops
                            //   (§6.1; the write-side cross-connection claim)
+  kStoreReadOnlyTrips,     // sticky log/checkpoint I/O errors that flipped a
+                           //   Store into read-only degraded mode (once per
+                           //   store lifetime; see Store::read_only())
+  kWritesRejectedReadOnly, // write ops refused with kReadOnly because the
+                           //   store had tripped (gets/scans keep serving)
+  kNetIdleReaped,          // connections closed by the server's idle sweep
+                           //   (no complete frame within idle_timeout_ms)
   kNumCounters,
 };
 

@@ -946,6 +946,52 @@ TEST(Recovery, SealTrimsCompleteLogsBeyondCutoff) {
   EXPECT_EQ(plan[0].key, "keep");
 }
 
+// A latent media error that flips one bit inside a mid-log record's CRC must
+// behave exactly like a torn tail: replay keeps the intact prefix, stops at
+// the corrupt record, and the seal trims the file there so the records BEYOND
+// the corruption (here: a remove of "alive" and a later put) can never
+// resurrect on a subsequent recovery — a half-trusted suffix is worse than a
+// short one.
+TEST(Recovery, BitFlippedCrcMidLogKeepsPrefixOnly) {
+  std::string p = TempPath("rc_crcflip.bin");
+  std::remove(p.c_str());
+  std::string buf;
+  std::vector<size_t> ends;
+  logwire::encode_put(&buf, "alive", {{0, "v1"}}, 1, 10);
+  ends.push_back(buf.size());
+  logwire::encode_put(&buf, "victim", {{0, "v2"}}, 2, 20);
+  ends.push_back(buf.size());
+  logwire::encode_remove(&buf, "alive", 3, 30);
+  ends.push_back(buf.size());
+  logwire::encode_put(&buf, "late", {{0, "v4"}}, 4, 40);
+  ends.push_back(buf.size());
+  // The v2 frame ends with its u32 crc32c; flip one bit of record 2's CRC.
+  buf[ends[1] - 2] ^= 0x04;
+  std::ofstream(p, std::ios::binary) << buf;
+
+  // First recovery: the prefix before the flip survives, nothing after it.
+  {
+    RecoverySet rs = load_logs({p});
+    ASSERT_FALSE(rs.logs[0].complete);  // corruption reads as a live tail
+    EXPECT_EQ(rs.cutoff_us, 10u);       // bounded by the last intact record
+    uint64_t cutoff = rs.cutoff_us;
+    auto plan = replay_plan(std::move(rs));
+    ASSERT_EQ(plan.size(), 1u);
+    EXPECT_EQ(plan[0].key, "alive");
+    EXPECT_EQ(plan[0].type, LogType::kPut);
+    RecoverySet again = load_logs({p});
+    seal_recovered_log(p, again.logs[0], cutoff);
+  }
+  // Second recovery after the seal: the file reads complete, and neither the
+  // post-corruption remove nor the "late" put reappears.
+  RecoverySet rs = load_logs({p});
+  ASSERT_TRUE(rs.logs[0].complete);
+  auto plan = replay_plan(std::move(rs));
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].key, "alive");
+  EXPECT_EQ(plan[0].type, LogType::kPut);
+}
+
 TEST(Recovery, EmptyLogDoesNotZeroCutoff) {
   std::string p1 = TempPath("re_nonempty.bin");
   std::string p2 = TempPath("re_empty.bin");

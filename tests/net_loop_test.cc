@@ -4,13 +4,17 @@
 // formation for reads AND writes (Counter::kNetBatchedGets /
 // kNetBatchedPuts), partition-affinity routing (hot keys pinned to their
 // hash-owner worker; multiget and multiput ops steered across workers
-// without reordering), and clean start/stop cycles against the acceptor
-// shutdown race.
+// without reordering), clean start/stop cycles against the acceptor
+// shutdown race, slow-loris idle-connection reaping, and read-only degraded
+// serving over the wire after a sticky log I/O error.
 
 #include <gtest/gtest.h>
+#include <sys/time.h>
 
 #include <atomic>
+#include <cerrno>
 #include <deque>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
@@ -22,6 +26,7 @@
 #include "net/proto.h"
 #include "net/server.h"
 #include "support/test_support.h"
+#include "util/io.h"
 
 namespace masstree {
 namespace {
@@ -577,6 +582,130 @@ TEST(NetLoopShutdown, StartStopCyclesWithLiveClients) {
     ASSERT_EQ(res.size(), 2u);
     EXPECT_EQ(res[1].columns[0], "v");
     server.stop();  // with the client still connected
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Slow-loris guard: a peer that connects and trickles HALF a frame must be
+// reaped once Options::idle_timeout_ms elapses without a complete frame —
+// while a healthy pipelining client on the same worker keeps serving. Without
+// the sweep such connections pin worker state forever (the hole this test
+// used to leave open).
+TEST(NetLoopIdle, SlowLorisConnectionsAreReaped) {
+  Store store;
+  Server::Options opt;
+  opt.workers = 1;  // loris and healthy client share one event loop
+  opt.idle_timeout_ms = 100;
+  Server server(store, opt);
+  server.start();
+
+  // The loris: a raw socket that sends a length prefix promising 100 bytes,
+  // delivers 3, then stalls. Half a frame must NOT count as activity.
+  int loris = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(loris, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(loris, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  uint32_t promised = 100;
+  ASSERT_EQ(::send(loris, &promised, sizeof(promised), MSG_NOSIGNAL),
+            static_cast<ssize_t>(sizeof(promised)));
+  ASSERT_EQ(::send(loris, "abc", 3, MSG_NOSIGNAL), 3);
+
+  // A healthy client keeps completing frames throughout, so it must survive
+  // every sweep while the loris idles out.
+  Client healthy(server.port());
+  bool reaped = false;
+  for (int tries = 0; tries < 500; ++tries) {
+    healthy.put("hk", {{0, "v" + std::to_string(tries)}});
+    auto res = healthy.flush();
+    ASSERT_EQ(res.size(), 1u);
+    ASSERT_EQ(res[0].status, NetStatus::kOk);
+    if (server.idle_reaped() >= 1) {
+      reaped = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(reaped) << "idle sweep never closed the stalled connection";
+
+  // The server closed its side: the loris reads EOF (possibly after a reset
+  // if more trickled bytes raced the close).
+  timeval tv{2, 0};
+  ::setsockopt(loris, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  char b;
+  EXPECT_LE(::recv(loris, &b, 1, 0), 0);
+  ::close(loris);
+
+  // And the healthy connection still serves after the reap.
+  healthy.get("hk");
+  auto res = healthy.flush();
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_EQ(res[0].status, NetStatus::kOk);
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Degraded serving over the wire: a sticky log I/O error flips the store
+// read-only; from then on puts/removes answer NetStatus::kReadOnly (no
+// payload) on the SAME connection, gets keep serving the in-memory data, and
+// nothing is closed or thrown.
+TEST(NetLoopReadOnly, WritesAnswerReadOnlyGetsKeepServing) {
+  std::string dir = testing::TempDir() + "/net_ro_logs";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  Store::Options sopt;
+  sopt.log_dir = dir;
+  sopt.log_partitions = 1;
+  sopt.maintenance_thread = false;
+  Store store(sopt);
+  {
+    Server server(store, Server::Options{0, 1});
+    server.start();
+    Client c(server.port());
+    c.put("pre", {{0, "durable"}});
+    auto r0 = c.flush();
+    ASSERT_EQ(r0.size(), 1u);
+    ASSERT_EQ(r0[0].status, NetStatus::kOk);
+    store.sync_logs();
+    ASSERT_FALSE(store.read_only());
+
+    // First log pwritev from here on fails with EIO -> sticky trip.
+    io::FaultPlan plan;
+    plan.fail_at = 1;
+    plan.fail_errno = EIO;
+    plan.fail_op = "pwritev";
+    {
+      io::Armed armed(&plan);
+      c.put("doomed", {{0, "x"}});
+      auto r1 = c.flush();  // accepted before the drain hits the bad disk
+      ASSERT_EQ(r1.size(), 1u);
+      store.sync_logs();  // forces the failing flush round
+    }
+    ASSERT_TRUE(store.read_only());
+
+    // Same connection: writes now answer kReadOnly, reads keep serving.
+    c.put("after", {{0, "y"}});
+    c.remove("pre");
+    c.get("pre");
+    c.get("doomed");  // applied in memory before the trip; still readable
+    auto res = c.flush();
+    ASSERT_EQ(res.size(), 4u);
+    EXPECT_EQ(res[0].status, NetStatus::kReadOnly);
+    EXPECT_EQ(res[1].status, NetStatus::kReadOnly);
+    ASSERT_EQ(res[2].status, NetStatus::kOk);
+    EXPECT_EQ(res[2].columns[0], "durable");
+    EXPECT_EQ(res[3].status, NetStatus::kOk);
+
+    // Multiput over the wire also reports the degraded mode in-band.
+    c.multiput({{"m1", {{0, "a"}}}, {"m2", {{0, "b"}}}});
+    auto rm = c.flush();
+    ASSERT_EQ(rm.size(), 1u);
+    EXPECT_EQ(rm[0].status, NetStatus::kReadOnly);
+    EXPECT_EQ(store.log_error(), EIO);
+    EXPECT_STREQ(store.log_error_detail().syscall, "pwritev");
+    server.stop();
   }
 }
 
